@@ -1,0 +1,57 @@
+"""Ablation A: sensitivity to the min-sim clustering threshold.
+
+The paper fixes one min-sim for DISTINCT and tunes it per baseline; this
+bench sweeps the threshold for the full composite measure and reports the
+precision/recall trade-off curve, verifying the expected monotonicity
+(higher threshold -> no fewer clusters -> precision up, recall down).
+"""
+
+from repro.core.variants import variant_by_key
+from repro.eval.experiment import run_variant, sweep_min_sim
+from repro.eval.reporting import format_table, format_xy_chart
+
+GRID = (0.001, 0.002, 0.004, 0.006, 0.008, 0.012, 0.02, 0.03, 0.05, 0.1)
+
+
+def test_minsim_sweep(benchmark, distinct, preparations, db_truth, report):
+    _, truth = db_truth
+    variant = variant_by_key("distinct")
+    best, runs = sweep_min_sim(
+        distinct, preparations, truth, variant, GRID
+    )
+
+    rows = [
+        [r.min_sim, r.avg_precision, r.avg_recall, r.avg_f1, r.avg_accuracy]
+        for r in runs
+    ]
+    table = format_table(
+        ["min-sim", "precision", "recall", "f1", "accuracy"],
+        rows,
+        title=(
+            "Ablation A: min-sim sensitivity of DISTINCT "
+            f"(configured default = {distinct.config.min_sim}, "
+            f"best on this grid = {best.min_sim})"
+        ),
+        float_format="{:.4f}",
+    )
+    curve = format_xy_chart(
+        [(r.min_sim, r.avg_f1) for r in runs],
+        title="f1 vs min-sim (rank-scaled x)",
+        x_label="min-sim",
+        y_label="avg f1",
+    )
+    report("ablation_minsim", table + "\n\n" + curve)
+
+    by_sim = {r.min_sim: r for r in runs}
+    ordered = [by_sim[s] for s in GRID]
+    # Precision rises (weakly) with the threshold; recall falls (weakly).
+    for lo, hi in zip(ordered, ordered[1:]):
+        assert hi.avg_precision >= lo.avg_precision - 0.02
+        assert hi.avg_recall <= lo.avg_recall + 0.02
+    # The configured default should be near-optimal on its own grid.
+    assert by_sim[distinct.config.min_sim].avg_f1 >= best.avg_f1 - 0.05
+
+    def kernel():
+        return run_variant(distinct, preparations, truth, variant, 0.006)
+
+    benchmark(kernel)

@@ -1,0 +1,59 @@
+"""Ablation C: how much automatically labeled training data is needed?
+
+The paper uses 1000 positive + 1000 negative pairs. This bench retrains the
+per-path weights at several training-set sizes (fixed C to isolate the size
+effect) and evaluates the resulting DISTINCT on all ten names at the
+default threshold.
+"""
+
+from repro import Distinct, DistinctConfig
+from repro.core.variants import variant_by_key
+from repro.eval.experiment import run_variant
+from repro.eval.reporting import format_table
+
+SIZES = (50, 200, 1000)
+
+
+def test_training_size_ablation(
+    benchmark, db_truth, distinct, preparations, report
+):
+    db, truth = db_truth
+    variant = variant_by_key("distinct")
+    rows = []
+    f1_by_size = {}
+    for size in SIZES:
+        config = DistinctConfig(n_positive=size, n_negative=size, svm_C=10.0)
+        trained = Distinct(config).fit(db)
+        # Reuse the session's expensive per-name preparations: the features
+        # depend only on the path set, which is identical.
+        result = run_variant(trained, preparations, truth, variant, config.min_sim)
+        f1_by_size[size] = result.avg_f1
+        rows.append(
+            [
+                f"{size}+{size}",
+                trained.fit_report_.train_accuracy_resem,
+                result.avg_precision,
+                result.avg_recall,
+                result.avg_f1,
+            ]
+        )
+
+    table = format_table(
+        ["training pairs", "train acc (resem)", "precision", "recall", "f1"],
+        rows,
+        title="Ablation C: training-set size (paper uses 1000+1000)",
+        float_format="{:.4f}",
+    )
+    report("ablation_training", table)
+
+    # More data should not hurt much; the paper-scale setting performs well.
+    assert f1_by_size[1000] > 0.8
+    assert f1_by_size[1000] >= f1_by_size[50] - 0.05
+
+    config = DistinctConfig(n_positive=200, n_negative=200, svm_C=10.0)
+
+    def kernel():
+        return Distinct(config).fit(db)
+
+    trained = benchmark.pedantic(kernel, rounds=1, iterations=1)
+    assert trained.fit_report_.n_training_pairs == 400

@@ -1,0 +1,70 @@
+"""Extra baseline: transitive closure (connected components) vs DISTINCT.
+
+The simplest conceivable grouping rule — link any two references whose
+combined similarity clears a threshold, take connected components — is
+equivalent to Single-Link clustering and is what naive ER systems do. This
+bench contrasts it with the composite agglomerative engine over identical
+pair similarities, each at its best threshold.
+"""
+
+import numpy as np
+
+from repro.eval.metrics import pairwise_scores
+from repro.eval.reporting import format_table
+from repro.graph.refgraph import connected_component_clusters, reference_graph
+
+GRID = (1e-4, 1e-3, 0.003, 0.006, 0.01, 0.03, 0.1, 0.3)
+
+
+def test_components_baseline(benchmark, distinct, preparations, db_truth, report):
+    _, truth = db_truth
+
+    resolutions = {
+        name: distinct.cluster_prepared(prep, min_sim=distinct.config.min_sim)
+        for name, prep in preparations.items()
+    }
+    graphs = {name: reference_graph(res) for name, res in resolutions.items()}
+
+    def components_f1(min_sim: float) -> float:
+        scores = []
+        for name, graph in graphs.items():
+            clusters = connected_component_clusters(graph, min_sim)
+            gold = list(truth.clusters_for(name).values())
+            scores.append(pairwise_scores(clusters, gold).f1)
+        return float(np.mean(scores))
+
+    component_scores = {min_sim: components_f1(min_sim) for min_sim in GRID}
+    best_sim = max(component_scores, key=component_scores.get)
+
+    distinct_f1 = float(
+        np.mean(
+            [
+                pairwise_scores(
+                    res.clusters, list(truth.clusters_for(name).values())
+                ).f1
+                for name, res in resolutions.items()
+            ]
+        )
+    )
+
+    rows = [
+        ["DISTINCT (composite agglomerative)", distinct.config.min_sim, distinct_f1],
+        ["transitive closure (components)", best_sim, component_scores[best_sim]],
+    ]
+    table = format_table(
+        ["method", "min-sim", "avg f1"],
+        rows,
+        title="Baseline: transitive closure over the same pair similarities",
+        float_format="{:.4f}",
+    )
+    report("baseline_components", table)
+
+    # Chaining through single misleading links must cost the baseline.
+    assert distinct_f1 > component_scores[best_sim]
+
+    graph = graphs["Wei Wang"]
+
+    def kernel():
+        return connected_component_clusters(graph, 0.006)
+
+    benchmark(kernel)

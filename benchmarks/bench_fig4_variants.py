@@ -1,0 +1,66 @@
+"""Fig 4: accuracy and f-measure of the six pipeline variants.
+
+Paper reference points: DISTINCT leads the unsupervised single-measure
+baselines ([1] set resemblance, [9] random walk) by ~15 points of
+f-measure; supervised learning contributes >10 points; combining the two
+measures contributes ~3 points. Every variant except DISTINCT gets the
+min-sim that maximizes its average accuracy (as in the paper).
+
+The timed kernel is one full variant evaluation at one threshold.
+"""
+
+from repro.core.variants import FIG4_VARIANTS, variant_by_key
+from repro.eval.experiment import run_experiment, run_variant
+from repro.eval.reporting import format_bar_chart, format_table
+from repro.eval.significance import paired_bootstrap
+
+
+def test_fig4_variants(benchmark, distinct, preparations, db_truth, report):
+    _, truth = db_truth
+    results = run_experiment(
+        distinct, truth, list(preparations), FIG4_VARIANTS
+    )
+
+    labels = {v.key: v.label for v in FIG4_VARIANTS}
+    rows = [
+        [labels[key], r.min_sim, r.avg_accuracy, r.avg_f1, r.avg_precision, r.avg_recall]
+        for key, r in results.items()
+    ]
+    table = format_table(
+        ["variant", "min-sim", "accuracy", "f-measure", "precision", "recall"],
+        rows,
+        title="Fig 4 (table form): accuracy and f-measure of each variant",
+        float_format="{:.4f}",
+    )
+    chart = format_bar_chart(
+        [(labels[key], r.avg_f1) for key, r in results.items()],
+        title="Fig 4 (bars): average f-measure",
+    )
+    comparisons = [
+        paired_bootstrap(results["distinct"], results[key], seed=1)
+        for key in ("unsup_combined", "sup_resem", "sup_walk", "unsup_resem", "unsup_walk")
+    ]
+    significance = "\n".join(
+        "paired bootstrap (f1): " + str(c) for c in comparisons
+    )
+    report("fig4_variants", table + "\n\n" + chart + "\n\n" + significance)
+
+    f1 = {key: r.avg_f1 for key, r in results.items()}
+    # Shape assertions from the paper:
+    # 1. DISTINCT beats every other variant.
+    assert all(f1["distinct"] >= f1[k] - 1e-9 for k in f1)
+    # 2. Supervision helps (combined measure, learned vs uniform weights).
+    assert f1["distinct"] > f1["unsup_combined"] + 0.05
+    # 3. Each supervised single measure beats its unsupervised counterpart.
+    assert f1["sup_resem"] > f1["unsup_resem"]
+    assert f1["sup_walk"] > f1["unsup_walk"]
+    # 4. Combining measures is at least as good as either alone.
+    assert f1["distinct"] >= max(f1["sup_resem"], f1["sup_walk"]) - 1e-9
+
+    variant = variant_by_key("sup_resem")
+
+    def kernel():
+        return run_variant(distinct, preparations, truth, variant, min_sim=0.03)
+
+    result = benchmark(kernel)
+    assert result.names

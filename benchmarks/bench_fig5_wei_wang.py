@@ -1,0 +1,51 @@
+"""Fig 5: the cluster diagram for "Wei Wang" (14 real authors).
+
+The paper's figure shows one gray box per real Wei Wang with reference
+counts (UNC-CH 57, Fudan 31, UNSW 19, ...) and arrows marking DISTINCT's
+mistakes. This bench renders the text analogue (cluster composition +
+split/merge error summary) and the Graphviz DOT export.
+
+The timed kernel is the end-to-end ``resolve`` for the name, which is the
+paper's per-name unit of work.
+"""
+
+from repro.eval.experiment import score_resolution
+from repro.eval.visualize import render_clusters_dot, render_clusters_text
+
+
+def test_fig5_wei_wang(benchmark, distinct, preparations, db_truth, report):
+    _, truth = db_truth
+    resolution = distinct.cluster_prepared(preparations["Wei Wang"])
+    text = render_clusters_text(resolution, truth)
+    report("fig5_wei_wang", text)
+
+    dot = render_clusters_dot(resolution, truth)
+    from benchmarks.conftest import RESULTS_DIR
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "fig5_wei_wang.dot").write_text(dot + "\n")
+
+    result = score_resolution(resolution, truth)
+    # Paper: "in general DISTINCT does a very good job ... although it makes
+    # some mistakes" — the resolution should be strong but imperfect-ish;
+    # assert the strong part and the coverage.
+    assert result.n_refs == 141
+    assert result.n_entities == 14
+    assert result.scores.f1 > 0.8
+    assert 10 <= result.n_clusters <= 20
+
+    # The two largest predicted clusters should be dominated by the two
+    # largest real authors (57 and 31 references).
+    largest = max(resolution.clusters, key=len)
+    from collections import Counter
+
+    majority_entity, count = Counter(
+        truth.entity_of_row[row] for row in largest
+    ).most_common(1)[0]
+    assert count / len(largest) > 0.8
+
+    def kernel():
+        return distinct.resolve("Wei Wang")
+
+    fresh = benchmark.pedantic(kernel, rounds=1, iterations=1)
+    assert fresh.n_clusters == resolution.n_clusters

@@ -1,0 +1,74 @@
+"""Scalability: pipeline cost as the world grows.
+
+The paper runs against full DBLP (616K papers); our substrate is a pure
+Python in-memory engine, so this bench characterizes how its phases scale
+with world size: relational loading, per-reference profiling, pair-feature
+computation, and clustering. The per-pair cost should stay roughly flat
+while total cost grows with the reference count.
+"""
+
+import time
+
+from repro import Distinct, DistinctConfig, GeneratorConfig, generate_world
+from repro.data.ambiguity import AmbiguousNameSpec
+from repro.data.world import world_to_database
+from repro.eval.reporting import format_table
+
+SPEC = [AmbiguousNameSpec("Wei Wang", (20, 12, 8))]
+SCALES = (0.5, 1.0, 2.0)
+
+
+def test_scaling_world_size(benchmark, report):
+    rows = []
+    for scale in SCALES:
+        config = GeneratorConfig(seed=3, scale=scale)
+        t0 = time.perf_counter()
+        world = generate_world(config, SPEC)
+        db, truth = world_to_database(world)
+        t_load = time.perf_counter() - t0
+
+        distinct = Distinct(
+            DistinctConfig(n_positive=300, n_negative=300, svm_C=10.0)
+        )
+        t0 = time.perf_counter()
+        distinct.fit(db)
+        t_fit = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        prep = distinct.prepare("Wei Wang")
+        t_prepare = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        distinct.cluster_prepared(prep)
+        t_cluster = time.perf_counter() - t0
+
+        stats = world.stats()
+        rows.append(
+            [
+                f"x{scale}",
+                stats["papers"],
+                stats["authorships"],
+                t_load,
+                t_fit,
+                t_prepare,
+                t_cluster,
+            ]
+        )
+
+    table = format_table(
+        ["scale", "papers", "authorships", "load s", "fit s", "prepare s", "cluster s"],
+        rows,
+        title="Scalability: phase cost vs world size (one 40-ref name)",
+    )
+    report("scalability", table)
+
+    # Loading should scale roughly linearly (within generous bounds).
+    assert rows[-1][3] < rows[0][3] * 12
+
+    config = GeneratorConfig(seed=3, scale=0.5)
+
+    def kernel():
+        world = generate_world(config, SPEC)
+        return world_to_database(world)
+
+    benchmark.pedantic(kernel, rounds=2, iterations=1)

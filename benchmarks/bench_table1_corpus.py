@@ -1,0 +1,55 @@
+"""Table 1: the ten ambiguous names and their (#authors, #references).
+
+The synthetic world injects the paper's counts exactly, so this bench both
+regenerates the table and verifies the corpus against the paper's numbers.
+The timed kernel is world generation + relational loading.
+"""
+
+from repro import GeneratorConfig, generate_world
+from repro.core.references import reference_counts_by_name
+from repro.data.ambiguity import TABLE1_EXPECTED
+from repro.data.world import world_to_database
+from repro.eval.reporting import format_table
+
+
+def test_table1_corpus(benchmark, world, db_truth, report):
+    db, truth = db_truth
+
+    rows = []
+    for name in world.ambiguous_names:
+        entities = truth.clusters_for(name)
+        refs = truth.rows_of_name[name]
+        expected_authors, expected_refs = TABLE1_EXPECTED[name]
+        rows.append(
+            [name, len(entities), len(refs), expected_authors, expected_refs]
+        )
+        assert len(entities) == expected_authors
+        assert len(refs) == expected_refs
+
+    stats = world.stats()
+    header = (
+        f"world: {stats['papers']} papers, {stats['authorships']} authorship "
+        f"rows, {stats['distinct_names']} distinct names "
+        f"(paper: ~616K papers, 1.29M references, 127,124 authors)"
+    )
+    table = format_table(
+        ["name", "#authors", "#refs", "paper #authors", "paper #refs"],
+        rows,
+        title="Table 1: names corresponding to multiple authors\n" + header,
+    )
+    report("table1_corpus", table)
+
+    def kernel():
+        w = generate_world(GeneratorConfig(scale=0.25))
+        return world_to_database(w)[0]
+
+    result = benchmark(kernel)
+    assert reference_counts_by_name(result)  # non-empty world
+
+
+def test_table1_reference_counts_consistent(benchmark, db_truth, world):
+    """Cross-check: reference counts via the query layer match ground truth."""
+    db, truth = db_truth
+    counts = benchmark(reference_counts_by_name, db)
+    for name in world.ambiguous_names:
+        assert counts[name] == len(truth.rows_of_name[name])

@@ -1,0 +1,56 @@
+"""Shared state for the benchmark harness.
+
+All benches run against the full Table-1 world (the paper's evaluation
+setting): built once per session, fitted once per session. Each bench
+regenerates one table or figure of the paper, prints it to the terminal
+(bypassing capture so it lands in ``bench_output.txt``), writes it to
+``benchmarks/results/``, and times a representative kernel with
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro import Distinct, DistinctConfig, generate_world
+from repro.data.world import world_to_database
+from repro.eval.experiment import prepare_names
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def world():
+    return generate_world()  # Table-1 spec, default world size
+
+
+@pytest.fixture(scope="session")
+def db_truth(world):
+    return world_to_database(world)
+
+
+@pytest.fixture(scope="session")
+def distinct(db_truth):
+    db, _ = db_truth
+    return Distinct(DistinctConfig()).fit(db)
+
+
+@pytest.fixture(scope="session")
+def preparations(distinct, world):
+    """Per-name profiles + pair features for all ten evaluation names."""
+    return prepare_names(distinct, world.ambiguous_names)
+
+
+@pytest.fixture()
+def report(capsys):
+    """Print a reproduced table/figure to the real terminal and archive it."""
+
+    def _report(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")
+
+    return _report

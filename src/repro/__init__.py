@@ -1,0 +1,72 @@
+"""DISTINCT — distinguishing objects with identical names.
+
+A full reproduction of Yin, Han, Yu, *Object Distinction: Distinguishing
+Objects with Identical Names* (ICDE 2007): a relational-database substrate,
+join-path probability propagation, set-resemblance and random-walk
+similarities, SVM-learned per-path weights from an automatically constructed
+training set, and composite agglomerative clustering — plus the synthetic
+DBLP-like world and evaluation harness that regenerate the paper's tables
+and figures.
+
+Quickstart::
+
+    from repro import Distinct, DistinctConfig, generate_world, world_to_database
+
+    world = generate_world()
+    db, truth = world_to_database(world)
+    distinct = Distinct(DistinctConfig()).fit(db)
+    resolution = distinct.resolve("Wei Wang")
+    for cluster in resolution.clusters:
+        print(sorted(cluster))
+"""
+
+from repro.config import DistinctConfig, deep_path_config, default_path_config
+from repro.core import Distinct, NameResolution, FIG4_VARIANTS, VariantSpec
+from repro.core.references import extract_references, reference_counts_by_name
+from repro.data import (
+    AmbiguousNameSpec,
+    GeneratorConfig,
+    TABLE1_SPEC,
+    World,
+    generate_world,
+)
+from repro.data.world import GroundTruth, world_to_database
+from repro.errors import ReproError
+from repro.eval import (
+    bcubed_scores,
+    pairwise_scores,
+    render_clusters_dot,
+    render_clusters_text,
+    run_experiment,
+)
+from repro.reldb import Database, Schema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Distinct",
+    "DistinctConfig",
+    "NameResolution",
+    "VariantSpec",
+    "FIG4_VARIANTS",
+    "default_path_config",
+    "deep_path_config",
+    "extract_references",
+    "reference_counts_by_name",
+    "AmbiguousNameSpec",
+    "GeneratorConfig",
+    "TABLE1_SPEC",
+    "World",
+    "GroundTruth",
+    "generate_world",
+    "world_to_database",
+    "ReproError",
+    "pairwise_scores",
+    "bcubed_scores",
+    "render_clusters_text",
+    "render_clusters_dot",
+    "run_experiment",
+    "Database",
+    "Schema",
+    "__version__",
+]

@@ -1,0 +1,346 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the library workflow:
+
+- ``generate``   build a synthetic world and save it (CSV database +
+                 ground-truth JSON);
+- ``stats``      summarize a saved database;
+- ``fit``        train the per-path weight models and save them as JSON;
+- ``resolve``    cluster the references of one name using saved models
+                 (optionally scored/visualized against saved ground truth);
+- ``experiment`` run the Table-2 evaluation (and optionally the Fig-4
+                 variant comparison) over the ambiguous names.
+
+Example session::
+
+    python -m repro generate --out /tmp/world
+    python -m repro fit --db /tmp/world --out /tmp/world/models
+    python -m repro resolve --db /tmp/world --models /tmp/world/models \
+        --name "Wei Wang" --truth /tmp/world/truth.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.config import DistinctConfig
+from repro.core.distinct import Distinct
+from repro.core.variants import FIG4_VARIANTS, variant_by_key
+from repro.data.ambiguity import TABLE1_SPEC
+from repro.data.generator import GeneratorConfig, generate_world
+from repro.data.world import (
+    load_ground_truth,
+    save_ground_truth,
+    world_to_database,
+)
+from repro.eval.experiment import prepare_names, run_experiment, run_variant
+from repro.eval.reporting import format_table
+from repro.eval.visualize import render_clusters_text
+from repro.ml.model import PathWeightModel
+from repro.reldb.csvio import load_database, save_database
+
+TRUTH_FILE = "truth.json"
+AMBIGUOUS_FILE = "ambiguous_names.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DISTINCT: distinguishing objects with identical names",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate a synthetic world")
+    p.add_argument("--out", required=True, help="output directory")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--scale", type=float, default=1.0)
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("stats", help="summarize a saved database")
+    p.add_argument("--db", required=True, help="database directory")
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("fit", help="train the per-path weight models")
+    p.add_argument("--db", required=True)
+    p.add_argument("--out", required=True, help="model output directory")
+    p.add_argument("--positive", type=int, default=1000)
+    p.add_argument("--negative", type=int, default=1000)
+    p.add_argument("--svm-c", type=float, default=None,
+                   help="fixed SVM cost (default: cross-validated search)")
+    p.set_defaults(func=cmd_fit)
+
+    p = sub.add_parser("resolve", help="cluster the references of one name")
+    p.add_argument("--db", required=True)
+    p.add_argument("--models", required=True)
+    p.add_argument("--name", required=True)
+    p.add_argument("--min-sim", type=float, default=None)
+    p.add_argument("--truth", default=None, help="ground-truth JSON to score against")
+    p.set_defaults(func=cmd_resolve)
+
+    p = sub.add_parser(
+        "explain", help="decompose the similarity of one reference pair"
+    )
+    p.add_argument("--db", required=True)
+    p.add_argument("--models", required=True)
+    p.add_argument("--name", required=True)
+    p.add_argument("--rows", required=True, help="two reference row ids, comma-separated")
+    p.add_argument("--top", type=int, default=5)
+    p.set_defaults(func=cmd_explain)
+
+    p = sub.add_parser("candidates", help="scan for likely ambiguous names")
+    p.add_argument("--db", required=True)
+    p.add_argument("--min-refs", type=int, default=5)
+    p.add_argument("--min-score", type=float, default=0.3)
+    p.add_argument("--limit", type=int, default=20)
+    p.set_defaults(func=cmd_candidates)
+
+    p = sub.add_parser(
+        "calibrate", help="pick min-sim from synthetic ambiguity (no labels)"
+    )
+    p.add_argument("--db", required=True)
+    p.add_argument("--models", required=True)
+    p.add_argument("--names", type=int, default=15, help="synthetic names to build")
+    p.add_argument("--members", type=int, default=2, help="rare names pooled per synthetic name")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_calibrate)
+
+    p = sub.add_parser("experiment", help="evaluate over the ambiguous names")
+    p.add_argument("--db", required=True)
+    p.add_argument("--models", required=True)
+    p.add_argument("--truth", required=True)
+    p.add_argument("--names", default=None,
+                   help="comma-separated names (default: saved ambiguous names)")
+    p.add_argument("--variants", choices=("distinct", "all"), default="distinct")
+    p.add_argument("--min-sim", type=float, default=None)
+    p.set_defaults(func=cmd_experiment)
+
+    return parser
+
+
+# -- commands -----------------------------------------------------------------
+
+
+def cmd_generate(args) -> int:
+    out = Path(args.out)
+    world = generate_world(GeneratorConfig(seed=args.seed, scale=args.scale))
+    db, truth = world_to_database(world, prepared=False)
+    save_database(db, out)
+    save_ground_truth(truth, out / TRUTH_FILE)
+    (out / AMBIGUOUS_FILE).write_text(json.dumps(world.ambiguous_names))
+    stats = world.stats()
+    print(f"world written to {out}")
+    print(
+        f"  {stats['papers']} papers, {stats['authorships']} authorship rows, "
+        f"{stats['distinct_names']} distinct names, "
+        f"{len(world.ambiguous_names)} ambiguous names"
+    )
+    return 0
+
+
+def _open_database(directory: str):
+    from repro.data.dblp_schema import prepare_dblp_database
+
+    db = load_database(directory)
+    return prepare_dblp_database(db)
+
+
+def cmd_stats(args) -> int:
+    from repro.reldb.stats import format_stats
+
+    db = _open_database(args.db)
+    print(db.summary())
+    print()
+    print(format_stats(db))
+    truth_path = Path(args.db) / TRUTH_FILE
+    if truth_path.exists():
+        truth = load_ground_truth(truth_path)
+        ambiguous = _ambiguous_names(args.db, None)
+        rows = [
+            [name, len(truth.clusters_for(name)), len(truth.rows_of_name[name])]
+            for name in ambiguous
+        ]
+        print()
+        print(format_table(["name", "#entities", "#refs"], rows,
+                           title="ambiguous names"))
+    return 0
+
+
+def cmd_fit(args) -> int:
+    db = _open_database(args.db)
+    config = DistinctConfig(
+        n_positive=args.positive, n_negative=args.negative, svm_C=args.svm_c
+    )
+    distinct = Distinct(config).fit(db)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    distinct.resem_model_.save(out / "resem_model.json")
+    distinct.walk_model_.save(out / "walk_model.json")
+    report = distinct.fit_report_
+    (out / "fit_report.json").write_text(
+        json.dumps(
+            {
+                "n_paths": report.n_paths,
+                "n_training_pairs": report.n_training_pairs,
+                "n_rare_names": report.n_rare_names,
+                "train_accuracy_resem": report.train_accuracy_resem,
+                "train_accuracy_walk": report.train_accuracy_walk,
+                "seconds_total": report.seconds_total,
+            },
+            indent=2,
+        )
+    )
+    print(
+        f"models written to {out} "
+        f"({report.n_paths} paths, train acc resem "
+        f"{report.train_accuracy_resem:.3f} / walk "
+        f"{report.train_accuracy_walk:.3f}, {report.seconds_total:.1f}s)"
+    )
+    return 0
+
+
+def _load_pipeline(db_dir: str, model_dir: str, min_sim: float | None) -> Distinct:
+    db = _open_database(db_dir)
+    models = Path(model_dir)
+    config = DistinctConfig()
+    if min_sim is not None:
+        config = config.with_options(min_sim=min_sim)
+    return Distinct.from_models(
+        db,
+        PathWeightModel.load(models / "resem_model.json"),
+        PathWeightModel.load(models / "walk_model.json"),
+        config,
+    )
+
+
+def cmd_resolve(args) -> int:
+    distinct = _load_pipeline(args.db, args.models, args.min_sim)
+    resolution = distinct.resolve(args.name)
+    print(
+        f"{args.name!r}: {len(resolution.rows)} references -> "
+        f"{resolution.n_clusters} objects"
+    )
+    if args.truth:
+        truth = load_ground_truth(args.truth)
+        print()
+        print(render_clusters_text(resolution, truth))
+    else:
+        for idx, cluster in enumerate(resolution.clusters):
+            print(f"  object {idx}: reference rows {sorted(cluster)}")
+    return 0
+
+
+def cmd_explain(args) -> int:
+    from repro.core.explain import explain_pair
+
+    distinct = _load_pipeline(args.db, args.models, None)
+    parts = [p.strip() for p in args.rows.split(",") if p.strip()]
+    if len(parts) != 2:
+        print("--rows needs exactly two row ids, e.g. --rows 17,42")
+        return 2
+    explanation = explain_pair(distinct, args.name, int(parts[0]), int(parts[1]))
+    print(explanation.render(k=args.top))
+    return 0
+
+
+def cmd_candidates(args) -> int:
+    from repro.core.candidates import find_ambiguous_candidates
+
+    db = _open_database(args.db)
+    candidates = find_ambiguous_candidates(
+        db, min_refs=args.min_refs, min_score=args.min_score, limit=args.limit
+    )
+    if not candidates:
+        print("no candidate ambiguous names found")
+        return 0
+    rows = [
+        [c.name, c.n_refs, c.n_components, c.score] for c in candidates
+    ]
+    print(format_table(
+        ["name", "#refs", "#context components", "score"],
+        rows,
+        title="candidate ambiguous names (structural scan)",
+        float_format="{:.2f}",
+    ))
+    return 0
+
+
+def cmd_calibrate(args) -> int:
+    from repro.ml.calibration import calibrate_min_sim
+
+    distinct = _load_pipeline(args.db, args.models, None)
+    result = calibrate_min_sim(
+        distinct, n_names=args.names, members=args.members, seed=args.seed
+    )
+    rows = [
+        [min_sim, f1] for min_sim, f1 in sorted(result.f1_by_min_sim.items())
+    ]
+    print(format_table(
+        ["min-sim", "f1 on synthetic ambiguity"],
+        rows,
+        title=(
+            f"calibration over {result.n_synthetic_names} synthetic names "
+            f"({result.members_per_name} rare names pooled each)"
+        ),
+        float_format="{:.4f}",
+    ))
+    print(f"\nbest min-sim: {result.best_min_sim}")
+    return 0
+
+
+def _ambiguous_names(db_dir: str, names_arg: str | None) -> list[str]:
+    if names_arg:
+        return [n.strip() for n in names_arg.split(",") if n.strip()]
+    saved = Path(db_dir) / AMBIGUOUS_FILE
+    if saved.exists():
+        return json.loads(saved.read_text())
+    return [spec.name for spec in TABLE1_SPEC]
+
+
+def cmd_experiment(args) -> int:
+    distinct = _load_pipeline(args.db, args.models, args.min_sim)
+    truth = load_ground_truth(args.truth)
+    names = _ambiguous_names(args.db, args.names)
+
+    preparations = prepare_names(distinct, names)
+    result = run_variant(
+        distinct,
+        preparations,
+        truth,
+        variant_by_key("distinct"),
+        distinct.config.min_sim,
+    )
+    rows = [
+        [r.name, r.n_entities, r.n_refs, r.n_clusters,
+         r.scores.precision, r.scores.recall, r.scores.f1]
+        for r in result.names
+    ]
+    rows.append(["average", "", "", "",
+                 result.avg_precision, result.avg_recall, result.avg_f1])
+    print(format_table(
+        ["name", "#entities", "#refs", "#clusters", "precision", "recall", "f1"],
+        rows, title="DISTINCT accuracy"))
+
+    if args.variants == "all":
+        results = run_experiment(distinct, truth, names, FIG4_VARIANTS)
+        labels = {v.key: v.label for v in FIG4_VARIANTS}
+        rows = [
+            [labels[key], r.min_sim, r.avg_accuracy, r.avg_f1]
+            for key, r in results.items()
+        ]
+        print()
+        print(format_table(["variant", "min-sim", "accuracy", "f1"], rows,
+                           title="variant comparison", float_format="{:.4f}"))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,122 @@
+"""The agglomerative clustering engine (§4.1).
+
+Starts from singleton clusters, repeatedly merges the most similar pair
+while that similarity is at least ``min_sim``. Similarities come from a
+:class:`ClusterMeasure`, which also knows how to merge its own aggregates
+incrementally (§4.2) — the engine never recomputes pairwise similarities
+from scratch after a merge.
+
+The best pair is tracked with a lazy-deletion max-heap: entries are
+invalidated by a per-cluster version counter instead of being removed, which
+keeps each merge O((#clusters + heap churn) log n).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.cluster.dendrogram import Dendrogram
+
+
+class ClusterMeasure(Protocol):
+    """What the engine needs from a similarity measure.
+
+    Cluster ids are opaque ints; initially ``0..n_items-1`` (singletons).
+    ``merge`` must return the id of the merged cluster and update internal
+    aggregates so subsequent ``similarity`` calls reflect the merge.
+    """
+
+    def n_items(self) -> int:
+        """Number of initial singleton clusters."""
+        ...
+
+    def similarity(self, a: int, b: int) -> float:
+        """Similarity between two active clusters (symmetric, >= 0)."""
+        ...
+
+    def merge(self, a: int, b: int, merged_id: int) -> None:
+        """Fold clusters ``a`` and ``b`` into the new cluster ``merged_id``."""
+        ...
+
+
+@dataclass
+class ClusteringResult:
+    """Flat clusters (sets of item indices) plus the merge history."""
+
+    clusters: list[set[int]]
+    dendrogram: Dendrogram
+    min_sim: float
+    merge_similarities: list[float] = field(default_factory=list)
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.clusters)
+
+    def labels(self) -> list[int]:
+        """Cluster index per item, aligned with item indices 0..n-1."""
+        out = [0] * self.dendrogram.n_leaves
+        for label, cluster in enumerate(self.clusters):
+            for item in cluster:
+                out[item] = label
+        return out
+
+
+class AgglomerativeClusterer:
+    """Runs the merge loop for a given measure and ``min_sim`` threshold.
+
+    ``min_sim`` is the paper's stopping threshold: merging continues while
+    the best pair's similarity is >= ``min_sim`` (strictly positive
+    similarities only; pairs at 0 are never merged).
+    """
+
+    def __init__(self, min_sim: float) -> None:
+        if min_sim < 0:
+            raise ValueError("min_sim must be >= 0")
+        self.min_sim = min_sim
+
+    def cluster(self, measure: ClusterMeasure) -> ClusteringResult:
+        n = measure.n_items()
+        dendrogram = Dendrogram(n_leaves=n)
+        if n == 0:
+            return ClusteringResult([], dendrogram, self.min_sim)
+
+        members: dict[int, set[int]] = {i: {i} for i in range(n)}
+        version: dict[int, int] = {i: 0 for i in range(n)}
+        heap: list[tuple[float, int, int, int, int]] = []
+
+        def push(a: int, b: int) -> None:
+            sim = measure.similarity(a, b)
+            if sim > 0.0 and sim >= self.min_sim:
+                heapq.heappush(heap, (-sim, a, b, version[a], version[b]))
+
+        active = list(members)
+        for i, a in enumerate(active):
+            for b in active[i + 1 :]:
+                push(a, b)
+
+        merge_similarities: list[float] = []
+        while heap:
+            neg_sim, a, b, va, vb = heapq.heappop(heap)
+            if version.get(a) != va or version.get(b) != vb:
+                continue  # stale entry
+            sim = -neg_sim
+            merged = dendrogram.record(a, b, sim)
+            merge_similarities.append(sim)
+            measure.merge(a, b, merged)
+            members[merged] = members.pop(a) | members.pop(b)
+            del version[a]
+            del version[b]
+            version[merged] = 0
+            for other in members:
+                if other != merged:
+                    push(merged, other)
+
+        clusters = sorted(members.values(), key=lambda s: (-len(s), min(s)))
+        return ClusteringResult(
+            clusters=clusters,
+            dendrogram=dendrogram,
+            min_sim=self.min_sim,
+            merge_similarities=merge_similarities,
+        )

@@ -1,0 +1,116 @@
+"""DISTINCT's composite cluster similarity (§4.1–§4.2).
+
+``Sim(C1, C2) = sqrt( Resem(C1, C2) * WalkProb(C1, C2) )`` where
+
+- ``Resem`` is the Average-Link set resemblance: the mean of the combined
+  (Eq 1) pair resemblances over all cross pairs, and
+- ``WalkProb`` is the collective random-walk probability: the probability of
+  walking from one cluster (entered uniformly) to the other, symmetrized::
+
+      WalkProb(C1, C2) = (W / |C1| + W / |C2|) / 2,
+      W = sum of pair walk probabilities over cross pairs
+
+Both aggregates are plain sums over cross pairs, so a merge just adds the
+children's sums (§4.2's incremental computation) — no pair similarity is
+ever recomputed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.similarity.combine import geometric_mean
+
+
+class CompositeMeasure:
+    """Incrementally maintained composite similarity over two pair matrices.
+
+    Parameters
+    ----------
+    pair_resem:
+        Symmetric matrix of combined pair set-resemblance values (Eq 1).
+    pair_walk:
+        Symmetric matrix of combined pair walk probabilities (Eq 1).
+    """
+
+    def __init__(self, pair_resem: np.ndarray, pair_walk: np.ndarray) -> None:
+        pair_resem = np.asarray(pair_resem, dtype=float)
+        pair_walk = np.asarray(pair_walk, dtype=float)
+        if pair_resem.shape != pair_walk.shape:
+            raise ValueError("resemblance and walk matrices must align")
+        if pair_resem.ndim != 2 or pair_resem.shape[0] != pair_resem.shape[1]:
+            raise ValueError("pair matrices must be square")
+        for name, matrix in (("resemblance", pair_resem), ("walk", pair_walk)):
+            if not np.allclose(matrix, matrix.T, atol=1e-9):
+                raise ValueError(f"pair {name} matrix must be symmetric")
+
+        self._n = pair_resem.shape[0]
+        self._resem_sum: dict[int, dict[int, float]] = {}
+        self._walk_sum: dict[int, dict[int, float]] = {}
+        for i in range(self._n):
+            self._resem_sum[i] = {}
+            self._walk_sum[i] = {}
+            for j in range(self._n):
+                if j == i:
+                    continue
+                if pair_resem[i, j] > 0.0:
+                    self._resem_sum[i][j] = float(pair_resem[i, j])
+                if pair_walk[i, j] > 0.0:
+                    self._walk_sum[i][j] = float(pair_walk[i, j])
+        self._size: dict[int, int] = {i: 1 for i in range(self._n)}
+
+    # -- ClusterMeasure protocol -------------------------------------------
+
+    def n_items(self) -> int:
+        return self._n
+
+    def similarity(self, a: int, b: int) -> float:
+        resem = self.average_resemblance(a, b)
+        walk = self.collective_walk_probability(a, b)
+        return geometric_mean(resem, walk)
+
+    def merge(self, a: int, b: int, merged_id: int) -> None:
+        for sums in (self._resem_sum, self._walk_sum):
+            sums_a = sums.pop(a)
+            sums_b = sums.pop(b)
+            merged: dict[int, float] = {}
+            for other in (set(sums_a) | set(sums_b)) - {a, b}:
+                value = sums_a.get(other, 0.0) + sums_b.get(other, 0.0)
+                merged[other] = value
+                other_sums = sums[other]
+                other_sums.pop(a, None)
+                other_sums.pop(b, None)
+                other_sums[merged_id] = value
+            sums[merged_id] = merged
+        self._size[merged_id] = self._size.pop(a) + self._size.pop(b)
+
+    # -- components (exposed for tests and diagnostics) ----------------------
+
+    def size(self, cluster: int) -> int:
+        return self._size[cluster]
+
+    def average_resemblance(self, a: int, b: int) -> float:
+        total = self._resem_sum[a].get(b, 0.0)
+        if total == 0.0:
+            return 0.0
+        return total / (self._size[a] * self._size[b])
+
+    def collective_walk_probability(self, a: int, b: int) -> float:
+        total = self._walk_sum[a].get(b, 0.0)
+        if total == 0.0:
+            return 0.0
+        return 0.5 * (total / self._size[a] + total / self._size[b])
+
+
+class CollectiveWalkMeasure(CompositeMeasure):
+    """Collective random-walk probability alone (the Fig-4 walk-only variant).
+
+    Reuses the composite bookkeeping with the resemblance term ignored.
+    """
+
+    def __init__(self, pair_walk: np.ndarray) -> None:
+        pair_walk = np.asarray(pair_walk, dtype=float)
+        super().__init__(np.zeros_like(pair_walk), pair_walk)
+
+    def similarity(self, a: int, b: int) -> float:
+        return self.collective_walk_probability(a, b)

@@ -1,0 +1,69 @@
+"""Merge-tree bookkeeping for agglomerative clustering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Merge:
+    """One merge event: clusters ``left`` and ``right`` became ``merged``."""
+
+    left: int
+    right: int
+    merged: int
+    similarity: float
+
+
+@dataclass
+class Dendrogram:
+    """The full merge history over ``n_leaves`` initial singleton clusters.
+
+    Leaves are clusters ``0..n_leaves-1``; merge ``k`` creates cluster
+    ``n_leaves + k``. :meth:`cut` replays the history to produce the flat
+    clustering at a similarity threshold.
+    """
+
+    n_leaves: int
+    merges: list[Merge] = field(default_factory=list)
+
+    def record(self, left: int, right: int, similarity: float) -> int:
+        merged = self.n_leaves + len(self.merges)
+        self.merges.append(Merge(left, right, merged, similarity))
+        return merged
+
+    def cut(self, min_similarity: float) -> list[set[int]]:
+        """Flat clusters (sets of leaf indices) using only merges with
+        similarity >= ``min_similarity``.
+
+        Because agglomerative merges are recorded best-first, replaying the
+        prefix above the threshold reproduces the clustering the engine
+        would have produced with that ``min_sim``.
+        """
+        members: dict[int, set[int]] = {i: {i} for i in range(self.n_leaves)}
+        for merge in self.merges:
+            if merge.similarity < min_similarity:
+                continue
+            if merge.left not in members or merge.right not in members:
+                continue  # a child was consumed by an earlier (better) merge
+            merged = members.pop(merge.left) | members.pop(merge.right)
+            members[merge.merged] = merged
+        return sorted(members.values(), key=lambda s: (-len(s), min(s)))
+
+    def cut_k(self, k: int) -> list[set[int]]:
+        """Flat clustering with exactly ``k`` clusters (if reachable)."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        members: dict[int, set[int]] = {i: {i} for i in range(self.n_leaves)}
+        for merge in self.merges:
+            if len(members) <= k:
+                break
+            if merge.left not in members or merge.right not in members:
+                continue
+            merged = members.pop(merge.left) | members.pop(merge.right)
+            members[merge.merged] = merged
+        return sorted(members.values(), key=lambda s: (-len(s), min(s)))
+
+    @property
+    def n_merges(self) -> int:
+        return len(self.merges)

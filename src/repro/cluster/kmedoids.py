@@ -1,0 +1,85 @@
+"""k-medoids (PAM) over a precomputed similarity matrix.
+
+§4.1 argues agglomerative clustering fits the reference-distinction problem
+because references live in no Euclidean space and the number of clusters is
+unknown. k-medoids is the natural strawman: it also works from pairwise
+(dis)similarities but *needs k*. The linkage ablation bench runs it with an
+oracle k (the true entity count) — and the agglomerative composite still
+wins, which is the strongest form of the paper's argument.
+
+Implementation: classic PAM — greedy BUILD initialization, then SWAP passes
+until no single medoid swap improves the total within-cluster dissimilarity.
+Deterministic given the matrix (ties broken by index).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def kmedoids(
+    similarity: np.ndarray, k: int, max_swaps: int = 200
+) -> list[set[int]]:
+    """Cluster items 0..n-1 into k groups by PAM on 1 - similarity.
+
+    ``similarity`` must be square and symmetric with values in [0, 1]-ish
+    scale; the algorithm minimizes total dissimilarity to the medoid.
+    Returns clusters sorted by (-size, min index), like the other engines.
+    """
+    similarity = np.asarray(similarity, dtype=float)
+    if similarity.ndim != 2 or similarity.shape[0] != similarity.shape[1]:
+        raise ValueError("similarity matrix must be square")
+    n = similarity.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}]")
+
+    dissim = 1.0 - similarity
+    np.fill_diagonal(dissim, 0.0)
+
+    # BUILD: first medoid minimizes total dissimilarity; each next medoid
+    # maximizes the cost reduction.
+    medoids: list[int] = [int(np.argmin(dissim.sum(axis=1)))]
+    while len(medoids) < k:
+        current = dissim[:, medoids].min(axis=1)
+        best_gain = -1.0
+        best_item = -1
+        for candidate in range(n):
+            if candidate in medoids:
+                continue
+            gain = float(np.maximum(current - dissim[:, candidate], 0.0).sum())
+            if gain > best_gain:
+                best_gain = gain
+                best_item = candidate
+        medoids.append(best_item)
+
+    def total_cost(meds: list[int]) -> float:
+        return float(dissim[:, meds].min(axis=1).sum())
+
+    # SWAP: hill-climb over single medoid replacements.
+    cost = total_cost(medoids)
+    for _ in range(max_swaps):
+        improved = False
+        for mi, medoid in enumerate(list(medoids)):
+            for candidate in range(n):
+                if candidate in medoids:
+                    continue
+                trial = list(medoids)
+                trial[mi] = candidate
+                trial_cost = total_cost(trial)
+                if trial_cost + 1e-12 < cost:
+                    medoids = trial
+                    cost = trial_cost
+                    improved = True
+        if not improved:
+            break
+
+    assignment = np.array(medoids)[np.argmin(dissim[:, medoids], axis=1)]
+    # Under ties (duplicate items, zero dissimilarity) argmin may route a
+    # medoid to another medoid's cluster; pin each medoid to itself so the
+    # result always has exactly k clusters.
+    for medoid in medoids:
+        assignment[medoid] = medoid
+    clusters: dict[int, set[int]] = {}
+    for item in range(n):
+        clusters.setdefault(int(assignment[item]), set()).add(item)
+    return sorted(clusters.values(), key=lambda c: (-len(c), min(c)))

@@ -1,0 +1,166 @@
+"""Discovery of candidate ambiguous names.
+
+The paper assumes you already know which names to distinguish ("given a set
+of references referring to multiple objects with identical names"). In
+practice a first pass must *find* them. This module ranks every name in the
+database by a cheap structural ambiguity score, without running the full
+pipeline:
+
+1. group the name's references by direct context overlap — two references
+   are linked if their papers share a coauthor key or a proceedings — via
+   union-find;
+2. a name whose references split into several sizeable context components
+   is likely ambiguous; a name forming one tight component is likely unique.
+
+The score is the probability that two random references of the name fall in
+different components (1 - sum of squared component fractions, a Gini/Simpson
+index). Single-reference names score 0.
+
+Limitations: this is a *candidate generator* — tuned for recall, filtered
+by the full pipeline. On schemas where one entity's references naturally
+fragment into disjoint contexts (e.g. the music store, where tracks on
+different albums share neither a co-credit nor a venue token) it over-flags
+single entities; the genuinely shared names still surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DistinctConfig
+from repro.reldb.database import Database
+
+
+@dataclass
+class AmbiguityCandidate:
+    """A name with its structural ambiguity evidence."""
+
+    name: str
+    n_refs: int
+    n_components: int
+    score: float  # 1 - sum (component fraction)^2, in [0, 1)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.n_refs} refs in {self.n_components} "
+            f"context components (score {self.score:.2f})"
+        )
+
+
+class _UnionFind:
+    def __init__(self, items) -> None:
+        self._parent = {item: item for item in items}
+
+    def find(self, item):
+        parent = self._parent
+        root = item
+        while parent[root] != root:
+            root = parent[root]
+        while parent[item] != root:  # path compression
+            parent[item], item = root, parent[item]
+        return root
+
+    def union(self, a, b) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[rb] = ra
+
+    def components(self) -> dict[object, set[object]]:
+        out: dict[object, set[object]] = {}
+        for item in self._parent:
+            out.setdefault(self.find(item), set()).add(item)
+        return out
+
+
+def _context_components(
+    db: Database, ref_rows: list[int], config: DistinctConfig
+) -> list[set[int]]:
+    """Union-find over references sharing a coauthor key or a proceedings."""
+    refs = db.table(config.reference_relation)
+    object_pos = refs.schema.position(config.object_key)
+    fk_attrs = [
+        a.name
+        for a in refs.schema.attributes
+        if a.kind == "fk" and a.name != config.object_key
+    ]
+    group_attr = fk_attrs[0]  # paper key in DBLP, track key in the music store
+    group_pos = refs.schema.position(group_attr)
+    group_index = db.index(config.reference_relation, group_attr)
+
+    # The group relation (Publications in DBLP): target of the grouping FK.
+    group_fk = next(
+        fk
+        for fk in db.schema.foreign_keys
+        if fk.src_relation == config.reference_relation
+        and fk.src_attribute == group_attr
+    )
+    group_table = db.table(group_fk.dst_relation)
+    group_fk_positions = [
+        group_table.schema.position(a.name)
+        for a in group_table.schema.attributes
+        if a.kind == "fk"
+    ]
+
+    uf = _UnionFind(ref_rows)
+    seen_context: dict[object, int] = {}  # context token -> first ref row
+    for row_id in ref_rows:
+        group_key = refs.row(row_id)[group_pos]
+        own_object = refs.row(row_id)[object_pos]
+        # Context tokens: the sibling object keys on the same group (the
+        # coauthors of the paper), plus the group row's own foreign keys
+        # (the paper's proceedings — a venue+year token).
+        tokens: set[object] = set()
+        for sibling in group_index.lookup(group_key):
+            other = refs.row(sibling)[object_pos]
+            if other != own_object:
+                tokens.add(("obj", other))
+        group_row_id = group_table.row_by_key(group_key)
+        if group_row_id is not None:
+            group_row = group_table.row(group_row_id)
+            for pos in group_fk_positions:
+                if group_row[pos] is not None:
+                    tokens.add(("venue", pos, group_row[pos]))
+        for token in tokens:
+            if token in seen_context:
+                uf.union(seen_context[token], row_id)
+            else:
+                seen_context[token] = row_id
+    return sorted(uf.components().values(), key=lambda c: (-len(c), min(c)))
+
+
+def find_ambiguous_candidates(
+    db: Database,
+    config: DistinctConfig | None = None,
+    min_refs: int = 5,
+    min_score: float = 0.2,
+    limit: int | None = None,
+) -> list[AmbiguityCandidate]:
+    """Rank names by structural ambiguity, most suspicious first."""
+    config = config or DistinctConfig()
+    objects = db.table(config.object_relation)
+    key_pos = objects.schema.position(config.object_key)
+    name_pos = objects.schema.position(config.name_attribute)
+    ref_index = db.index(config.reference_relation, config.object_key)
+
+    candidates: list[AmbiguityCandidate] = []
+    for row in objects.rows:
+        ref_rows = list(ref_index.lookup(row[key_pos]))
+        if len(ref_rows) < min_refs:
+            continue
+        components = _context_components(db, ref_rows, config)
+        n = len(ref_rows)
+        simpson = 1.0 - sum((len(c) / n) ** 2 for c in components)
+        if simpson < min_score:
+            continue
+        candidates.append(
+            AmbiguityCandidate(
+                name=row[name_pos],
+                n_refs=n,
+                n_components=len(components),
+                score=simpson,
+            )
+        )
+    candidates.sort(key=lambda c: (-c.score, -c.n_refs, c.name))
+    if limit is not None:
+        candidates = candidates[:limit]
+    return candidates

@@ -1,0 +1,392 @@
+"""The DISTINCT facade: fit once per database, resolve any name.
+
+``fit(db)`` implements §3: enumerate join paths, construct the training set
+automatically from rare names, compute per-pair per-path similarity
+features, and train two linear SVMs (one per measure) whose raw-space
+weights become the Eq-1 combiners.
+
+``resolve(name)`` implements §2 + §4: profile the name's references along
+every path, combine per-path similarities with the learned weights, and
+agglomeratively cluster with the composite geometric-mean measure until the
+best similarity falls below ``min_sim``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.agglomerative import AgglomerativeClusterer, ClusteringResult
+from repro.cluster.composite import CollectiveWalkMeasure, CompositeMeasure
+from repro.cluster.linkage import AverageLinkMeasure
+from repro.config import DistinctConfig
+from repro.core.features import (
+    PairFeatures,
+    all_pairs,
+    compute_pair_features,
+    pair_matrix,
+)
+from repro.core.references import exclusions_for_name, extract_references
+from repro.errors import NotFittedError
+from repro.ml.model import PathWeightModel
+from repro.ml.validation import cross_validate
+from repro.ml.svm import LinearSVM
+from repro.ml.trainingset import TrainingSet, build_training_set
+from repro.paths.enumerate import enumerate_paths
+from repro.paths.joinpath import JoinPath
+from repro.paths.profiles import ProfileBuilder
+from repro.reldb.database import Database
+from repro.similarity.combine import PathWeights, uniform_weights
+
+MEASURES = ("combined", "resemblance", "walk")
+
+
+@dataclass
+class NameResolution:
+    """The outcome of resolving one name.
+
+    ``clusters`` hold reference row ids (of the reference relation); the
+    raw pair features and combined matrices are kept for inspection,
+    evaluation, and visualization.
+    """
+
+    name: str
+    rows: list[int]
+    clusters: list[set[int]]
+    clustering: ClusteringResult | None
+    features: PairFeatures | None
+    resem_matrix: np.ndarray | None = None
+    walk_matrix: np.ndarray | None = None
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.clusters)
+
+    def labels(self) -> dict[int, int]:
+        """reference row id -> predicted cluster index."""
+        out: dict[int, int] = {}
+        for label, cluster in enumerate(self.clusters):
+            for row in cluster:
+                out[row] = label
+        return out
+
+
+@dataclass
+class FitReport:
+    """What happened during :meth:`Distinct.fit` (timings in seconds)."""
+
+    n_paths: int
+    n_training_pairs: int
+    n_rare_names: int
+    train_accuracy_resem: float
+    train_accuracy_walk: float
+    seconds_training_set: float
+    seconds_features: float
+    seconds_svm: float
+
+    @property
+    def seconds_total(self) -> float:
+        return self.seconds_training_set + self.seconds_features + self.seconds_svm
+
+
+class Distinct:
+    """The full DISTINCT methodology bound to one configuration."""
+
+    def __init__(self, config: DistinctConfig | None = None) -> None:
+        self.config = config or DistinctConfig()
+        self.db: Database | None = None
+        self.paths_: list[JoinPath] | None = None
+        self.resem_model_: PathWeightModel | None = None
+        self.walk_model_: PathWeightModel | None = None
+        self.training_set_: TrainingSet | None = None
+        self.fit_report_: FitReport | None = None
+
+    @classmethod
+    def from_models(
+        cls,
+        db: Database,
+        resem_model: PathWeightModel,
+        walk_model: PathWeightModel,
+        config: DistinctConfig | None = None,
+    ) -> "Distinct":
+        """Build a resolvable pipeline from previously trained models.
+
+        Paths are re-enumerated from the schema and the models aligned by
+        signature, so a model trained on one database instance applies to
+        any database with the same schema (e.g. a fresh DBLP load).
+        """
+        distinct = cls(config)
+        distinct.db = db
+        distinct.paths_ = enumerate_paths(
+            db.schema, distinct.config.reference_relation, distinct.config.path_config
+        )
+        distinct.resem_model_ = resem_model.align_to(distinct.paths_)
+        distinct.walk_model_ = walk_model.align_to(distinct.paths_)
+        return distinct
+
+    # -- training (§3) -----------------------------------------------------
+
+    def fit(self, db: Database) -> "Distinct":
+        """Learn per-path weights from the automatically built training set."""
+        config = self.config
+        self.db = db
+        self.paths_ = enumerate_paths(
+            db.schema, config.reference_relation, config.path_config
+        )
+
+        t0 = time.perf_counter()
+        training_set = build_training_set(
+            db,
+            n_positive=config.n_positive,
+            n_negative=config.n_negative,
+            max_token_count=config.max_token_count,
+            min_refs=config.min_refs,
+            max_refs=config.max_refs,
+            seed=config.seed,
+            reference_relation=config.reference_relation,
+            object_relation=config.object_relation,
+            object_key=config.object_key,
+            name_attribute=config.name_attribute,
+        )
+        t1 = time.perf_counter()
+
+        features = self._training_features(training_set)
+        t2 = time.perf_counter()
+
+        labels = np.asarray(training_set.labels(), dtype=float)
+        self.resem_model_, acc_resem = self._train_measure(
+            "resemblance", features.resemblance, labels
+        )
+        self.walk_model_, acc_walk = self._train_measure("walk", features.walk, labels)
+        t3 = time.perf_counter()
+
+        self.training_set_ = training_set
+        self.fit_report_ = FitReport(
+            n_paths=len(self.paths_),
+            n_training_pairs=len(training_set.pairs),
+            n_rare_names=len(training_set.rare_names),
+            train_accuracy_resem=acc_resem,
+            train_accuracy_walk=acc_walk,
+            seconds_training_set=t1 - t0,
+            seconds_features=t2 - t1,
+            seconds_svm=t3 - t2,
+        )
+        return self
+
+    def _training_features(self, training_set: TrainingSet) -> PairFeatures:
+        """Features for training pairs, routing each reference through the
+        profile builder of its own name (same exclusions as at resolve time)."""
+        assert self.db is not None and self.paths_ is not None
+        builders: dict[str, ProfileBuilder] = {}
+
+        def builder_for(name: str) -> ProfileBuilder:
+            if name not in builders:
+                builders[name] = ProfileBuilder(
+                    self.db,
+                    self.paths_,
+                    exclusions_for_name(self.db, name, self.config),
+                )
+            return builders[name]
+
+        router = _RoutedProfiles(self.paths_, {})
+        for pair in training_set.pairs:
+            router.route[pair.row_a] = builder_for(pair.name_a)
+            router.route[pair.row_b] = builder_for(pair.name_b)
+        pairs = [(p.row_a, p.row_b) for p in training_set.pairs]
+        return compute_pair_features(router, pairs)
+
+    def _train_measure(
+        self, measure: str, X: np.ndarray, labels: np.ndarray
+    ) -> tuple[PathWeightModel, float]:
+        """Train one per-measure SVM on *raw* features.
+
+        Training in raw feature space is deliberate: the learned weights are
+        used directly as the Eq-1 similarity combiners, so they must respect
+        the natural magnitude gap between strong paths (coauthor walk
+        probabilities ~1e-1) and weak ubiquitous ones (conference or year
+        overlap). Rescaling features before training and mapping weights
+        back inflates the weak paths' weights by 1/scale, which floods the
+        combined similarity with noise (see DESIGN.md §6).
+        """
+        assert self.paths_ is not None
+        cost = self.config.svm_C
+        if cost is None:
+            cost = self._select_cost(X, labels)
+        svm = self._make_svm(cost).fit(X, labels)
+        accuracy = svm.accuracy(X, labels)
+        model = PathWeightModel(
+            measure=measure,
+            signatures=[p.signature() for p in self.paths_],
+            weights=[float(w) for w in svm.weights_],
+            bias=float(svm.bias_),
+            metadata={
+                "train_accuracy": accuracy,
+                "n_train": int(len(labels)),
+                "C": cost,
+            },
+        )
+        return model, accuracy
+
+    def _make_svm(self, cost: float) -> LinearSVM:
+        return LinearSVM(
+            C=cost,
+            loss=self.config.svm_loss,
+            tol=self.config.svm_tol,
+            max_epochs=self.config.svm_max_epochs,
+            seed=self.config.seed,
+            strict=False,
+            class_weight=self.config.svm_class_weight,
+        )
+
+    def _select_cost(self, X: np.ndarray, labels: np.ndarray) -> float:
+        """Pick C by k-fold cross-validated accuracy over the config grid."""
+        best_cost = self.config.svm_C_grid[0]
+        best_score = -1.0
+        for cost in self.config.svm_C_grid:
+            result = cross_validate(
+                lambda: self._make_svm(cost),
+                X,
+                labels,
+                k=self.config.svm_cv_folds,
+                seed=self.config.seed,
+            )
+            if result["accuracy_mean"] > best_score:
+                best_score = result["accuracy_mean"]
+                best_cost = cost
+        return best_cost
+
+    # -- resolution (§2 + §4) --------------------------------------------------
+
+    def resolve(
+        self,
+        name: str,
+        min_sim: float | None = None,
+        measure: str = "combined",
+        supervised: bool = True,
+    ) -> NameResolution:
+        """Cluster the references carrying ``name``.
+
+        ``measure`` selects the cluster similarity: ``"combined"`` (the
+        DISTINCT composite), ``"resemblance"`` (Average-Link set resemblance
+        only), or ``"walk"`` (collective walk probability only) — the Fig-4
+        variants. ``supervised=False`` replaces the learned weights with
+        uniform weights over max-normalized per-path features.
+        """
+        return self.cluster_prepared(
+            self.prepare(name), min_sim=min_sim, measure=measure, supervised=supervised
+        )
+
+    def prepare(self, name: str) -> "NamePreparation":
+        """Profile a name's references and compute all pair features once.
+
+        The expensive part of resolution (propagation + per-path pair
+        similarities) does not depend on ``min_sim``, ``measure``, or the
+        supervision flag, so threshold sweeps and variant comparisons should
+        prepare once and call :meth:`cluster_prepared` repeatedly.
+        """
+        if self.db is None or self.paths_ is None:
+            raise NotFittedError("call fit(db) before prepare()")
+        refs = extract_references(self.db, name, self.config)
+        if len(refs.rows) <= 1:
+            return NamePreparation(name=name, rows=list(refs.rows), features=None)
+        builder = ProfileBuilder(
+            self.db, self.paths_, exclusions_for_name(self.db, name, self.config)
+        )
+        pairs = all_pairs(refs.rows)
+        features = compute_pair_features(builder, pairs)
+        return NamePreparation(name=name, rows=list(refs.rows), features=features)
+
+    def cluster_prepared(
+        self,
+        prep: "NamePreparation",
+        min_sim: float | None = None,
+        measure: str = "combined",
+        supervised: bool = True,
+    ) -> NameResolution:
+        """Cluster an already prepared name (see :meth:`prepare`)."""
+        if measure not in MEASURES:
+            raise ValueError(f"measure must be one of {MEASURES}")
+        if supervised and (self.resem_model_ is None or self.walk_model_ is None):
+            raise NotFittedError("supervised resolution requires a fitted model")
+        min_sim = self.config.min_sim if min_sim is None else min_sim
+
+        if prep.features is None:  # zero or one reference
+            return NameResolution(
+                name=prep.name,
+                rows=list(prep.rows),
+                clusters=[{row} for row in prep.rows],
+                clustering=None,
+                features=None,
+            )
+
+        features = prep.features
+        resem_values, walk_values = self._combined_pair_values(features, supervised)
+        resem_matrix = pair_matrix(prep.rows, features.pairs, resem_values)
+        walk_matrix = pair_matrix(prep.rows, features.pairs, walk_values)
+        cluster_measure = self._make_measure(measure, resem_matrix, walk_matrix)
+        result = AgglomerativeClusterer(min_sim=min_sim).cluster(cluster_measure)
+
+        clusters = [{prep.rows[i] for i in cluster} for cluster in result.clusters]
+        return NameResolution(
+            name=prep.name,
+            rows=list(prep.rows),
+            clusters=clusters,
+            clustering=result,
+            features=features,
+            resem_matrix=resem_matrix,
+            walk_matrix=walk_matrix,
+        )
+
+    def _combined_pair_values(
+        self, features: PairFeatures, supervised: bool
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if supervised:
+            assert self.resem_model_ is not None and self.walk_model_ is not None
+            clamp = self.config.clamp_negative_weights
+            resem_weights = self.resem_model_.align_to(features.paths).combiner(clamp)
+            walk_weights = self.walk_model_.align_to(features.paths).combiner(clamp)
+            if self.config.normalize_weights:
+                resem_weights = resem_weights.normalized()
+                walk_weights = walk_weights.normalized()
+            return features.combined(resem_weights, walk_weights)
+        # Unsupervised: uniform weights over *raw* per-path similarities.
+        # This mirrors the unweighted prior work ([1], [9]) the paper
+        # compares against, which sums raw resemblances / walk probabilities
+        # over all linkage types without learning per-path pertinence.
+        uniform = uniform_weights(len(features.paths))
+        return features.combined(uniform, uniform)
+
+    @staticmethod
+    def _make_measure(
+        measure: str, resem_matrix: np.ndarray, walk_matrix: np.ndarray
+    ):
+        if measure == "combined":
+            return CompositeMeasure(resem_matrix, walk_matrix)
+        if measure == "resemblance":
+            return AverageLinkMeasure(resem_matrix)
+        return CollectiveWalkMeasure(walk_matrix)
+
+
+@dataclass
+class NamePreparation:
+    """Cached expensive state for one name: rows + pair features.
+
+    ``features`` is None when the name has at most one reference.
+    """
+
+    name: str
+    rows: list[int]
+    features: PairFeatures | None
+
+
+class _RoutedProfiles:
+    """ProfileBuilder-compatible view routing each row to its name's builder."""
+
+    def __init__(self, paths: list[JoinPath], route: dict[int, ProfileBuilder]) -> None:
+        self.paths = paths
+        self.route = route
+
+    def profiles_for(self, row: int):
+        return self.route[row].profiles_for(row)

@@ -1,0 +1,101 @@
+"""Pair feature computation: per-join-path similarity vectors.
+
+For a pair of references, the feature vector has one set-resemblance value
+and one walk-probability value per join path — these are the inputs to the
+§3 SVM, and (combined by Eq 1) the pair similarities the clustering stage
+aggregates. Everything here is vectorized over pairs: ``resemblance`` and
+``walk`` are (n_pairs, n_paths) arrays aligned with ``pairs``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.paths.joinpath import JoinPath
+from repro.paths.profiles import ProfileBuilder
+from repro.similarity.combine import PathWeights, normalize_feature_rows
+from repro.similarity.randomwalk import walk_probability
+from repro.similarity.resemblance import set_resemblance
+
+
+@dataclass
+class PairFeatures:
+    """Per-pair, per-path similarity features.
+
+    ``pairs[k] = (row_a, row_b)``; ``resemblance[k, p]`` and ``walk[k, p]``
+    are the two measures for pair ``k`` along path ``p`` (column order =
+    ``paths`` order).
+    """
+
+    paths: list[JoinPath]
+    pairs: list[tuple[int, int]]
+    resemblance: np.ndarray
+    walk: np.ndarray
+
+    @property
+    def n_pairs(self) -> int:
+        return len(self.pairs)
+
+    def combined(
+        self, resem_weights: PathWeights, walk_weights: PathWeights
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Eq-1 combination: per-pair scalar (resemblance, walk) values."""
+        rw = np.asarray(resem_weights.weights)
+        ww = np.asarray(walk_weights.weights)
+        if len(rw) != len(self.paths) or len(ww) != len(self.paths):
+            raise ValueError("weight vectors must have one entry per path")
+        return self.resemblance @ rw, self.walk @ ww
+
+    def normalized(self) -> "PairFeatures":
+        """Per-path max-normalized copy (used by unsupervised variants)."""
+        return PairFeatures(
+            paths=self.paths,
+            pairs=self.pairs,
+            resemblance=np.asarray(normalize_feature_rows(self.resemblance.tolist())),
+            walk=np.asarray(normalize_feature_rows(self.walk.tolist())),
+        )
+
+
+def compute_pair_features(
+    builder: ProfileBuilder, pairs: list[tuple[int, int]]
+) -> PairFeatures:
+    """Compute both measures for every pair along every path of ``builder``.
+
+    Profiles are cached inside the builder, so the cost is one propagation
+    per (reference, path) plus one sparse-dict pass per (pair, path).
+    """
+    paths = builder.paths
+    resem = np.zeros((len(pairs), len(paths)))
+    walk = np.zeros((len(pairs), len(paths)))
+    for k, (row_a, row_b) in enumerate(pairs):
+        profiles_a = builder.profiles_for(row_a)
+        profiles_b = builder.profiles_for(row_b)
+        for p, path in enumerate(paths):
+            a = profiles_a[path]
+            b = profiles_b[path]
+            resem[k, p] = set_resemblance(a, b)
+            walk[k, p] = walk_probability(a, b)
+    return PairFeatures(paths=paths, pairs=list(pairs), resemblance=resem, walk=walk)
+
+
+def all_pairs(rows: list[int]) -> list[tuple[int, int]]:
+    """All unordered pairs of ``rows``, in (i < j) index order."""
+    return [
+        (rows[i], rows[j])
+        for i in range(len(rows))
+        for j in range(i + 1, len(rows))
+    ]
+
+
+def pair_matrix(
+    rows: list[int], pairs: list[tuple[int, int]], values: np.ndarray
+) -> np.ndarray:
+    """Expand condensed per-pair values into a symmetric n x n matrix."""
+    index = {row: i for i, row in enumerate(rows)}
+    matrix = np.zeros((len(rows), len(rows)))
+    for (row_a, row_b), value in zip(pairs, values):
+        i, j = index[row_a], index[row_b]
+        matrix[i, j] = matrix[j, i] = value
+    return matrix

@@ -1,0 +1,38 @@
+"""Datasets: schemas, synthetic world generation, and parsers.
+
+The paper evaluates on DBLP; with no network access this reproduction ships
+a synthetic bibliographic world generator whose linkage structure is
+calibrated to DBLP (see DESIGN.md §3), a real-DBLP XML parser for use when a
+dump is available offline, and a second music-store domain demonstrating
+that DISTINCT is schema-generic.
+"""
+
+from repro.data.dblp_schema import (
+    AUTHORS,
+    CONFERENCES,
+    PROCEEDINGS,
+    PUBLICATIONS,
+    PUBLISH,
+    dblp_schema,
+    new_dblp_database,
+    prepare_dblp_database,
+)
+from repro.data.ambiguity import AmbiguousNameSpec, TABLE1_SPEC
+from repro.data.generator import GeneratorConfig, generate_world
+from repro.data.world import World
+
+__all__ = [
+    "AUTHORS",
+    "CONFERENCES",
+    "PROCEEDINGS",
+    "PUBLICATIONS",
+    "PUBLISH",
+    "dblp_schema",
+    "new_dblp_database",
+    "prepare_dblp_database",
+    "AmbiguousNameSpec",
+    "TABLE1_SPEC",
+    "GeneratorConfig",
+    "generate_world",
+    "World",
+]

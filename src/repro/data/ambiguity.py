@@ -1,0 +1,103 @@
+"""Ambiguous-name specifications, including the paper's Table 1.
+
+An :class:`AmbiguousNameSpec` pins one shared name to a list of per-entity
+reference counts; the generator creates one author entity per count and makes
+it publish exactly that many papers. ``TABLE1_SPEC`` reproduces the ten names
+of Table 1 with the paper's (#authors, #references) exactly; the per-entity
+splits are our choice (the paper reports only totals), skewed the way real
+ambiguous names are — one or two prolific authors plus a tail.
+
+Entities flagged in ``multi_era`` collaborate with disjoint groups in
+different periods (the paper's stated recall failure: 18 references to one
+Michael Wagner in Australia were split in two). Entities in ``bridged``
+additionally share one collaborator across their eras, which gives the
+composite similarity measure a linkage to merge the eras through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class AmbiguousNameSpec:
+    """One shared name and how its references distribute over real entities.
+
+    Parameters
+    ----------
+    name:
+        The shared full name.
+    ref_counts:
+        One entry per real entity: how many references (authorship rows)
+        that entity contributes.
+    multi_era:
+        Indices into ``ref_counts`` of entities whose career has two eras
+        with distinct collaborator circles.
+    bridged:
+        Subset of ``multi_era``: entities whose eras share one bridging
+        collaborator (mergeable); multi-era entities *not* in ``bridged``
+        have fully disjoint eras (expected to split, like Michael Wagner).
+    """
+
+    name: str
+    ref_counts: tuple[int, ...]
+    multi_era: tuple[int, ...] = field(default=())
+    bridged: tuple[int, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.ref_counts:
+            raise ValueError(f"{self.name}: need at least one entity")
+        if any(count < 1 for count in self.ref_counts):
+            raise ValueError(f"{self.name}: reference counts must be positive")
+        if not set(self.multi_era) <= set(range(len(self.ref_counts))):
+            raise ValueError(f"{self.name}: multi_era indices out of range")
+        if not set(self.bridged) <= set(self.multi_era):
+            raise ValueError(f"{self.name}: bridged must be a subset of multi_era")
+
+    @property
+    def entity_count(self) -> int:
+        return len(self.ref_counts)
+
+    @property
+    def total_refs(self) -> int:
+        return sum(self.ref_counts)
+
+
+#: Table 1 of the paper: ten real DBLP names, (#authors, #references).
+TABLE1_SPEC: list[AmbiguousNameSpec] = [
+    AmbiguousNameSpec("Hui Fang", (4, 3, 2)),
+    AmbiguousNameSpec("Ajay Gupta", (6, 4, 3, 3)),
+    AmbiguousNameSpec("Joseph Hellerstein", (130, 21), multi_era=(0,), bridged=(0,)),
+    AmbiguousNameSpec("Rakesh Kumar", (20, 16)),
+    AmbiguousNameSpec("Michael Wagner", (18, 5, 3, 2, 1), multi_era=(0,)),
+    AmbiguousNameSpec("Bing Liu", (40, 20, 12, 8, 5, 4), multi_era=(0,), bridged=(0,)),
+    AmbiguousNameSpec("Jim Smith", (9, 6, 4)),
+    AmbiguousNameSpec(
+        "Lei Wang", (10, 8, 6, 5, 4, 4, 4, 3, 3, 2, 2, 2, 2), multi_era=(0,), bridged=(0,)
+    ),
+    AmbiguousNameSpec(
+        "Wei Wang",
+        (57, 31, 19, 5, 3, 3, 3, 3, 3, 3, 3, 3, 3, 2),
+        multi_era=(0, 1),
+        bridged=(0, 1),
+    ),
+    AmbiguousNameSpec("Bin Yu", (20, 10, 6, 5, 3), multi_era=(0,), bridged=(0,)),
+]
+
+#: Expected (name -> (#authors, #refs)) for Table 1 checks.
+TABLE1_EXPECTED: dict[str, tuple[int, int]] = {
+    "Hui Fang": (3, 9),
+    "Ajay Gupta": (4, 16),
+    "Joseph Hellerstein": (2, 151),
+    "Rakesh Kumar": (2, 36),
+    "Michael Wagner": (5, 29),
+    "Bing Liu": (6, 89),
+    "Jim Smith": (3, 19),
+    "Lei Wang": (13, 55),
+    "Wei Wang": (14, 141),
+    "Bin Yu": (5, 44),
+}
+
+
+def spec_by_name(specs: list[AmbiguousNameSpec]) -> dict[str, AmbiguousNameSpec]:
+    return {spec.name: spec for spec in specs}

@@ -1,0 +1,113 @@
+"""The DBLP schema of Fig 2, as a :class:`repro.reldb.Schema`.
+
+Relations (attribute kinds in parentheses)::
+
+    Authors(author_key K, name T)
+    Publish(paper_key FK, author_key FK)            # the reference relation
+    Publications(paper_key K, title T, proc_key FK)
+    Proceedings(proc_key K, conf_key FK, year V, location V)
+    Conferences(conf_key K, name T, publisher V)
+
+``Authors.name`` is deliberately ``text`` (never virtualized): the ambiguous
+name itself must not become a linkage, or every pair of same-name references
+would trivially overlap. Titles are free text with no linkage semantics.
+
+An optional ``Cites(citing FK, cited FK)`` relation models the citation
+linkage the paper mentions in §1 (Fig 2's schema omits it); it is off by
+default and studied as an ablation.
+"""
+
+from __future__ import annotations
+
+from repro.reldb.database import Database
+from repro.reldb.schema import Attribute, ForeignKey, RelationSchema, Schema
+from repro.reldb.virtual import virtualize_all
+
+AUTHORS = "Authors"
+PUBLISH = "Publish"
+PUBLICATIONS = "Publications"
+PROCEEDINGS = "Proceedings"
+CONFERENCES = "Conferences"
+CITES = "Cites"
+
+#: (relation, attribute) pairs never virtualized on the DBLP schema.
+DEFAULT_VIRTUALIZE_SKIP: set[tuple[str, str]] = set()
+
+
+def dblp_schema(with_citations: bool = False) -> Schema:
+    """Build the Fig-2 DBLP schema (optionally with a ``Cites`` relation)."""
+    schema = Schema()
+    schema.add_relation(
+        RelationSchema(
+            AUTHORS,
+            [Attribute("author_key", kind="key"), Attribute("name", kind="text")],
+        )
+    )
+    schema.add_relation(
+        RelationSchema(
+            PUBLISH,
+            [Attribute("paper_key", kind="fk"), Attribute("author_key", kind="fk")],
+        )
+    )
+    schema.add_relation(
+        RelationSchema(
+            PUBLICATIONS,
+            [
+                Attribute("paper_key", kind="key"),
+                Attribute("title", kind="text"),
+                Attribute("proc_key", kind="fk"),
+            ],
+        )
+    )
+    schema.add_relation(
+        RelationSchema(
+            PROCEEDINGS,
+            [
+                Attribute("proc_key", kind="key"),
+                Attribute("conf_key", kind="fk"),
+                Attribute("year", kind="value"),
+                Attribute("location", kind="value"),
+            ],
+        )
+    )
+    schema.add_relation(
+        RelationSchema(
+            CONFERENCES,
+            [
+                Attribute("conf_key", kind="key"),
+                Attribute("name", kind="text"),
+                Attribute("publisher", kind="value"),
+            ],
+        )
+    )
+    schema.add_foreign_key(ForeignKey(PUBLISH, "author_key", AUTHORS, "author_key"))
+    schema.add_foreign_key(ForeignKey(PUBLISH, "paper_key", PUBLICATIONS, "paper_key"))
+    schema.add_foreign_key(
+        ForeignKey(PUBLICATIONS, "proc_key", PROCEEDINGS, "proc_key")
+    )
+    schema.add_foreign_key(ForeignKey(PROCEEDINGS, "conf_key", CONFERENCES, "conf_key"))
+    if with_citations:
+        schema.add_relation(
+            RelationSchema(
+                CITES,
+                [Attribute("citing", kind="fk"), Attribute("cited", kind="fk")],
+            )
+        )
+        schema.add_foreign_key(ForeignKey(CITES, "citing", PUBLICATIONS, "paper_key"))
+        schema.add_foreign_key(ForeignKey(CITES, "cited", PUBLICATIONS, "paper_key"))
+    return schema
+
+
+def new_dblp_database(with_citations: bool = False) -> Database:
+    """An empty database over the DBLP schema."""
+    return Database(dblp_schema(with_citations=with_citations))
+
+
+def prepare_dblp_database(db: Database) -> Database:
+    """Virtualize the value attributes (year, location, publisher) of a loaded DB.
+
+    Call once after all rows are inserted and before path enumeration; returns
+    the same database for chaining.
+    """
+    virtualize_all(db, skip=DEFAULT_VIRTUALIZE_SKIP)
+    return db

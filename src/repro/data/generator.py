@@ -1,0 +1,412 @@
+"""Synthetic bibliographic world generator.
+
+Builds a DBLP-like world whose *linkage structure* carries the signals
+DISTINCT exploits on the real DBLP (see DESIGN.md §3):
+
+- research **communities**, each with its own conferences and members;
+- per-entity **collaborator circles** with heavy repeat collaboration, so
+  references to one entity overlap strongly on the coauthor join path;
+- community **hub** authors shared by many circles, so references to
+  *different* entities of one name are weakly linked too (the noise that
+  causes DISTINCT's occasional mistakes in Fig 5);
+- **multi-era** entities that switch collaborator circles mid-career — the
+  paper's stated recall failure mode (Michael Wagner) when the eras share no
+  bridge, and the motivation for the collective random-walk term when they
+  do;
+- a long tail of **rare names** that powers the automatic training-set
+  construction of §3;
+- **ambiguous names** injected exactly per an :class:`AmbiguousNameSpec`
+  list (Table 1 by default), with per-entity reference counts hit exactly.
+
+Everything is driven by one ``random.Random(seed)`` — same seed, same world.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.data.ambiguity import AmbiguousNameSpec, TABLE1_SPEC
+from repro.data.names import NameSampler
+from repro.data.world import AuthorEntity, Conference, Paper, World
+
+_PUBLISHERS = ["ACM", "IEEE", "Springer", "Elsevier", "Morgan Kaufmann"]
+
+_TOPICS = [
+    "Databases", "Data Mining", "Machine Learning", "Networks", "Theory",
+    "Graphics", "Security", "Systems", "Bioinformatics", "Vision",
+    "Robotics", "Compilers", "Architecture", "HCI", "Information Retrieval",
+    "Distributed Computing", "Algorithms", "Software Engineering",
+]
+
+_INSTITUTIONS = [
+    "Univ. of Northfield", "Southgate Tech", "Easton State Univ.",
+    "Westmere Institute", "Lakeshore Univ.", "Highland Polytechnic",
+    "Riverbend Univ.", "Stonebridge College", "Harborview Univ.",
+    "Pinecrest Institute", "Oakdale Univ.", "Summit State",
+    "Clearwater Univ.", "Ironwood Tech", "Maplewood Univ.",
+    "Granite Peak Univ.", "Silver Lake Institute", "Fairhaven Univ.",
+]
+
+_TITLE_WORDS = [
+    "efficient", "scalable", "adaptive", "incremental", "parallel",
+    "approximate", "robust", "online", "distributed", "probabilistic",
+    "mining", "learning", "indexing", "clustering", "ranking", "matching",
+    "estimation", "optimization", "analysis", "discovery", "queries",
+    "streams", "graphs", "patterns", "models", "networks", "systems",
+    "frameworks", "methods", "structures",
+]
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """World-size and behaviour knobs. Defaults give a ~10K-authorship world.
+
+    ``scale`` multiplies the three volume knobs (communities stay fixed) —
+    the scalability bench grows worlds by sweeping it.
+    """
+
+    seed: int = 7
+    n_communities: int = 16
+    regular_entities_per_community: int = 45
+    rare_entities: int = 120
+    rare_entity_papers: tuple[int, int] = (4, 8)
+    years: tuple[int, int] = (1991, 2006)
+    background_papers_per_community_year: int = 10
+    conferences_per_community: int = 3
+    shared_conferences: int = 4
+    circle_size: tuple[int, int] = (4, 9)
+    hubs_per_community: int = 3
+    p_repeat_collaborator: float = 0.78
+    p_anchor_collaborator: float = 0.65
+    p_shared_venue: float = 0.06
+    p_foreign_venue: float = 0.03
+    with_citations: bool = False
+    citations_per_paper: tuple[int, int] = (0, 6)
+    scale: float = 1.0
+
+    def scaled(self, value: int) -> int:
+        return max(1, round(value * self.scale))
+
+
+def generate_world(
+    config: GeneratorConfig | None = None,
+    specs: list[AmbiguousNameSpec] | None = None,
+) -> World:
+    """Generate a world containing the given ambiguous names (Table 1 default)."""
+    config = config or GeneratorConfig()
+    specs = TABLE1_SPEC if specs is None else specs
+    return _WorldBuilder(config, specs).build()
+
+
+class _WorldBuilder:
+    def __init__(self, config: GeneratorConfig, specs: list[AmbiguousNameSpec]) -> None:
+        self.config = config
+        self.specs = specs
+        self.rng = random.Random(config.seed)
+        self.names = NameSampler(self.rng)
+        self.world = World(ambiguous_names=[spec.name for spec in specs])
+        self._taken_names: set[str] = {spec.name for spec in specs}
+        # community id -> member entity ids / hub entity ids / conference ids
+        self._members: dict[int, list[int]] = {}
+        self._hubs: dict[int, list[int]] = {}
+        self._confs: dict[int, list[int]] = {}
+        self._shared_confs: list[int] = []
+        self._productivity: dict[int, float] = {}
+        self._circles: dict[int, list[int]] = {}  # regular/rare entity -> circle
+
+    # -- top level ----------------------------------------------------------
+
+    def build(self) -> World:
+        self._make_conferences()
+        self._make_regular_entities()
+        self._make_rare_entities()
+        ambiguous = self._make_ambiguous_entities()
+        self._make_background_papers()
+        self._make_rare_papers()
+        self._make_ambiguous_papers(ambiguous)
+        if self.config.with_citations:
+            self._make_citations()
+        return self.world
+
+    # -- structure ----------------------------------------------------------
+
+    def _make_conferences(self) -> None:
+        cfg = self.config
+        for community in range(cfg.n_communities):
+            topic = _TOPICS[community % len(_TOPICS)]
+            self._confs[community] = []
+            for k in range(cfg.conferences_per_community):
+                conf_id = len(self.world.conferences)
+                self.world.conferences.append(
+                    Conference(
+                        conf_id=conf_id,
+                        name=f"Intl Conf on {topic} {k + 1}",
+                        community=community,
+                        publisher=self.rng.choice(_PUBLISHERS),
+                    )
+                )
+                self._confs[community].append(conf_id)
+        for k in range(cfg.shared_conferences):
+            conf_id = len(self.world.conferences)
+            self.world.conferences.append(
+                Conference(
+                    conf_id=conf_id,
+                    name=f"General CS Conference {k + 1}",
+                    community=-1,
+                    publisher=self.rng.choice(_PUBLISHERS),
+                )
+            )
+            self._shared_confs.append(conf_id)
+
+    def _new_entity(self, name: str, kind: str, communities: tuple[int, ...]) -> int:
+        entity_id = len(self.world.entities)
+        # One affiliation per era: institutions cluster by community (people
+        # in one research community concentrate at a few places), with a
+        # deterministic per-entity spread (no RNG draw: the stream, and with
+        # it every generated world, must not depend on this cosmetic field).
+        institutions = tuple(
+            _INSTITUTIONS[(2 * c + entity_id % 2) % len(_INSTITUTIONS)]
+            for c in communities
+        )
+        self.world.entities.append(
+            AuthorEntity(
+                entity_id=entity_id,
+                name=name,
+                kind=kind,
+                communities=communities,
+                institutions=institutions,
+            )
+        )
+        return entity_id
+
+    def _make_regular_entities(self) -> None:
+        cfg = self.config
+        per_comm = cfg.scaled(cfg.regular_entities_per_community)
+        for community in range(cfg.n_communities):
+            members: list[int] = []
+            for rank in range(per_comm):
+                name = self.names.sample_common()
+                # Avoid accidentally re-creating an ambiguous or rare name.
+                while name.full in self._taken_names:
+                    name = self.names.sample_common()
+                entity_id = self._new_entity(name.full, "regular", (community,))
+                members.append(entity_id)
+                self._productivity[entity_id] = 1.0 / (1 + rank) ** 0.4
+            self._members[community] = members
+            self._hubs[community] = members[: cfg.hubs_per_community]
+            for entity_id in members:
+                self._circles[entity_id] = self._sample_circle(
+                    community, exclude={entity_id}
+                )
+
+    def _make_rare_entities(self) -> None:
+        cfg = self.config
+        for _ in range(cfg.scaled(cfg.rare_entities)):
+            name = self.names.sample_rare_unique(self._taken_names)
+            community = self.rng.randrange(cfg.n_communities)
+            entity_id = self._new_entity(name.full, "rare", (community,))
+            self._members[community].append(entity_id)
+            self._productivity[entity_id] = 0.3
+            self._circles[entity_id] = self._sample_circle(community, exclude={entity_id})
+
+    def _make_ambiguous_entities(self) -> list[tuple[AmbiguousNameSpec, int, list[int]]]:
+        """Create ambiguous entities; return (spec, index-in-spec, entity ids)."""
+        cfg = self.config
+        out: list[tuple[AmbiguousNameSpec, int, list[int]]] = []
+        for spec in self.specs:
+            entity_ids: list[int] = []
+            offset = self.rng.randrange(cfg.n_communities)
+            for idx in range(spec.entity_count):
+                community = (offset + idx) % cfg.n_communities
+                if idx in spec.multi_era:
+                    second = (community + cfg.n_communities // 2 + idx) % cfg.n_communities
+                    communities: tuple[int, ...] = (community, second)
+                else:
+                    communities = (community,)
+                entity_id = self._new_entity(spec.name, "ambiguous", communities)
+                entity_ids.append(entity_id)
+            out.append((spec, 0, entity_ids))
+        return out
+
+    def _sample_circle(
+        self, community: int, exclude: set[int], include_hub: bool = True
+    ) -> list[int]:
+        cfg = self.config
+        members = [
+            m
+            for m in self._members[community]
+            if m not in exclude and self.world.entity(m).kind == "regular"
+        ]
+        size = min(self.rng.randint(*cfg.circle_size), len(members))
+        weights = [self._productivity[m] for m in members]
+        circle: list[int] = []
+        while len(circle) < size and members:
+            pick = self.rng.choices(members, weights=weights)[0]
+            position = members.index(pick)
+            members.pop(position)
+            weights.pop(position)
+            circle.append(pick)
+        if include_hub:
+            hubs = [h for h in self._hubs[community] if h not in exclude]
+            if hubs and not set(hubs) & set(circle):
+                circle.append(self.rng.choice(hubs))
+        return circle
+
+    # -- papers ---------------------------------------------------------------
+
+    def _add_paper(self, year: int, conf_id: int, authors: list[int]) -> int:
+        paper_id = len(self.world.papers)
+        words = self.rng.sample(_TITLE_WORDS, k=4)
+        title = f"{' '.join(words)} #{paper_id}"
+        # De-duplicate authors while keeping order (a hub may be drawn twice).
+        unique: list[int] = []
+        for author in authors:
+            if author not in unique:
+                unique.append(author)
+        self.world.papers.append(
+            Paper(
+                paper_id=paper_id,
+                title=title,
+                year=year,
+                conf_id=conf_id,
+                author_entity_ids=tuple(unique),
+            )
+        )
+        return paper_id
+
+    def _venue_for(self, community: int) -> int:
+        cfg = self.config
+        roll = self.rng.random()
+        if self._shared_confs and roll < cfg.p_shared_venue:
+            return self.rng.choice(self._shared_confs)
+        if roll < cfg.p_shared_venue + cfg.p_foreign_venue:
+            other = self.rng.randrange(cfg.n_communities)
+            return self.rng.choice(self._confs[other])
+        return self.rng.choice(self._confs[community])
+
+    def _make_background_papers(self) -> None:
+        cfg = self.config
+        per_year = cfg.scaled(cfg.background_papers_per_community_year)
+        year_lo, year_hi = cfg.years
+        for community in range(cfg.n_communities):
+            regulars = [
+                m
+                for m in self._members[community]
+                if self.world.entity(m).kind == "regular"
+            ]
+            weights = [self._productivity[m] for m in regulars]
+            for year in range(year_lo, year_hi + 1):
+                for _ in range(per_year):
+                    lead = self.rng.choices(regulars, weights=weights)[0]
+                    authors = [lead] + self._pick_coauthors(
+                        lead, self._circles[lead], community
+                    )
+                    self._add_paper(year, self._venue_for(community), authors)
+
+    def _pick_coauthors(
+        self, lead: int, circle: list[int], community: int
+    ) -> list[int]:
+        cfg = self.config
+        count = self.rng.choices([1, 2, 3, 4], weights=[30, 40, 20, 10])[0]
+        # Core circle members (the front of the list) collaborate far more
+        # often — real coauthor distributions are heavily skewed, and this
+        # skew is exactly the signal the coauthor join path picks up.
+        circle_weights = [1.0 / (1 + rank) ** 0.8 for rank in range(len(circle))]
+        picks: list[int] = []
+        # The anchor collaborator (advisor / main co-PI) joins most papers;
+        # without it, authors with 2-5 papers would often share no coauthor
+        # across their own papers and be unresolvable in principle.
+        if circle and self.rng.random() < cfg.p_anchor_collaborator:
+            picks.append(circle[0])
+        for _ in range(count):
+            if circle and self.rng.random() < cfg.p_repeat_collaborator:
+                picks.append(self.rng.choices(circle, weights=circle_weights)[0])
+            else:
+                pool = self._members[community]
+                picks.append(self.rng.choice(pool))
+        return [p for p in picks if p != lead]
+
+    def _make_rare_papers(self) -> None:
+        cfg = self.config
+        year_lo, year_hi = cfg.years
+        for entity in self.world.entities:
+            if entity.kind != "rare":
+                continue
+            community = entity.communities[0]
+            n_papers = self.rng.randint(*cfg.rare_entity_papers)
+            start = self.rng.randint(year_lo, max(year_lo, year_hi - 6))
+            for _ in range(n_papers):
+                year = min(year_hi, start + self.rng.randint(0, 6))
+                authors = [entity.entity_id] + self._pick_coauthors(
+                    entity.entity_id, self._circles[entity.entity_id], community
+                )
+                self._add_paper(year, self._venue_for(community), authors)
+
+    def _make_ambiguous_papers(
+        self, ambiguous: list[tuple[AmbiguousNameSpec, int, list[int]]]
+    ) -> None:
+        cfg = self.config
+        year_lo, year_hi = cfg.years
+        for spec, _, entity_ids in ambiguous:
+            for idx, entity_id in enumerate(entity_ids):
+                entity = self.world.entity(entity_id)
+                ref_count = spec.ref_counts[idx]
+                eras = self._career_eras(entity, idx in spec.multi_era)
+                circles = self._era_circles(entity, idx in spec.bridged)
+                for k in range(ref_count):
+                    era = 0 if len(eras) == 1 or k < ref_count // 2 else 1
+                    community = entity.communities[min(era, len(entity.communities) - 1)]
+                    year = self.rng.randint(*eras[era])
+                    authors = [entity_id] + self._pick_coauthors(
+                        entity_id, circles[era], community
+                    )
+                    if len(authors) == 1:  # never emit an unresolvable solo paper
+                        authors.append(self.rng.choice(circles[era]))
+                    self._add_paper(year, self._venue_for(community), authors)
+
+    def _career_eras(
+        self, entity: AuthorEntity, multi_era: bool
+    ) -> list[tuple[int, int]]:
+        year_lo, year_hi = self.config.years
+        if not multi_era:
+            span = self.rng.randint(4, 8)
+            start = self.rng.randint(year_lo, max(year_lo, year_hi - span))
+            return [(start, min(year_hi, start + span))]
+        mid = (year_lo + year_hi) // 2
+        return [(year_lo, mid), (mid + 1, year_hi)]
+
+    def _era_circles(self, entity: AuthorEntity, bridged: bool) -> list[list[int]]:
+        first = self._sample_circle(entity.communities[0], exclude={entity.entity_id})
+        if len(entity.communities) == 1:
+            return [first]
+        second = self._sample_circle(
+            entity.communities[1], exclude={entity.entity_id} | set(first)
+        )
+        if bridged and first:
+            # The bridge is a *core* collaborator of both eras (front of the
+            # circle = heavily weighted in coauthor picks): it is the linkage
+            # the collective random-walk term needs to merge the two eras.
+            second.insert(0, first[0])
+        return [first, second]
+
+    # -- citations (optional) --------------------------------------------------
+
+    def _make_citations(self) -> None:
+        cfg = self.config
+        by_community: dict[int, list[Paper]] = {}
+        for paper in self.world.papers:
+            conf = self.world.conferences[paper.conf_id]
+            by_community.setdefault(conf.community, []).append(paper)
+        for paper in self.world.papers:
+            conf = self.world.conferences[paper.conf_id]
+            pool = [
+                p
+                for p in by_community.get(conf.community, [])
+                if p.year < paper.year
+            ]
+            if not pool:
+                continue
+            count = self.rng.randint(*cfg.citations_per_paper)
+            cited = {self.rng.choice(pool).paper_id for _ in range(count)}
+            paper.citations = tuple(sorted(cited))

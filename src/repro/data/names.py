@@ -1,0 +1,181 @@
+"""Name pools and the frequency model behind rare-name detection.
+
+The automatic training-set construction of §3 rests on one observation: a
+name whose first *and* last parts are both rare is very likely unique. The
+generator therefore needs a name distribution with a realistic head/tail
+shape, and the library needs a way to measure token rarity **from the data
+itself** (not from the generator's pools — the real DBLP pipeline has no
+pools to consult).
+
+``COMMON_GIVEN`` / ``COMMON_SURNAMES`` are weighted heads (drawn with
+Zipf-like weights); ``RARE_GIVEN`` / ``RARE_SURNAMES`` are tails used both by
+the generator's long-tail sampling and to mint guaranteed-unique names.
+
+:class:`NameFrequencyModel` computes token frequencies over the actual
+author table and classifies names as rare — this is what
+:mod:`repro.ml.trainingset` uses.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+from dataclasses import dataclass
+import random
+
+COMMON_GIVEN: list[str] = [
+    "Wei", "Jian", "Lei", "Ming", "Hui", "Bin", "Bing", "Jun", "Li", "Yan",
+    "Xin", "Hong", "Feng", "Yu", "Hao", "Chen", "Dong", "Gang", "Ning", "Tao",
+    "John", "Michael", "David", "James", "Robert", "William", "Richard",
+    "Thomas", "Mark", "Charles", "Steven", "Paul", "Andrew", "Peter", "Kevin",
+    "Brian", "George", "Edward", "Ronald", "Anthony", "Daniel", "Matthew",
+    "Maria", "Anna", "Laura", "Susan", "Linda", "Karen", "Helen", "Sandra",
+    "Rakesh", "Ajay", "Anil", "Sanjay", "Vijay", "Ravi", "Amit", "Sunil",
+    "Raj", "Arun", "Hiroshi", "Takeshi", "Kenji", "Yuki", "Satoshi",
+    "Hans", "Klaus", "Jurgen", "Wolfgang", "Dieter", "Pierre", "Jean",
+    "Michel", "Alain", "Marco", "Paolo", "Giuseppe", "Carlos", "Jose",
+    "Juan", "Luis", "Miguel", "Ivan", "Sergey", "Dmitri", "Andrei",
+    "Jim", "Joseph", "Frank", "Henry", "Jack", "Larry", "Scott", "Eric",
+    "Stephen", "Gary", "Jeffrey", "Gregory", "Patrick", "Dennis", "Walter",
+]
+
+COMMON_SURNAMES: list[str] = [
+    "Wang", "Li", "Zhang", "Liu", "Chen", "Yang", "Huang", "Zhao", "Wu",
+    "Zhou", "Xu", "Sun", "Ma", "Zhu", "Hu", "Guo", "He", "Lin", "Gao",
+    "Luo", "Smith", "Johnson", "Williams", "Brown", "Jones", "Miller",
+    "Davis", "Garcia", "Rodriguez", "Wilson", "Martinez", "Anderson",
+    "Taylor", "Thomas", "Moore", "Jackson", "Martin", "Lee", "Thompson",
+    "White", "Harris", "Clark", "Lewis", "Robinson", "Walker", "Young",
+    "Allen", "King", "Wright", "Hill", "Kumar", "Gupta", "Sharma", "Singh",
+    "Patel", "Mehta", "Agarwal", "Rao", "Reddy", "Iyer", "Tanaka", "Suzuki",
+    "Takahashi", "Watanabe", "Ito", "Yamamoto", "Nakamura", "Kobayashi",
+    "Mueller", "Schmidt", "Schneider", "Fischer", "Weber", "Meyer",
+    "Wagner", "Becker", "Schulz", "Hoffmann", "Martin", "Bernard", "Dubois",
+    "Moreau", "Laurent", "Rossi", "Russo", "Ferrari", "Esposito", "Bianchi",
+    "Fernandez", "Gonzalez", "Lopez", "Perez", "Sanchez", "Ivanov", "Petrov",
+    "Fang", "Yu", "Liu", "Han", "Pei", "Lu", "Lin", "Shi", "Song", "Jiang",
+]
+
+RARE_GIVEN: list[str] = [
+    "Aldric", "Bartholomew", "Casimir", "Dashiell", "Eleazar", "Fitzgerald",
+    "Gideon", "Hyacinth", "Ignatius", "Jericho", "Kazimierz", "Leopold",
+    "Montgomery", "Nikodem", "Octavian", "Peregrine", "Quentin", "Rutherford",
+    "Sigmund", "Thaddeus", "Ulysses", "Valentin", "Wendelin", "Xenophon",
+    "Yevgeni", "Zebulon", "Anselm", "Benedikt", "Cornelius", "Dagobert",
+    "Eberhard", "Friedhelm", "Gotthold", "Hieronymus", "Isidor", "Jolyon",
+    "Kasimir", "Lysander", "Meinhard", "Nepomuk", "Oswin", "Parsifal",
+    "Quirin", "Reinhold", "Siegbert", "Theobald", "Urban", "Volkmar",
+    "Wilhelmine", "Xaviera", "Yolanda", "Zinaida", "Apollonia", "Brunhilde",
+    "Crescentia", "Dorothea", "Eulalia", "Friederike", "Gertraud",
+    "Hildegard", "Iphigenia", "Jocasta", "Kunigunde", "Leocadia",
+    "Melisande", "Notburga", "Ottilie", "Perpetua", "Quiteria", "Rosalinde",
+    "Scholastica", "Theodelinde", "Ursulina", "Veridiana", "Walburga",
+    "Xanthippe", "Ysolde", "Zenobia", "Ambrosius", "Balthasar",
+]
+
+RARE_SURNAMES: list[str] = [
+    "Abercrombie", "Ballantyne", "Cholmondeley", "Dunsworth", "Etherington",
+    "Featherstone", "Goldsworthy", "Hollingberry", "Inglethorpe",
+    "Jellicoe", "Kingscote", "Liversidge", "Mortlake", "Netherwood",
+    "Oglethorpe", "Postlethwaite", "Quarrington", "Ravenscroft",
+    "Satterthwaite", "Thistlethwaite", "Umfreville", "Vavasour",
+    "Winterbourne", "Xylander", "Yarborough", "Zellweger", "Ashgrove",
+    "Blackwood", "Carfax", "Dravenmoor", "Eastgate", "Fernsby", "Grimsditch",
+    "Hartsook", "Ironmonger", "Jessop", "Kestrel", "Loxley", "Midwinter",
+    "Nighswander", "Onslow", "Pemberton", "Quillfeather", "Rivenhall",
+    "Silverlock", "Tredwell", "Underhill", "Villiers", "Wetherby",
+    "Yewdale", "Zouche", "Ainsworth", "Birtwistle", "Culpepper",
+    "Dankworth", "Entwistle", "Fazakerley", "Garrickson", "Haverford",
+    "Illingworth", "Juxon", "Kirkbride", "Lanyon", "Mompesson",
+    "Nethercott", "Ollerenshaw", "Pilkington", "Quennell", "Rampling",
+    "Sacheverell", "Tattershall", "Urquhart", "Venables", "Wolstenholme",
+    "Yeardley", "Zephaniah", "Arkwright", "Bragnall", "Crowhurst",
+]
+
+
+def zipf_weights(n: int, exponent: float = 1.1) -> list[float]:
+    """Zipf-like weights for ranks 1..n (head tokens are much more common)."""
+    return [1.0 / (rank**exponent) for rank in range(1, n + 1)]
+
+
+@dataclass(frozen=True)
+class PersonName:
+    """A first/last name pair; ``full`` is the display form used in the DB."""
+
+    first: str
+    last: str
+
+    @property
+    def full(self) -> str:
+        return f"{self.first} {self.last}"
+
+    @classmethod
+    def parse(cls, full: str) -> "PersonName":
+        """Split a full name into (first, last) at the final space."""
+        first, _, last = full.rpartition(" ")
+        if not first:
+            return cls(first="", last=last)
+        return cls(first=first, last=last)
+
+
+class NameSampler:
+    """Draws names from the weighted common pools / uniform rare pools."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        self._given_weights = zipf_weights(len(COMMON_GIVEN))
+        self._surname_weights = zipf_weights(len(COMMON_SURNAMES))
+
+    def sample_common(self) -> PersonName:
+        first = self._rng.choices(COMMON_GIVEN, weights=self._given_weights)[0]
+        last = self._rng.choices(COMMON_SURNAMES, weights=self._surname_weights)[0]
+        return PersonName(first, last)
+
+    def sample_rare_unique(self, taken: set[str]) -> PersonName:
+        """A rare-token name not yet in ``taken`` (updates ``taken``)."""
+        while True:
+            name = PersonName(
+                self._rng.choice(RARE_GIVEN), self._rng.choice(RARE_SURNAMES)
+            )
+            if name.full not in taken:
+                taken.add(name.full)
+                return name
+
+
+class NameFrequencyModel:
+    """Token frequencies over an observed set of author names.
+
+    ``is_rare(name)`` implements the §3 heuristic: both the first token and
+    the last token of the name occur at most ``max_token_count`` times across
+    all author names.
+    """
+
+    def __init__(self, full_names: Iterable[str], max_token_count: int = 2) -> None:
+        self.max_token_count = max_token_count
+        self.first_counts: Counter[str] = Counter()
+        self.last_counts: Counter[str] = Counter()
+        for full in full_names:
+            name = PersonName.parse(full)
+            self.first_counts[name.first] += 1
+            self.last_counts[name.last] += 1
+
+    def first_frequency(self, name: str | PersonName) -> int:
+        name = name if isinstance(name, PersonName) else PersonName.parse(name)
+        return self.first_counts[name.first]
+
+    def last_frequency(self, name: str | PersonName) -> int:
+        name = name if isinstance(name, PersonName) else PersonName.parse(name)
+        return self.last_counts[name.last]
+
+    def is_rare(self, name: str | PersonName) -> bool:
+        name = name if isinstance(name, PersonName) else PersonName.parse(name)
+        if not name.first:
+            return False
+        return (
+            self.first_counts[name.first] <= self.max_token_count
+            and self.last_counts[name.last] <= self.max_token_count
+        )
+
+    def rare_names(self, full_names: Iterable[str]) -> list[str]:
+        """The subset of ``full_names`` classified rare, order preserved."""
+        return [full for full in full_names if self.is_rare(full)]

@@ -1,0 +1,218 @@
+"""The synthetic world model and its conversion to a relational database.
+
+A :class:`World` is the generator's output: author *entities* (real people),
+conferences, and papers with entity-level author lists. Converting it to a
+:class:`~repro.reldb.Database` collapses entities to *names* exactly the way
+DBLP does — the ``Authors`` table has one row per distinct name, and every
+authorship row of an ambiguous name points at the same ``Authors`` row. The
+conversion also emits the :class:`GroundTruth` (publish row -> entity id)
+that evaluation scores against; on real DBLP this is the hand-labeled data
+of §5, here it is exact by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.dblp_schema import (
+    AUTHORS,
+    CITES,
+    CONFERENCES,
+    PROCEEDINGS,
+    PUBLICATIONS,
+    PUBLISH,
+    new_dblp_database,
+    prepare_dblp_database,
+)
+from repro.reldb.database import Database
+
+
+@dataclass
+class AuthorEntity:
+    """One real person. ``kind`` is 'regular', 'rare', or 'ambiguous'.
+
+    ``institutions`` holds one affiliation per career era (the paper's
+    Fig 5 labels each author box with the current affiliation).
+    """
+
+    entity_id: int
+    name: str
+    kind: str
+    communities: tuple[int, ...] = ()
+    institutions: tuple[str, ...] = ()
+
+
+@dataclass
+class Conference:
+    conf_id: int
+    name: str
+    community: int
+    publisher: str
+
+
+@dataclass
+class Paper:
+    paper_id: int
+    title: str
+    year: int
+    conf_id: int
+    author_entity_ids: tuple[int, ...]
+    citations: tuple[int, ...] = ()  # cited paper ids (optional)
+
+
+@dataclass
+class World:
+    """Everything the generator produced, before relational flattening."""
+
+    entities: list[AuthorEntity] = field(default_factory=list)
+    conferences: list[Conference] = field(default_factory=list)
+    papers: list[Paper] = field(default_factory=list)
+    ambiguous_names: list[str] = field(default_factory=list)
+
+    def entity(self, entity_id: int) -> AuthorEntity:
+        return self.entities[entity_id]
+
+    def entities_named(self, name: str) -> list[AuthorEntity]:
+        return [e for e in self.entities if e.name == name]
+
+    def papers_of(self, entity_id: int) -> list[Paper]:
+        return [p for p in self.papers if entity_id in p.author_entity_ids]
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "entities": len(self.entities),
+            "distinct_names": len({e.name for e in self.entities}),
+            "conferences": len(self.conferences),
+            "papers": len(self.papers),
+            "authorships": sum(len(p.author_entity_ids) for p in self.papers),
+        }
+
+
+@dataclass
+class GroundTruth:
+    """Entity labels for every authorship row, plus handy name indexes."""
+
+    #: publish row id -> author entity id
+    entity_of_row: dict[int, int]
+    #: full name -> Authors row id
+    author_row_of_name: dict[str, int]
+    #: full name -> publish row ids carrying that name
+    rows_of_name: dict[str, list[int]]
+    #: entity id -> display label (affiliation), best effort
+    entity_labels: dict[int, str] = field(default_factory=dict)
+
+    def clusters_for(self, name: str) -> dict[int, set[int]]:
+        """Gold clustering of one name: entity id -> set of publish rows."""
+        clusters: dict[int, set[int]] = {}
+        for row in self.rows_of_name.get(name, []):
+            clusters.setdefault(self.entity_of_row[row], set()).add(row)
+        return clusters
+
+    def label_list(self, rows: list[int]) -> list[int]:
+        """Entity label per row, aligned with ``rows``."""
+        return [self.entity_of_row[row] for row in rows]
+
+
+def world_to_database(
+    world: World, with_citations: bool = False, prepared: bool = True
+) -> tuple[Database, GroundTruth]:
+    """Flatten a :class:`World` into the DBLP schema.
+
+    Entities collapse to names; proceedings are created per (conference,
+    year) pair actually used. Returns the database (virtualized when
+    ``prepared``) and the ground truth.
+    """
+    db = new_dblp_database(with_citations=with_citations)
+
+    author_row_of_name: dict[str, int] = {}
+    next_author_key = 0
+    for entity in world.entities:
+        if entity.name in author_row_of_name:
+            continue
+        db.insert(AUTHORS, (next_author_key, entity.name))
+        author_row_of_name[entity.name] = next_author_key
+        next_author_key += 1
+
+    for conf in world.conferences:
+        db.insert(CONFERENCES, (conf.conf_id, conf.name, conf.publisher))
+
+    proc_key_of: dict[tuple[int, int], int] = {}
+    locations = _LOCATIONS
+    for paper in world.papers:
+        pair = (paper.conf_id, paper.year)
+        if pair not in proc_key_of:
+            proc_key = len(proc_key_of)
+            location = locations[(paper.conf_id * 7 + paper.year) % len(locations)]
+            db.insert(PROCEEDINGS, (proc_key, paper.conf_id, paper.year, location))
+            proc_key_of[pair] = proc_key
+
+    entity_of_row: dict[int, int] = {}
+    rows_of_name: dict[str, list[int]] = {}
+    for paper in world.papers:
+        db.insert(
+            PUBLICATIONS,
+            (paper.paper_id, paper.title, proc_key_of[(paper.conf_id, paper.year)]),
+        )
+        for entity_id in paper.author_entity_ids:
+            entity = world.entity(entity_id)
+            author_key = author_row_of_name[entity.name]
+            row = db.insert(PUBLISH, (paper.paper_id, author_key))
+            entity_of_row[row] = entity_id
+            rows_of_name.setdefault(entity.name, []).append(row)
+
+    if with_citations:
+        for paper in world.papers:
+            for cited in paper.citations:
+                db.insert(CITES, (paper.paper_id, cited))
+
+    db.check_integrity()
+    if prepared:
+        prepare_dblp_database(db)
+    truth = GroundTruth(
+        entity_of_row=entity_of_row,
+        author_row_of_name=author_row_of_name,
+        rows_of_name=rows_of_name,
+        entity_labels={
+            e.entity_id: " / ".join(e.institutions)
+            for e in world.entities
+            if e.institutions
+        },
+    )
+    return db, truth
+
+
+def save_ground_truth(truth: GroundTruth, path) -> None:
+    """Serialize a :class:`GroundTruth` to JSON (keys stored as strings)."""
+    import json
+    from pathlib import Path
+
+    payload = {
+        "entity_of_row": {str(k): v for k, v in truth.entity_of_row.items()},
+        "author_row_of_name": truth.author_row_of_name,
+        "rows_of_name": truth.rows_of_name,
+        "entity_labels": {str(k): v for k, v in truth.entity_labels.items()},
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_ground_truth(path) -> GroundTruth:
+    """Inverse of :func:`save_ground_truth`."""
+    import json
+    from pathlib import Path
+
+    payload = json.loads(Path(path).read_text())
+    return GroundTruth(
+        entity_of_row={int(k): v for k, v in payload["entity_of_row"].items()},
+        author_row_of_name=dict(payload["author_row_of_name"]),
+        rows_of_name={k: list(v) for k, v in payload["rows_of_name"].items()},
+        entity_labels={
+            int(k): v for k, v in payload.get("entity_labels", {}).items()
+        },
+    )
+
+
+_LOCATIONS = [
+    "San Jose", "Athens", "Hong Kong", "Seattle", "Paris", "Tokyo", "Sydney",
+    "Berlin", "Toronto", "Madrid", "Rome", "Cairo", "Mumbai", "Santiago",
+    "Vienna", "Singapore", "Boston", "Edinburgh", "Beijing", "Vancouver",
+]

@@ -1,0 +1,45 @@
+"""Evaluation: clustering metrics, the multi-name experiment harness,
+table/figure reporting, and Fig-5 style visualization."""
+
+from repro.eval.metrics import (
+    ClusterScores,
+    bcubed_scores,
+    pairwise_scores,
+)
+from repro.eval.experiment import (
+    ExperimentResult,
+    NameResult,
+    run_experiment,
+    run_variant,
+    sweep_min_sim,
+)
+from repro.eval.reporting import format_table, format_bar_chart
+from repro.eval.visualize import (
+    cluster_context,
+    render_clusters_context,
+    render_clusters_dot,
+    render_clusters_text,
+)
+from repro.eval.persistence import (
+    load_experiment_results,
+    save_experiment_results,
+)
+
+__all__ = [
+    "ClusterScores",
+    "pairwise_scores",
+    "bcubed_scores",
+    "NameResult",
+    "ExperimentResult",
+    "run_experiment",
+    "run_variant",
+    "sweep_min_sim",
+    "format_table",
+    "format_bar_chart",
+    "render_clusters_text",
+    "render_clusters_dot",
+    "render_clusters_context",
+    "cluster_context",
+    "save_experiment_results",
+    "load_experiment_results",
+]

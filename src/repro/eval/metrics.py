@@ -1,0 +1,127 @@
+"""Clustering quality metrics.
+
+The paper (§5) scores a predicted clustering ``C'`` against the gold
+clustering ``C`` with pairwise precision / recall / f-measure:
+
+- TP = pairs of references together in both C and C'
+- FP = pairs together in C' but not in C
+- FN = pairs together in C but not in C'
+- precision = TP/(TP+FP), recall = TP/(TP+FN), f = harmonic mean.
+
+B-cubed precision/recall is provided as a supplementary metric (not in the
+paper) because pairwise scores over-weight large clusters.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ClusterScores:
+    """Precision / recall / f-measure (plus raw pair counts and, for the
+    pairwise metric, pair-level accuracy — Fig 4 reports both accuracy and
+    f-measure)."""
+
+    precision: float
+    recall: float
+    f1: float
+    accuracy: float = 0.0
+    tp: int = 0
+    fp: int = 0
+    fn: int = 0
+
+    def __str__(self) -> str:
+        return f"p={self.precision:.3f} r={self.recall:.3f} f={self.f1:.3f}"
+
+
+def _labelings(
+    predicted: Iterable[Iterable[Hashable]], gold: Iterable[Iterable[Hashable]]
+) -> tuple[dict[Hashable, int], dict[Hashable, int]]:
+    pred_label: dict[Hashable, int] = {}
+    for label, cluster in enumerate(predicted):
+        for item in cluster:
+            if item in pred_label:
+                raise ValueError(f"item {item!r} appears in two predicted clusters")
+            pred_label[item] = label
+    gold_label: dict[Hashable, int] = {}
+    for label, cluster in enumerate(gold):
+        for item in cluster:
+            if item in gold_label:
+                raise ValueError(f"item {item!r} appears in two gold clusters")
+            gold_label[item] = label
+    if set(pred_label) != set(gold_label):
+        raise ValueError("predicted and gold clusterings cover different items")
+    return pred_label, gold_label
+
+
+def pairwise_scores(
+    predicted: Iterable[Iterable[Hashable]], gold: Iterable[Iterable[Hashable]]
+) -> ClusterScores:
+    """§5 pairwise precision / recall / f-measure.
+
+    Computed in O(n + #clusters^2) via the contingency table rather than by
+    enumerating all pairs.
+    """
+    pred_label, gold_label = _labelings(predicted, gold)
+
+    # Contingency counts: (pred cluster, gold cluster) -> size.
+    joint: dict[tuple[int, int], int] = {}
+    pred_sizes: dict[int, int] = {}
+    gold_sizes: dict[int, int] = {}
+    for item, p_label in pred_label.items():
+        g_label = gold_label[item]
+        joint[(p_label, g_label)] = joint.get((p_label, g_label), 0) + 1
+        pred_sizes[p_label] = pred_sizes.get(p_label, 0) + 1
+        gold_sizes[g_label] = gold_sizes.get(g_label, 0) + 1
+
+    pairs = lambda n: n * (n - 1) // 2
+    tp = sum(pairs(n) for n in joint.values())
+    pred_pairs = sum(pairs(n) for n in pred_sizes.values())
+    gold_pairs = sum(pairs(n) for n in gold_sizes.values())
+    fp = pred_pairs - tp
+    fn = gold_pairs - tp
+
+    precision = tp / pred_pairs if pred_pairs else 1.0
+    recall = tp / gold_pairs if gold_pairs else 1.0
+    f1 = (
+        2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    )
+    total_pairs = pairs(len(pred_label))
+    tn = total_pairs - tp - fp - fn
+    accuracy = (tp + tn) / total_pairs if total_pairs else 1.0
+    return ClusterScores(precision, recall, f1, accuracy=accuracy, tp=tp, fp=fp, fn=fn)
+
+
+def bcubed_scores(
+    predicted: Iterable[Iterable[Hashable]], gold: Iterable[Iterable[Hashable]]
+) -> ClusterScores:
+    """B-cubed precision / recall / f-measure (per-item averaged)."""
+    pred_label, gold_label = _labelings(predicted, gold)
+
+    joint: dict[tuple[int, int], int] = {}
+    pred_sizes: dict[int, int] = {}
+    gold_sizes: dict[int, int] = {}
+    for item, p_label in pred_label.items():
+        g_label = gold_label[item]
+        joint[(p_label, g_label)] = joint.get((p_label, g_label), 0) + 1
+        pred_sizes[p_label] = pred_sizes.get(p_label, 0) + 1
+        gold_sizes[g_label] = gold_sizes.get(g_label, 0) + 1
+
+    n = len(pred_label)
+    if n == 0:
+        return ClusterScores(1.0, 1.0, 1.0)
+    precision = sum(
+        count * count / pred_sizes[p] for (p, _), count in joint.items()
+    ) / n
+    recall = sum(count * count / gold_sizes[g] for (_, g), count in joint.items()) / n
+    f1 = (
+        2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    )
+    return ClusterScores(precision, recall, f1)
+
+
+def cluster_count_error(predicted, gold) -> int:
+    """|#predicted clusters - #gold clusters| (diagnostic)."""
+    return abs(len(list(predicted)) - len(list(gold)))

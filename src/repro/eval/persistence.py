@@ -1,0 +1,78 @@
+"""JSON persistence of experiment results.
+
+Benches and CI runs archive their :class:`ExperimentResult` objects so runs
+can be diffed across commits; the CLI's ``experiment`` command consumes the
+same format.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.eval.experiment import ExperimentResult, NameResult
+from repro.eval.metrics import ClusterScores
+
+
+def experiment_result_to_dict(result: ExperimentResult) -> dict:
+    return {
+        "variant_key": result.variant_key,
+        "min_sim": result.min_sim,
+        "names": [
+            {
+                "name": r.name,
+                "n_refs": r.n_refs,
+                "n_entities": r.n_entities,
+                "n_clusters": r.n_clusters,
+                "precision": r.scores.precision,
+                "recall": r.scores.recall,
+                "f1": r.scores.f1,
+                "accuracy": r.scores.accuracy,
+                "tp": r.scores.tp,
+                "fp": r.scores.fp,
+                "fn": r.scores.fn,
+            }
+            for r in result.names
+        ],
+        "avg_precision": result.avg_precision,
+        "avg_recall": result.avg_recall,
+        "avg_f1": result.avg_f1,
+        "avg_accuracy": result.avg_accuracy,
+    }
+
+
+def experiment_result_from_dict(payload: dict) -> ExperimentResult:
+    result = ExperimentResult(
+        variant_key=payload["variant_key"], min_sim=payload["min_sim"]
+    )
+    for entry in payload["names"]:
+        result.names.append(
+            NameResult(
+                name=entry["name"],
+                n_refs=entry["n_refs"],
+                n_entities=entry["n_entities"],
+                n_clusters=entry["n_clusters"],
+                scores=ClusterScores(
+                    precision=entry["precision"],
+                    recall=entry["recall"],
+                    f1=entry["f1"],
+                    accuracy=entry.get("accuracy", 0.0),
+                    tp=entry.get("tp", 0),
+                    fp=entry.get("fp", 0),
+                    fn=entry.get("fn", 0),
+                ),
+            )
+        )
+    return result
+
+
+def save_experiment_results(
+    results: dict[str, ExperimentResult], path: str | Path
+) -> None:
+    payload = {key: experiment_result_to_dict(r) for key, r in results.items()}
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_experiment_results(path: str | Path) -> dict[str, ExperimentResult]:
+    payload = json.loads(Path(path).read_text())
+    return {key: experiment_result_from_dict(p) for key, p in payload.items()}

@@ -1,0 +1,103 @@
+"""Plain-text rendering of tables and bar charts for the benches.
+
+The benchmark harness regenerates every table and figure of the paper as
+text: tables via :func:`format_table`, Fig 4 via :func:`format_bar_chart`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render an aligned ASCII table."""
+    rendered_rows = [
+        [
+            float_format.format(cell) if isinstance(cell, float) else str(cell)
+            for cell in row
+        ]
+        for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in rendered_rows)
+    return "\n".join(out)
+
+
+def format_xy_chart(
+    points: Sequence[tuple[float, float]],
+    title: str | None = None,
+    width: int = 60,
+    height: int = 12,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render an ASCII scatter/line chart of (x, y) points.
+
+    Used for threshold-sweep curves (precision/recall vs min-sim). Points
+    are plotted on a character grid; x positions follow the *rank* of x
+    values (sweeps are usually log-spaced), y is linear in [min, max].
+    """
+    if not points:
+        return title or ""
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    y_lo, y_hi = min(ys), max(ys)
+    span = y_hi - y_lo or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    order = sorted(range(len(points)), key=lambda i: xs[i])
+    for rank, idx in enumerate(order):
+        col = round(rank * (width - 1) / max(1, len(points) - 1))
+        row = height - 1 - round((ys[idx] - y_lo) / span * (height - 1))
+        grid[row][col] = "*"
+
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(f"{y_label} in [{y_lo:.3f}, {y_hi:.3f}]")
+    for row in grid:
+        out.append("|" + "".join(row))
+    out.append("+" + "-" * width)
+    out.append(
+        f" {x_label}: {min(xs):g} .. {max(xs):g} (rank-scaled, {len(points)} points)"
+    )
+    return "\n".join(out)
+
+
+def format_bar_chart(
+    items: Sequence[tuple[str, float]],
+    title: str | None = None,
+    width: int = 50,
+    value_format: str = "{:.3f}",
+) -> str:
+    """Render a horizontal ASCII bar chart (values assumed in [0, 1])."""
+    label_width = max((len(label) for label, _ in items), default=0)
+    out: list[str] = []
+    if title:
+        out.append(title)
+    for label, value in items:
+        clamped = min(max(value, 0.0), 1.0)
+        bar = "#" * round(clamped * width)
+        out.append(
+            f"{label.ljust(label_width)}  {value_format.format(value)}  {bar}"
+        )
+    return "\n".join(out)

@@ -1,0 +1,182 @@
+"""Fig-5 style visualization of a resolved name.
+
+The paper draws each real Wei Wang as a gray box of references with arrows
+marking DISTINCT's mistakes. The text renderer prints one block per
+*predicted* cluster with its gold-entity composition, then an error summary
+(splits = one entity spread over several clusters, merges = one cluster
+mixing several entities). A Graphviz DOT export is also provided.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.distinct import NameResolution
+from repro.data.world import GroundTruth
+
+
+def _entity_composition(
+    resolution: NameResolution, truth: GroundTruth
+) -> list[Counter]:
+    """Per predicted cluster: Counter(entity id -> #refs)."""
+    return [
+        Counter(truth.entity_of_row[row] for row in cluster)
+        for cluster in resolution.clusters
+    ]
+
+
+def render_clusters_text(resolution: NameResolution, truth: GroundTruth) -> str:
+    """One block per predicted cluster plus a split/merge error summary."""
+    composition = _entity_composition(resolution, truth)
+    gold = truth.clusters_for(resolution.name)
+    clusters_of_entity: dict[int, list[int]] = {}
+    for idx, counter in enumerate(composition):
+        for entity in counter:
+            clusters_of_entity.setdefault(entity, []).append(idx)
+
+    lines = [
+        f"{resolution.name}: {len(resolution.rows)} references, "
+        f"{len(gold)} real entities, {resolution.n_clusters} predicted clusters",
+        "",
+    ]
+    labels = truth.entity_labels
+    for idx, counter in enumerate(composition):
+        total = sum(counter.values())
+        majority, majority_count = counter.most_common(1)[0]
+        purity = majority_count / total
+        parts = ", ".join(
+            f"entity {entity} x{count}" for entity, count in counter.most_common()
+        )
+        flag = "" if len(counter) == 1 else "   <-- MERGED entities"
+        affiliation = labels.get(majority)
+        where = f" @ {affiliation}" if affiliation else ""
+        lines.append(
+            f"  cluster {idx:>2} ({total:>3} refs, purity {purity:.2f}): [{parts}]{where}{flag}"
+        )
+
+    splits = {
+        entity: idxs for entity, idxs in clusters_of_entity.items() if len(idxs) > 1
+    }
+    merges = [idx for idx, counter in enumerate(composition) if len(counter) > 1]
+    lines.append("")
+    if not splits and not merges:
+        lines.append("  perfect resolution: no splits, no merges")
+    else:
+        for entity, idxs in sorted(splits.items()):
+            lines.append(
+                f"  SPLIT: entity {entity} ({len(gold[entity])} refs) spread over "
+                f"clusters {idxs}"
+            )
+        for idx in merges:
+            entities = sorted(composition[idx])
+            lines.append(f"  MERGE: cluster {idx} mixes entities {entities}")
+    return "\n".join(lines)
+
+
+def cluster_context(
+    db,
+    resolution: NameResolution,
+    cluster: set[int],
+    config=None,
+    top: int = 3,
+) -> dict:
+    """Human-readable context of one predicted cluster.
+
+    Returns the cluster's most frequent coauthor names, venues, and year
+    span — the information the paper's Fig 5 annotates each gray box with
+    (affiliation stands in for it on real data).
+    """
+    from repro.config import DistinctConfig
+
+    config = config or DistinctConfig()
+    refs = db.table(config.reference_relation)
+    objects = db.table(config.object_relation)
+    object_pos = refs.schema.position(config.object_key)
+    name_pos = objects.schema.position(config.name_attribute)
+    object_key_pos = objects.schema.position(config.object_key)
+
+    fk_attrs = [
+        a.name
+        for a in refs.schema.attributes
+        if a.kind == "fk" and a.name != config.object_key
+    ]
+    group_attr = fk_attrs[0]
+    group_pos = refs.schema.position(group_attr)
+    group_index = db.index(config.reference_relation, group_attr)
+    group_fk = next(
+        fk
+        for fk in db.schema.foreign_keys
+        if fk.src_relation == config.reference_relation
+        and fk.src_attribute == group_attr
+    )
+    group_table = db.table(group_fk.dst_relation)
+
+    name_of_key = {
+        row[object_key_pos]: row[name_pos] for row in objects.rows
+    }
+    coauthors: Counter[str] = Counter()
+    venues: Counter[object] = Counter()
+    years: list[int] = []
+    for row_id in cluster:
+        row = refs.row(row_id)
+        group_key = row[group_pos]
+        for sibling in group_index.lookup(group_key):
+            other = refs.row(sibling)[object_pos]
+            if other != row[object_pos]:
+                coauthors[name_of_key[other]] += 1
+        group_row_id = group_table.row_by_key(group_key)
+        if group_row_id is not None:
+            group_row = group_table.as_dict(group_row_id)
+            for attr, value in group_row.items():
+                if attr.startswith("proc") and value is not None:
+                    venues[value] += 1
+                if attr == "year" and isinstance(value, int):
+                    years.append(value)
+    return {
+        "top_coauthors": coauthors.most_common(top),
+        "top_venues": venues.most_common(top),
+        "year_span": (min(years), max(years)) if years else None,
+    }
+
+
+def render_clusters_context(
+    resolution: NameResolution, truth: GroundTruth, db, config=None, top: int = 3
+) -> str:
+    """Fig-5 rendering enriched with each cluster's real context."""
+    base = render_clusters_text(resolution, truth)
+    lines = [base, "", "cluster contexts:"]
+    for idx, cluster in enumerate(resolution.clusters):
+        context = cluster_context(db, resolution, cluster, config=config, top=top)
+        names = ", ".join(f"{n} (x{c})" for n, c in context["top_coauthors"])
+        lines.append(f"  cluster {idx:>2}: frequent collaborators: {names or '-'}")
+    return "\n".join(lines)
+
+
+def render_clusters_dot(resolution: NameResolution, truth: GroundTruth) -> str:
+    """Graphviz DOT: one subgraph box per predicted cluster, nodes colored by
+    gold entity (same fill color = same real person)."""
+    palette = [
+        "lightblue", "lightyellow", "lightpink", "lightgreen", "lavender",
+        "mistyrose", "honeydew", "lightcyan", "wheat", "thistle",
+        "palegreen", "khaki", "lightsalmon", "powderblue",
+    ]
+    entity_ids = sorted({truth.entity_of_row[row] for row in resolution.rows})
+    color_of = {
+        entity: palette[i % len(palette)] for i, entity in enumerate(entity_ids)
+    }
+    lines = [
+        "graph distinct {",
+        f'  label="{resolution.name}";',
+        "  node [shape=box, style=filled];",
+    ]
+    for idx, cluster in enumerate(resolution.clusters):
+        lines.append(f"  subgraph cluster_{idx} {{")
+        lines.append(f'    label="cluster {idx}";')
+        for row in sorted(cluster):
+            entity = truth.entity_of_row[row]
+            lines.append(
+                f'    r{row} [label="ref {row}", fillcolor={color_of[entity]}];'
+            )
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines)

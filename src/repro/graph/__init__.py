@@ -1,0 +1,23 @@
+"""Graph views of the resolution problem.
+
+Builds networkx graphs from the pipeline's pair similarities: the
+*reference similarity graph* of one name (nodes = references, weighted
+edges = combined similarity) for analysis and visualization, plus a
+transitive-closure baseline (connected components above a threshold) that
+the paper's agglomerative clustering is compared against.
+"""
+
+from repro.graph.refgraph import (
+    connected_component_clusters,
+    reference_graph,
+    similarity_histogram,
+)
+from repro.graph.coauthors import coauthor_graph, shared_coauthor_count
+
+__all__ = [
+    "reference_graph",
+    "connected_component_clusters",
+    "similarity_histogram",
+    "coauthor_graph",
+    "shared_coauthor_count",
+]

@@ -1,0 +1,67 @@
+"""Coauthor graph utilities over the DBLP-style schema.
+
+A lightweight, direct view of the linkage DISTINCT's strongest path
+exploits: the bipartite authorship structure collapsed into an author
+co-occurrence graph. Used for dataset diagnostics (community structure,
+hub authors) and by the candidate-discovery heuristic.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.config import DistinctConfig
+from repro.reldb.database import Database
+
+
+def coauthor_graph(
+    db: Database, config: DistinctConfig | None = None
+) -> nx.Graph:
+    """Author-key co-occurrence graph: an edge per coauthored paper.
+
+    Edge attribute ``count`` is the number of papers the two author keys
+    share; node attribute ``name`` carries the author name.
+    """
+    config = config or DistinctConfig()
+    refs = db.table(config.reference_relation)
+    objects = db.table(config.object_relation)
+    key_pos = objects.schema.position(config.object_key)
+    name_pos = objects.schema.position(config.name_attribute)
+
+    # Group authorship rows by paper (the non-object FK of the reference
+    # relation) — schema-generically: the first fk attribute that is not the
+    # object key.
+    fk_attrs = [
+        a.name
+        for a in refs.schema.attributes
+        if a.kind == "fk" and a.name != config.object_key
+    ]
+    if not fk_attrs:
+        raise ValueError("reference relation has no grouping foreign key")
+    group_pos = refs.schema.position(fk_attrs[0])
+    object_pos = refs.schema.position(config.object_key)
+
+    by_group: dict[object, list[object]] = {}
+    for row in refs.rows:
+        by_group.setdefault(row[group_pos], []).append(row[object_pos])
+
+    graph = nx.Graph()
+    for row in objects.rows:
+        graph.add_node(row[key_pos], name=row[name_pos])
+    for members in by_group.values():
+        unique = sorted(set(members))
+        for i in range(len(unique)):
+            for j in range(i + 1, len(unique)):
+                u, v = unique[i], unique[j]
+                if graph.has_edge(u, v):
+                    graph[u][v]["count"] += 1
+                else:
+                    graph.add_edge(u, v, count=1)
+    return graph
+
+
+def shared_coauthor_count(graph: nx.Graph, a: object, b: object) -> int:
+    """Number of common neighbors of two author keys."""
+    if a not in graph or b not in graph:
+        return 0
+    return len(set(graph.neighbors(a)) & set(graph.neighbors(b)))

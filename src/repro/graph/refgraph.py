@@ -1,0 +1,74 @@
+"""The reference similarity graph of one name.
+
+Nodes are reference rows; an edge carries the combined pair similarity
+(geometric mean of combined resemblance and walk probability — the same
+quantity the clustering engine thresholds). Connected components above a
+threshold give the transitive-closure baseline: the simplest conceivable
+grouping rule, equivalent to Single-Link clustering cut at the threshold.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.core.distinct import NameResolution
+from repro.similarity.combine import geometric_mean
+
+
+def reference_graph(resolution: NameResolution) -> nx.Graph:
+    """Build the weighted similarity graph from a resolved name.
+
+    Requires a resolution carrying pair matrices (i.e. a name with >= 2
+    references resolved through the normal pipeline).
+    """
+    if resolution.resem_matrix is None or resolution.walk_matrix is None:
+        raise ValueError("resolution carries no pair matrices")
+    graph = nx.Graph()
+    graph.add_nodes_from(resolution.rows)
+    rows = resolution.rows
+    for i in range(len(rows)):
+        for j in range(i + 1, len(rows)):
+            weight = geometric_mean(
+                float(resolution.resem_matrix[i, j]),
+                float(resolution.walk_matrix[i, j]),
+            )
+            if weight > 0.0:
+                graph.add_edge(rows[i], rows[j], weight=weight)
+    return graph
+
+
+def connected_component_clusters(
+    graph: nx.Graph, min_sim: float
+) -> list[set[int]]:
+    """Transitive-closure baseline: components of edges >= ``min_sim``.
+
+    Equivalent to Single-Link agglomerative clustering stopped at
+    ``min_sim`` — kept as an independent implementation so the two can be
+    cross-checked in tests.
+    """
+    kept = nx.Graph()
+    kept.add_nodes_from(graph.nodes)
+    kept.add_edges_from(
+        (u, v)
+        for u, v, data in graph.edges(data=True)
+        if data.get("weight", 0.0) >= min_sim
+    )
+    return sorted(
+        (set(c) for c in nx.connected_components(kept)),
+        key=lambda c: (-len(c), min(c)),
+    )
+
+
+def similarity_histogram(
+    graph: nx.Graph, bins: int = 10
+) -> list[tuple[float, float, int]]:
+    """(bin_lo, bin_hi, count) histogram of positive edge weights."""
+    weights = [data["weight"] for _, _, data in graph.edges(data=True)]
+    if not weights:
+        return []
+    counts, edges = np.histogram(weights, bins=bins)
+    return [
+        (float(edges[i]), float(edges[i + 1]), int(counts[i]))
+        for i in range(len(counts))
+    ]

@@ -1,0 +1,151 @@
+"""Automatic min-sim calibration from synthetic ambiguity.
+
+The paper reports a fixed min-sim but not how it was chosen. This module
+makes the choice automatic, with the same spirit as §3's training-set trick:
+*pretend* that k rare names (assumed unique, §3) are one shared name by
+pooling their references, resolve the pooled set, and score against the
+known grouping. Sweeping the threshold over many such synthetic ambiguous
+names and picking the f-maximizing value calibrates min-sim with zero
+manual labels.
+
+The pooled references are profiled with the union of the member names'
+exclusions, exactly as a genuinely shared name would be.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.distinct import Distinct, NamePreparation
+from repro.core.features import all_pairs, compute_pair_features
+from repro.core.references import extract_references
+from repro.errors import NotFittedError, TrainingError
+from repro.eval.metrics import pairwise_scores
+from repro.ml.trainingset import build_training_set
+from repro.paths.profiles import ProfileBuilder
+
+DEFAULT_GRID: tuple[float, ...] = (
+    0.001, 0.002, 0.004, 0.006, 0.008, 0.012, 0.02, 0.03, 0.05,
+)
+
+
+@dataclass
+class SyntheticName:
+    """One pooled pseudo-ambiguous name: rows + their true grouping."""
+
+    member_names: tuple[str, ...]
+    rows: list[int]
+    gold: list[set[int]]
+
+
+@dataclass
+class CalibrationResult:
+    """Outcome of :func:`calibrate_min_sim`."""
+
+    best_min_sim: float
+    f1_by_min_sim: dict[float, float]
+    n_synthetic_names: int
+    members_per_name: int
+    details: list[SyntheticName] = field(default_factory=list, repr=False)
+
+
+def make_synthetic_names(
+    distinct: Distinct,
+    n_names: int = 20,
+    members: int = 3,
+    min_refs: int = 3,
+    max_refs: int = 25,
+    seed: int = 0,
+) -> list[SyntheticName]:
+    """Sample pseudo-ambiguous names by pooling rare names' references."""
+    if distinct.db is None:
+        raise NotFittedError("fit the pipeline before calibrating")
+    config = distinct.config
+    training = build_training_set(
+        distinct.db,
+        n_positive=1,
+        n_negative=1,
+        max_token_count=config.max_token_count,
+        min_refs=min_refs,
+        max_refs=max_refs,
+        seed=seed,
+        reference_relation=config.reference_relation,
+        object_relation=config.object_relation,
+        object_key=config.object_key,
+        name_attribute=config.name_attribute,
+    )
+    rare_names = training.rare_names
+    if len(rare_names) < members:
+        raise TrainingError(
+            f"only {len(rare_names)} rare names available; need >= {members}"
+        )
+
+    rng = random.Random(seed)
+    synthetic: list[SyntheticName] = []
+    for _ in range(n_names):
+        chosen = tuple(rng.sample(rare_names, members))
+        rows: list[int] = []
+        gold: list[set[int]] = []
+        for name in chosen:
+            refs = extract_references(distinct.db, name, config)
+            rows.extend(refs.rows)
+            gold.append(set(refs.rows))
+        synthetic.append(SyntheticName(chosen, sorted(rows), gold))
+    return synthetic
+
+
+def prepare_synthetic(distinct: Distinct, synthetic: SyntheticName) -> NamePreparation:
+    """Profile a pooled pseudo-name with the union of member exclusions."""
+    assert distinct.db is not None and distinct.paths_ is not None
+    config = distinct.config
+    excluded_rows: set[int] = set()
+    for name in synthetic.member_names:
+        refs = extract_references(distinct.db, name, config)
+        excluded_rows.update(refs.object_rows)
+    builder = ProfileBuilder(
+        distinct.db,
+        distinct.paths_,
+        {config.object_relation: frozenset(excluded_rows)},
+    )
+    features = compute_pair_features(builder, all_pairs(synthetic.rows))
+    return NamePreparation(
+        name="+".join(synthetic.member_names), rows=synthetic.rows, features=features
+    )
+
+
+def calibrate_min_sim(
+    distinct: Distinct,
+    grid: tuple[float, ...] = DEFAULT_GRID,
+    n_names: int = 20,
+    members: int = 3,
+    seed: int = 0,
+) -> CalibrationResult:
+    """Pick the f-maximizing min-sim over synthetic ambiguous names.
+
+    Uses the already-fitted supervised models and the composite measure —
+    the exact configuration that will run at resolve time.
+    """
+    synthetic = make_synthetic_names(
+        distinct, n_names=n_names, members=members, seed=seed
+    )
+    preparations = [(s, prepare_synthetic(distinct, s)) for s in synthetic]
+
+    f1_by_min_sim: dict[float, float] = {}
+    for min_sim in grid:
+        scores = []
+        for syn, prep in preparations:
+            resolution = distinct.cluster_prepared(prep, min_sim=min_sim)
+            scores.append(pairwise_scores(resolution.clusters, syn.gold).f1)
+        f1_by_min_sim[min_sim] = float(np.mean(scores))
+
+    best = max(f1_by_min_sim, key=f1_by_min_sim.get)
+    return CalibrationResult(
+        best_min_sim=best,
+        f1_by_min_sim=f1_by_min_sim,
+        n_synthetic_names=n_names,
+        members_per_name=members,
+        details=synthetic,
+    )

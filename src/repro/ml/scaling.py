@@ -1,0 +1,96 @@
+"""Feature standardization, with back-mapping of linear weights to raw scale.
+
+Per-path similarity features live on wildly different scales (a coauthor
+resemblance can be 0.5 while a 7-hop walk probability is 1e-4), so the SVM
+trains on standardized features. Because the model is linear, the learned
+weights translate exactly back to the raw feature space::
+
+    w . (x - mu) / sigma + b  ==  (w / sigma) . x + (b - sum(w * mu / sigma))
+
+which is what :meth:`StandardScaler.raw_linear_model` returns — the clustering
+stage then works with raw similarities directly (Eq 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NotFittedError
+
+
+class MaxAbsScaler:
+    """Column-wise x / max|x| scaler (no centering).
+
+    This is the scaler the DISTINCT pipeline trains through: because there
+    is no mean shift, a linear model on scaled features maps back to raw
+    space as a pure reweighting (``w_raw = w / max``) with *unchanged* bias —
+    so the Eq-1 similarity combination ``sum_P w(P) * Sim_P`` keeps its
+    semantics. With z-score standardization the compensating mean-shift ends
+    up in the bias, which Eq 1 drops, and near-constant high-valued paths
+    (e.g. shared publication years) would swamp the combined similarity.
+    """
+
+    def __init__(self) -> None:
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X) -> "MaxAbsScaler":
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-dimensional")
+        scale = np.abs(X).max(axis=0)
+        scale[scale == 0.0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self.scale_ is None:
+            raise NotFittedError("fit the scaler before transform")
+        return np.asarray(X, dtype=float) / self.scale_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def raw_linear_model(
+        self, weights: np.ndarray, bias: float
+    ) -> tuple[np.ndarray, float]:
+        """Map a linear model on scaled features back to raw feature space."""
+        if self.scale_ is None:
+            raise NotFittedError("fit the scaler first")
+        return np.asarray(weights, dtype=float) / self.scale_, float(bias)
+
+
+class StandardScaler:
+    """Column-wise (x - mean) / std scaler; zero-variance columns pass through."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X) -> "StandardScaler":
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-dimensional")
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        std[std == 0.0] = 1.0  # constant columns: pass through unscaled
+        self.scale_ = std
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("fit the scaler before transform")
+        X = np.asarray(X, dtype=float)
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def raw_linear_model(
+        self, weights: np.ndarray, bias: float
+    ) -> tuple[np.ndarray, float]:
+        """Map a linear model on scaled features back to raw feature space."""
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("fit the scaler first")
+        raw_weights = np.asarray(weights, dtype=float) / self.scale_
+        raw_bias = float(bias - np.sum(raw_weights * self.mean_))
+        return raw_weights, raw_bias

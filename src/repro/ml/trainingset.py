@@ -1,0 +1,152 @@
+"""Automatic training-set construction (§3 of the paper).
+
+No manual labels: in most applications the majority of entities have
+distinct names, and a name with a rare first *and* rare last token is very
+likely unique. Pairs of references to one such name are positive (equivalent)
+examples; pairs of references to two different rare names are negative
+(distinct) examples. The paper draws 1000 of each from DBLP.
+
+The construction is schema-generic: it needs the relation holding the
+references, the relation holding the named objects, and the name attribute —
+defaults match the DBLP schema.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.data.names import NameFrequencyModel
+from repro.errors import TrainingError
+from repro.reldb.database import Database
+
+
+@dataclass(frozen=True)
+class TrainingPair:
+    """A labeled pair of reference rows; +1 = equivalent, -1 = distinct."""
+
+    row_a: int
+    row_b: int
+    name_a: str
+    name_b: str
+    label: int
+
+    def __post_init__(self) -> None:
+        if self.label not in (-1, 1):
+            raise ValueError("label must be -1 or +1")
+
+
+@dataclass
+class TrainingSet:
+    """The automatically constructed pairs, plus provenance."""
+
+    pairs: list[TrainingPair]
+    rare_names: list[str]
+    params: dict = field(default_factory=dict)
+
+    def labels(self) -> list[int]:
+        return [pair.label for pair in self.pairs]
+
+    @property
+    def n_positive(self) -> int:
+        return sum(1 for p in self.pairs if p.label == 1)
+
+    @property
+    def n_negative(self) -> int:
+        return sum(1 for p in self.pairs if p.label == -1)
+
+    def names_used(self) -> set[str]:
+        return {p.name_a for p in self.pairs} | {p.name_b for p in self.pairs}
+
+
+def build_training_set(
+    db: Database,
+    n_positive: int = 1000,
+    n_negative: int = 1000,
+    max_token_count: int = 2,
+    min_refs: int = 2,
+    max_refs: int = 30,
+    seed: int = 0,
+    reference_relation: str = "Publish",
+    object_relation: str = "Authors",
+    object_key: str = "author_key",
+    name_attribute: str = "name",
+) -> TrainingSet:
+    """Build the §3 training set from the database itself.
+
+    Raises
+    ------
+    TrainingError
+        If the database has no usable rare names (fewer than two rare names
+        with at least ``min_refs`` references each).
+    """
+    rng = random.Random(seed)
+    objects = db.table(object_relation)
+    names = objects.column(name_attribute)
+    freq = NameFrequencyModel(names, max_token_count=max_token_count)
+
+    ref_index = db.index(reference_relation, object_key)
+    key_pos = objects.schema.position(object_key)
+
+    refs_of_rare_name: dict[str, list[int]] = {}
+    for row_id, row in enumerate(objects.rows):
+        name = row[objects.schema.position(name_attribute)]
+        if not freq.is_rare(name):
+            continue
+        refs = ref_index.lookup(row[key_pos])
+        if min_refs <= len(refs) <= max_refs:
+            refs_of_rare_name[name] = list(refs)
+
+    rare_names = sorted(refs_of_rare_name)
+    if len(rare_names) < 2:
+        raise TrainingError(
+            f"found only {len(rare_names)} rare names with >= {min_refs} "
+            f"references; cannot build positive and negative examples"
+        )
+
+    positive_pool: list[TrainingPair] = []
+    for name in rare_names:
+        refs = refs_of_rare_name[name]
+        for i in range(len(refs)):
+            for j in range(i + 1, len(refs)):
+                positive_pool.append(
+                    TrainingPair(refs[i], refs[j], name, name, label=1)
+                )
+    if not positive_pool:
+        raise TrainingError("no positive pairs available from rare names")
+    if len(positive_pool) > n_positive:
+        positives = rng.sample(positive_pool, n_positive)
+    else:
+        positives = list(positive_pool)
+
+    negatives: list[TrainingPair] = []
+    seen: set[tuple[int, int]] = set()
+    attempts = 0
+    max_attempts = 50 * n_negative
+    while len(negatives) < n_negative and attempts < max_attempts:
+        attempts += 1
+        name_a, name_b = rng.sample(rare_names, 2)
+        row_a = rng.choice(refs_of_rare_name[name_a])
+        row_b = rng.choice(refs_of_rare_name[name_b])
+        key = (min(row_a, row_b), max(row_a, row_b))
+        if key in seen:
+            continue
+        seen.add(key)
+        negatives.append(TrainingPair(row_a, row_b, name_a, name_b, label=-1))
+    if not negatives:
+        raise TrainingError("could not sample any negative pairs")
+
+    pairs = positives + negatives
+    rng.shuffle(pairs)
+    return TrainingSet(
+        pairs=pairs,
+        rare_names=rare_names,
+        params={
+            "n_positive": len(positives),
+            "n_negative": len(negatives),
+            "max_token_count": max_token_count,
+            "min_refs": min_refs,
+            "max_refs": max_refs,
+            "seed": seed,
+        },
+    )

@@ -1,0 +1,90 @@
+"""JoinPath: an ordered chain of join steps starting at the reference relation."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+from repro.errors import PathError
+from repro.reldb.joins import JoinStep
+
+
+class JoinPath:
+    """A chain of :class:`JoinStep` hops; each step starts where the previous ended.
+
+    Join paths identify feature dimensions: the SVM of §3 learns one weight
+    per path, and models are serialized by the path's :meth:`signature`.
+    """
+
+    def __init__(self, steps: Sequence[JoinStep]) -> None:
+        steps = tuple(steps)
+        if not steps:
+            raise PathError("a join path needs at least one step")
+        for prev, nxt in zip(steps, steps[1:]):
+            if prev.dst_relation != nxt.src_relation:
+                raise PathError(
+                    f"non-contiguous path: step ends at {prev.dst_relation!r} "
+                    f"but next step starts at {nxt.src_relation!r}"
+                )
+        self.steps = steps
+
+    @property
+    def start_relation(self) -> str:
+        return self.steps[0].src_relation
+
+    @property
+    def end_relation(self) -> str:
+        return self.steps[-1].dst_relation
+
+    @property
+    def length(self) -> int:
+        return len(self.steps)
+
+    def relation_sequence(self) -> list[str]:
+        """Relations visited, starting relation first."""
+        return [self.start_relation] + [s.dst_relation for s in self.steps]
+
+    def extend(self, step: JoinStep) -> "JoinPath":
+        if step.src_relation != self.end_relation:
+            raise PathError(
+                f"cannot extend path ending at {self.end_relation!r} with a "
+                f"step from {step.src_relation!r}"
+            )
+        return JoinPath(self.steps + (step,))
+
+    def sibling_expansions(self) -> int:
+        """Number of steps that immediately re-cross the previous step's edge.
+
+        Only the meaningful kind survives enumeration pruning (an ``n1`` hop
+        followed by its ``1n`` inverse, which fans out to siblings), so this
+        counts how many times the path "turns around" to gather siblings —
+        e.g. paper -> proceedings -> other papers of the same proceedings.
+        """
+        return sum(
+            1 for prev, nxt in zip(self.steps, self.steps[1:]) if nxt.is_reverse_of(prev)
+        )
+
+    def signature(self) -> str:
+        """A stable, human-readable identifier used for model serialization."""
+        parts = [self.start_relation]
+        for step in self.steps:
+            parts.append(f"[{step.src_attribute}={step.dst_attribute}]{step.dst_relation}")
+        return "".join(parts)
+
+    def describe(self) -> str:
+        """A compact relation-level rendering, e.g. ``Publish~Publications~Publish~Authors``."""
+        return "~".join(self.relation_sequence())
+
+    def __iter__(self) -> Iterator[JoinStep]:
+        return iter(self.steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, JoinPath) and self.steps == other.steps
+
+    def __hash__(self) -> int:
+        return hash(self.steps)
+
+    def __repr__(self) -> str:
+        return f"JoinPath({self.signature()})"

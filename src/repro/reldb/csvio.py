@@ -1,0 +1,106 @@
+"""Persist a database to a directory of CSV files (plus a JSON schema file).
+
+Layout::
+
+    <dir>/schema.json          # relations, attribute kinds, foreign keys
+    <dir>/<relation>.csv       # one CSV per base relation, header row first
+
+Virtual relations are not persisted — they are derived data and are rebuilt
+by re-running virtualization after load. Values are written as strings; on
+load, values that look like integers are parsed back to ``int`` (the only
+non-string type the generators produce). ``None`` is written as the
+sentinel ``\\N`` (MySQL-dump convention) so that empty strings survive the
+round trip unchanged.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.reldb.database import Database
+from repro.reldb.schema import Attribute, ForeignKey, RelationSchema, Schema
+from repro.reldb.virtual import is_virtual_relation
+
+_SCHEMA_FILE = "schema.json"
+
+
+def save_database(db: Database, directory: str | Path) -> None:
+    """Write every base relation of ``db`` to ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    base_relations = [
+        name for name in db.schema.relations if not is_virtual_relation(name)
+    ]
+    manifest = {
+        "relations": [
+            {
+                "name": name,
+                "attributes": [
+                    {"name": a.name, "kind": a.kind}
+                    for a in db.schema.relation(name).attributes
+                ],
+            }
+            for name in base_relations
+        ],
+        "foreign_keys": [
+            {
+                "src_relation": fk.src_relation,
+                "src_attribute": fk.src_attribute,
+                "dst_relation": fk.dst_relation,
+                "dst_attribute": fk.dst_attribute,
+            }
+            for fk in db.schema.foreign_keys
+            if not is_virtual_relation(fk.dst_relation)
+        ],
+    }
+    (directory / _SCHEMA_FILE).write_text(json.dumps(manifest, indent=2))
+
+    for name in base_relations:
+        table = db.table(name)
+        with open(directory / f"{name}.csv", "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(table.schema.attribute_names)
+            for row in table.rows:
+                writer.writerow([_NULL if v is None else v for v in row])
+
+
+def load_database(directory: str | Path) -> Database:
+    """Rebuild a database saved by :func:`save_database`."""
+    directory = Path(directory)
+    manifest = json.loads((directory / _SCHEMA_FILE).read_text())
+
+    schema = Schema()
+    for rel in manifest["relations"]:
+        schema.add_relation(
+            RelationSchema(
+                rel["name"],
+                [Attribute(a["name"], kind=a["kind"]) for a in rel["attributes"]],
+            )
+        )
+    for fk in manifest["foreign_keys"]:
+        schema.add_foreign_key(ForeignKey(**fk))
+
+    db = Database(schema)
+    for rel in manifest["relations"]:
+        name = rel["name"]
+        with open(directory / f"{name}.csv", newline="") as handle:
+            reader = csv.reader(handle)
+            next(reader)  # header
+            for row in reader:
+                db.insert(name, [_parse_value(v) for v in row])
+    return db
+
+
+_NULL = "\\N"
+
+
+def _parse_value(text: str) -> object:
+    if text == _NULL:
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        return text

@@ -1,0 +1,63 @@
+"""Hash indexes mapping attribute values to the row ids holding them.
+
+Joins in this library are always equi-joins on a single attribute pair, so a
+value -> [row_id] hash index per join column is all the propagation engine
+needs. Indexes are built once per column on demand and kept by the
+:class:`repro.reldb.database.Database`; tables are append-only, so an index
+can be refreshed incrementally by scanning only new rows.
+"""
+
+from __future__ import annotations
+
+from repro.reldb.table import Table
+
+
+class HashIndex:
+    """Value -> row-id list index over one attribute of one table."""
+
+    def __init__(self, table: Table, attribute: str) -> None:
+        self.table = table
+        self.attribute = attribute
+        self._position = table.schema.position(attribute)
+        self._buckets: dict[object, list[int]] = {}
+        self._rows_seen = 0
+        self.refresh()
+
+    def refresh(self) -> None:
+        """Index rows appended since the last refresh."""
+        rows = self.table.rows
+        for row_id in range(self._rows_seen, len(rows)):
+            value = rows[row_id][self._position]
+            self._buckets.setdefault(value, []).append(row_id)
+        self._rows_seen = len(rows)
+
+    @property
+    def stale(self) -> bool:
+        return self._rows_seen != len(self.table)
+
+    def lookup(self, value: object) -> list[int]:
+        """Row ids whose indexed attribute equals ``value`` (possibly empty).
+
+        The returned list is owned by the index; callers must not mutate it.
+        """
+        return self._buckets.get(value, _EMPTY)
+
+    def count(self, value: object) -> int:
+        """Number of rows whose indexed attribute equals ``value``."""
+        return len(self._buckets.get(value, _EMPTY))
+
+    def distinct_values(self) -> list[object]:
+        return list(self._buckets.keys())
+
+    def __len__(self) -> int:
+        """Number of distinct indexed values."""
+        return len(self._buckets)
+
+    def __repr__(self) -> str:
+        return (
+            f"HashIndex({self.table.schema.name}.{self.attribute}, "
+            f"{len(self._buckets)} distinct values)"
+        )
+
+
+_EMPTY: list[int] = []

@@ -1,0 +1,89 @@
+"""Join steps: the atomic edges that join paths are made of.
+
+A :class:`JoinStep` joins ``src_relation.src_attribute`` to
+``dst_relation.dst_attribute`` by value equality. Every foreign key gives two
+steps — the many-to-one forward direction and the one-to-many reverse — and
+every virtualized attribute gives a step to/from its virtual value relation.
+
+The step also records its *cardinality class* from source to destination:
+
+- ``"n1"``  — many-to-one (FK traversed forward; each source row joins at
+  most one destination row),
+- ``"1n"``  — one-to-many (FK traversed in reverse),
+
+which the path enumerator uses for its pruning rules (reversing a ``1n`` step
+with its ``n1`` inverse can only return to the parent tuple, so such
+backtracking is degenerate; reversing ``n1`` with ``1n`` yields siblings and
+is meaningful).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.reldb.schema import ForeignKey, Schema
+
+
+@dataclass(frozen=True)
+class JoinStep:
+    """One equi-join hop between two relations."""
+
+    src_relation: str
+    src_attribute: str
+    dst_relation: str
+    dst_attribute: str
+    cardinality: str  # "n1" or "1n"
+
+    def reverse(self) -> "JoinStep":
+        """The same edge traversed in the opposite direction."""
+        flipped = {"n1": "1n", "1n": "n1"}[self.cardinality]
+        return JoinStep(
+            src_relation=self.dst_relation,
+            src_attribute=self.dst_attribute,
+            dst_relation=self.src_relation,
+            dst_attribute=self.src_attribute,
+            cardinality=flipped,
+        )
+
+    def is_reverse_of(self, other: "JoinStep") -> bool:
+        """True if this step traverses ``other``'s edge backwards."""
+        return (
+            self.src_relation == other.dst_relation
+            and self.src_attribute == other.dst_attribute
+            and self.dst_relation == other.src_relation
+            and self.dst_attribute == other.src_attribute
+        )
+
+    def __str__(self) -> str:
+        arrow = {"n1": "->", "1n": "<-"}[self.cardinality]
+        return (
+            f"{self.src_relation}.{self.src_attribute} {arrow} "
+            f"{self.dst_relation}.{self.dst_attribute}"
+        )
+
+
+def steps_for_foreign_key(fk: ForeignKey) -> tuple[JoinStep, JoinStep]:
+    """The (forward many-to-one, reverse one-to-many) steps of one FK."""
+    forward = JoinStep(
+        src_relation=fk.src_relation,
+        src_attribute=fk.src_attribute,
+        dst_relation=fk.dst_relation,
+        dst_attribute=fk.dst_attribute,
+        cardinality="n1",
+    )
+    return forward, forward.reverse()
+
+
+def schema_join_steps(schema: Schema) -> list[JoinStep]:
+    """All join steps implied by a schema's foreign keys, both directions."""
+    steps: list[JoinStep] = []
+    for fk in schema.foreign_keys:
+        forward, reverse = steps_for_foreign_key(fk)
+        steps.append(forward)
+        steps.append(reverse)
+    return steps
+
+
+def steps_from(schema: Schema, relation: str) -> list[JoinStep]:
+    """Join steps leaving ``relation`` (both FK directions)."""
+    return [s for s in schema_join_steps(schema) if s.src_relation == relation]

@@ -1,0 +1,174 @@
+"""Schema declarations: attributes, relations, foreign keys.
+
+A :class:`Schema` is a collection of :class:`RelationSchema` objects plus the
+foreign keys linking them. It is the static structure that the join-path
+enumeration (``repro.paths.enumerate``) walks; the actual rows live in
+:class:`repro.reldb.table.Table` objects inside a
+:class:`repro.reldb.database.Database`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError, UnknownAttributeError, UnknownRelationError
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named, loosely typed column of a relation.
+
+    ``kind`` is one of ``"key"`` (primary key), ``"fk"`` (foreign key),
+    ``"value"`` (plain attribute, eligible for virtualization), or
+    ``"text"`` (free text such as titles, never virtualized).
+    """
+
+    name: str
+    kind: str = "value"
+
+    VALID_KINDS = ("key", "fk", "value", "text")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.VALID_KINDS:
+            raise SchemaError(
+                f"attribute {self.name!r}: kind must be one of "
+                f"{self.VALID_KINDS}, got {self.kind!r}"
+            )
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign key: ``src_relation.src_attribute -> dst_relation.dst_attribute``.
+
+    The destination attribute must be the primary key of the destination
+    relation, so every FK edge is many-to-one from source to destination.
+    """
+
+    src_relation: str
+    src_attribute: str
+    dst_relation: str
+    dst_attribute: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.src_relation}.{self.src_attribute} -> "
+            f"{self.dst_relation}.{self.dst_attribute}"
+        )
+
+
+class RelationSchema:
+    """The schema of one relation: an ordered list of attributes.
+
+    Parameters
+    ----------
+    name:
+        Relation name, unique within a :class:`Schema`.
+    attributes:
+        Ordered attributes. At most one may have ``kind="key"``.
+    """
+
+    def __init__(self, name: str, attributes: list[Attribute]) -> None:
+        if not name:
+            raise SchemaError("relation name must be non-empty")
+        seen: set[str] = set()
+        for attr in attributes:
+            if attr.name in seen:
+                raise SchemaError(
+                    f"relation {name!r}: duplicate attribute {attr.name!r}"
+                )
+            seen.add(attr.name)
+        keys = [a for a in attributes if a.kind == "key"]
+        if len(keys) > 1:
+            raise SchemaError(f"relation {name!r}: more than one primary key")
+        self.name = name
+        self.attributes = list(attributes)
+        self._index = {a.name: i for i, a in enumerate(attributes)}
+        self.key = keys[0].name if keys else None
+
+    @property
+    def attribute_names(self) -> list[str]:
+        return [a.name for a in self.attributes]
+
+    def has_attribute(self, name: str) -> bool:
+        return name in self._index
+
+    def attribute(self, name: str) -> Attribute:
+        if name not in self._index:
+            raise UnknownAttributeError(self.name, name)
+        return self.attributes[self._index[name]]
+
+    def position(self, name: str) -> int:
+        """Column position of ``name`` within a stored row."""
+        if name not in self._index:
+            raise UnknownAttributeError(self.name, name)
+        return self._index[name]
+
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{a.name}:{a.kind}" for a in self.attributes)
+        return f"RelationSchema({self.name!r}, [{cols}])"
+
+
+@dataclass
+class Schema:
+    """A database schema: relations plus foreign keys.
+
+    Use :meth:`add_relation` / :meth:`add_foreign_key` to build one, then
+    :meth:`validate` to check consistency. A :class:`Database` validates on
+    construction.
+    """
+
+    relations: dict[str, RelationSchema] = field(default_factory=dict)
+    foreign_keys: list[ForeignKey] = field(default_factory=list)
+
+    def add_relation(self, relation: RelationSchema) -> RelationSchema:
+        if relation.name in self.relations:
+            raise SchemaError(f"relation {relation.name!r} already declared")
+        self.relations[relation.name] = relation
+        return relation
+
+    def add_foreign_key(self, fk: ForeignKey) -> ForeignKey:
+        self.foreign_keys.append(fk)
+        return fk
+
+    def relation(self, name: str) -> RelationSchema:
+        if name not in self.relations:
+            raise UnknownRelationError(name)
+        return self.relations[name]
+
+    def foreign_keys_from(self, relation: str) -> list[ForeignKey]:
+        return [fk for fk in self.foreign_keys if fk.src_relation == relation]
+
+    def foreign_keys_to(self, relation: str) -> list[ForeignKey]:
+        return [fk for fk in self.foreign_keys if fk.dst_relation == relation]
+
+    def validate(self) -> None:
+        """Raise :class:`SchemaError` if any FK endpoint is inconsistent."""
+        for fk in self.foreign_keys:
+            src = self.relation(fk.src_relation)
+            dst = self.relation(fk.dst_relation)
+            if not src.has_attribute(fk.src_attribute):
+                raise UnknownAttributeError(fk.src_relation, fk.src_attribute)
+            if not dst.has_attribute(fk.dst_attribute):
+                raise UnknownAttributeError(fk.dst_relation, fk.dst_attribute)
+            if dst.key != fk.dst_attribute:
+                raise SchemaError(
+                    f"foreign key {fk} must reference the primary key of "
+                    f"{fk.dst_relation!r} (which is {dst.key!r})"
+                )
+            src_kind = src.attribute(fk.src_attribute).kind
+            if src_kind not in ("fk", "key"):
+                raise SchemaError(
+                    f"foreign key {fk}: source attribute must be declared "
+                    f'kind="fk" (got {src_kind!r})'
+                )
+
+    def __contains__(self, relation_name: str) -> bool:
+        return relation_name in self.relations
+
+    def copy(self) -> "Schema":
+        """A shallow copy sharing relation schemas (they are immutable in use)."""
+        return Schema(dict(self.relations), list(self.foreign_keys))

@@ -1,0 +1,114 @@
+"""Database statistics: cardinalities and join fan-outs.
+
+Propagation cost and walk-probability magnitudes are governed by join
+fan-outs (how many authorship rows a paper has, how many papers an author
+has). This module computes the numbers a DBA would ask for — used by the
+``stats`` CLI command, the scalability bench, and dataset diagnostics in
+tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.reldb.database import Database
+from repro.reldb.schema import ForeignKey
+from repro.reldb.virtual import is_virtual_relation
+
+
+@dataclass
+class ColumnStats:
+    """Distribution of one attribute's values."""
+
+    relation: str
+    attribute: str
+    n_rows: int
+    n_distinct: int
+    n_null: int
+
+    @property
+    def density(self) -> float:
+        """Average rows per distinct value (1.0 = unique column)."""
+        if self.n_distinct == 0:
+            return 0.0
+        return (self.n_rows - self.n_null) / self.n_distinct
+
+
+@dataclass
+class FanoutStats:
+    """Fan-out of one foreign key in the one-to-many direction."""
+
+    foreign_key: ForeignKey
+    min: int
+    max: int
+    mean: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.foreign_key.dst_relation} <- {self.foreign_key.src_relation}."
+            f"{self.foreign_key.src_attribute}: min {self.min}, "
+            f"mean {self.mean:.2f}, max {self.max}"
+        )
+
+
+def column_stats(db: Database, relation: str, attribute: str) -> ColumnStats:
+    """Cardinality statistics of one column."""
+    table = db.table(relation)
+    values = table.column(attribute)
+    n_null = sum(1 for v in values if v is None)
+    distinct = {v for v in values if v is not None}
+    return ColumnStats(
+        relation=relation,
+        attribute=attribute,
+        n_rows=len(values),
+        n_distinct=len(distinct),
+        n_null=n_null,
+    )
+
+
+def fanout_stats(db: Database, fk: ForeignKey) -> FanoutStats:
+    """How many referencing rows each referenced row has (0 included).
+
+    E.g. for ``Publish.paper_key -> Publications``: authorship rows per
+    paper.
+    """
+    index = db.index(fk.src_relation, fk.src_attribute)
+    counts = [
+        index.count(key)
+        for key in db.table(fk.dst_relation).column(fk.dst_attribute)
+    ]
+    if not counts:
+        return FanoutStats(fk, 0, 0, 0.0)
+    return FanoutStats(
+        foreign_key=fk,
+        min=min(counts),
+        max=max(counts),
+        mean=sum(counts) / len(counts),
+    )
+
+
+def database_stats(db: Database, include_virtual: bool = False) -> dict:
+    """A full statistics report: sizes, key columns, and every FK fan-out."""
+    relations = {
+        name: len(table)
+        for name, table in db.tables.items()
+        if include_virtual or not is_virtual_relation(name)
+    }
+    fanouts = [
+        fanout_stats(db, fk)
+        for fk in db.schema.foreign_keys
+        if include_virtual or not is_virtual_relation(fk.dst_relation)
+    ]
+    return {"relations": relations, "fanouts": fanouts}
+
+
+def format_stats(db: Database) -> str:
+    """Human-readable statistics block (used by the CLI)."""
+    report = database_stats(db)
+    lines = ["relation sizes:"]
+    for name in sorted(report["relations"]):
+        lines.append(f"  {name}: {report['relations'][name]} rows")
+    lines.append("join fan-outs (one-to-many direction):")
+    for fanout in report["fanouts"]:
+        lines.append(f"  {fanout}")
+    return "\n".join(lines)

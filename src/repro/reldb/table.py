@@ -1,0 +1,90 @@
+"""Row storage for one relation.
+
+Rows are stored as Python tuples in insertion order; a row is addressed by
+its integer row id (its position). Deletion is not supported — the workloads
+in this reproduction are append-only, which keeps row ids stable and lets
+indexes store plain integer lists.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import IntegrityError
+from repro.reldb.schema import RelationSchema
+
+
+class Table:
+    """Append-only storage of the rows of one relation.
+
+    Parameters
+    ----------
+    schema:
+        The relation schema; insertions are checked against its arity and,
+        if a primary key is declared, key uniqueness.
+    """
+
+    def __init__(self, schema: RelationSchema) -> None:
+        self.schema = schema
+        self.rows: list[tuple] = []
+        self._key_position = (
+            schema.position(schema.key) if schema.key is not None else None
+        )
+        self._key_to_row: dict[object, int] = {}
+
+    def insert(self, row: Iterable[object]) -> int:
+        """Insert one row; return its row id.
+
+        Raises
+        ------
+        IntegrityError
+            If the row has the wrong arity or duplicates the primary key.
+        """
+        values = tuple(row)
+        if len(values) != self.schema.arity:
+            raise IntegrityError(
+                f"{self.schema.name}: expected {self.schema.arity} values, "
+                f"got {len(values)}"
+            )
+        if self._key_position is not None:
+            key = values[self._key_position]
+            if key in self._key_to_row:
+                raise IntegrityError(
+                    f"{self.schema.name}: duplicate primary key {key!r}"
+                )
+            self._key_to_row[key] = len(self.rows)
+        self.rows.append(values)
+        return len(self.rows) - 1
+
+    def insert_many(self, rows: Iterable[Iterable[object]]) -> list[int]:
+        return [self.insert(row) for row in rows]
+
+    def row(self, row_id: int) -> tuple:
+        return self.rows[row_id]
+
+    def value(self, row_id: int, attribute: str) -> object:
+        return self.rows[row_id][self.schema.position(attribute)]
+
+    def column(self, attribute: str) -> list[object]:
+        """All values of one attribute, in row-id order."""
+        pos = self.schema.position(attribute)
+        return [row[pos] for row in self.rows]
+
+    def row_by_key(self, key: object) -> int | None:
+        """Row id of the row whose primary key equals ``key``, or None."""
+        if self._key_position is None:
+            raise IntegrityError(f"{self.schema.name} has no primary key")
+        return self._key_to_row.get(key)
+
+    def as_dict(self, row_id: int) -> dict[str, object]:
+        """The row as an attribute->value mapping (for display/debug)."""
+        return dict(zip(self.schema.attribute_names, self.rows[row_id]))
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __repr__(self) -> str:
+        return f"Table({self.schema.name!r}, {len(self.rows)} rows)"

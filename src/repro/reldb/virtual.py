@@ -1,0 +1,86 @@
+"""Attribute-value virtualization (§2.1 of the paper).
+
+DISTINCT treats each distinct value of a non-key attribute as a tuple of its
+own, so that "two proceedings share the same publisher" is expressible with
+the same join machinery as "two papers share a proceedings". Concretely,
+virtualizing ``Proceedings.publisher`` creates a single-column relation
+``_v_Proceedings_publisher(value)`` holding the distinct publisher strings,
+plus a foreign key ``Proceedings.publisher -> _v_.value`` — after which the
+original attribute behaves exactly like a foreign key and join paths may end
+at (but not pass through, by default) the virtual relation.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+from repro.reldb.database import Database
+from repro.reldb.schema import Attribute, ForeignKey, RelationSchema
+
+VIRTUAL_PREFIX = "_v_"
+VIRTUAL_VALUE_ATTRIBUTE = "value"
+
+
+def virtual_relation_name(relation: str, attribute: str) -> str:
+    """Name of the virtual relation for ``relation.attribute``."""
+    return f"{VIRTUAL_PREFIX}{relation}_{attribute}"
+
+
+def is_virtual_relation(name: str) -> bool:
+    return name.startswith(VIRTUAL_PREFIX)
+
+
+def virtualize_attribute(db: Database, relation: str, attribute: str) -> str:
+    """Materialize the virtual relation for ``relation.attribute``.
+
+    Returns the virtual relation's name. Idempotent: virtualizing the same
+    attribute twice returns the existing relation.
+
+    Raises
+    ------
+    SchemaError
+        If the attribute is a key, a foreign key, or declared ``text``
+        (titles and other free text carry no linkage semantics).
+    """
+    rel_schema = db.schema.relation(relation)
+    attr = rel_schema.attribute(attribute)
+    if attr.kind != "value":
+        raise SchemaError(
+            f"only kind=\"value\" attributes can be virtualized; "
+            f"{relation}.{attribute} has kind {attr.kind!r}"
+        )
+    vname = virtual_relation_name(relation, attribute)
+    if vname in db.schema:
+        return vname
+
+    vschema = RelationSchema(
+        vname, [Attribute(VIRTUAL_VALUE_ATTRIBUTE, kind="key")]
+    )
+    vtable = db.add_relation(vschema)
+    seen: set[object] = set()
+    for value in db.table(relation).column(attribute):
+        if value is None or value in seen:
+            continue
+        seen.add(value)
+        vtable.insert((value,))
+    db.schema.add_foreign_key(
+        ForeignKey(relation, attribute, vname, VIRTUAL_VALUE_ATTRIBUTE)
+    )
+    return vname
+
+
+def virtualize_all(db: Database, skip: set[tuple[str, str]] | None = None) -> list[str]:
+    """Virtualize every ``kind="value"`` attribute of every base relation.
+
+    ``skip`` is a set of (relation, attribute) pairs to leave alone. Returns
+    the names of the virtual relations created (or already present).
+    """
+    skip = skip or set()
+    created: list[str] = []
+    for name, rel in list(db.schema.relations.items()):
+        if is_virtual_relation(name):
+            continue
+        for attr in rel.attributes:
+            if attr.kind != "value" or (name, attr.name) in skip:
+                continue
+            created.append(virtualize_attribute(db, name, attr.name))
+    return created

@@ -1,0 +1,105 @@
+"""Combining per-path similarities into one number.
+
+Supervised combination (Eq 1 of the paper)::
+
+    Resem(r1, r2) = sum_P  w(P) * Resem_P(r1, r2)
+
+with ``w(P)`` learned by the SVM of §3. For use as a similarity the weights
+are clamped at zero (a negative contribution would break the geometric-mean
+composition and the min-sim threshold semantics); the signed weights stay
+available on the model for inspection.
+
+Unsupervised combination (the baselines of Fig 4) uses uniform weights over
+paths, after per-path max-normalization across the candidate pair set so
+that paths with tiny absolute scales (long walk probabilities) are not
+drowned out — the paper is silent on this detail; see DESIGN.md §6.
+
+The clustering stage composes the two measures with a geometric mean
+(§4.1)::
+
+    Sim(C1, C2) = sqrt( Resem(C1, C2) * WalkProb(C1, C2) )
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+
+class PathWeights:
+    """A non-negative weight per feature dimension (join path).
+
+    ``weights[i]`` multiplies feature ``i``; construction clamps negatives
+    to zero by default.
+    """
+
+    def __init__(self, weights: Sequence[float], clamp_negative: bool = True) -> None:
+        if clamp_negative:
+            self.weights = [max(0.0, w) for w in weights]
+        else:
+            self.weights = list(weights)
+        self.clamped = clamp_negative
+
+    def __len__(self) -> int:
+        return len(self.weights)
+
+    def apply(self, features: Sequence[float]) -> float:
+        if len(features) != len(self.weights):
+            raise ValueError(
+                f"feature/weight length mismatch: {len(features)} vs {len(self.weights)}"
+            )
+        return sum(w * f for w, f in zip(self.weights, features))
+
+    def total(self) -> float:
+        return sum(self.weights)
+
+    def normalized(self) -> "PathWeights":
+        """Weights rescaled to sum to 1 (identity if all zero)."""
+        total = self.total()
+        if total == 0.0:
+            return PathWeights(self.weights, clamp_negative=False)
+        return PathWeights([w / total for w in self.weights], clamp_negative=False)
+
+
+def uniform_weights(n_paths: int) -> PathWeights:
+    """The unsupervised combiner: every path counts equally."""
+    if n_paths <= 0:
+        raise ValueError("need at least one path")
+    return PathWeights([1.0 / n_paths] * n_paths, clamp_negative=False)
+
+
+def combine(weights: PathWeights, features: Sequence[float]) -> float:
+    """``sum_P w(P) * Sim_P`` — Eq 1 of the paper."""
+    return weights.apply(features)
+
+
+def geometric_mean(resemblance: float, walk_probability: float) -> float:
+    """§4.1 composite similarity; zero if either ingredient is non-positive."""
+    if resemblance <= 0.0 or walk_probability <= 0.0:
+        return 0.0
+    return math.sqrt(resemblance * walk_probability)
+
+
+def normalize_feature_rows(rows: list[list[float]]) -> list[list[float]]:
+    """Per-column max-normalization over a set of feature rows.
+
+    Each column is divided by its maximum absolute value across the rows
+    (columns that are all zero stay zero). Used by the unsupervised variants
+    so that uniform weights do not simply select the path with the largest
+    raw scale.
+    """
+    if not rows:
+        return []
+    n_cols = len(rows[0])
+    if any(len(row) != n_cols for row in rows):
+        raise ValueError("rows have inconsistent lengths")
+    maxima = [0.0] * n_cols
+    for row in rows:
+        for j, value in enumerate(row):
+            magnitude = abs(value)
+            if magnitude > maxima[j]:
+                maxima[j] = magnitude
+    return [
+        [value / maxima[j] if maxima[j] > 0.0 else 0.0 for j, value in enumerate(row)]
+        for row in rows
+    ]

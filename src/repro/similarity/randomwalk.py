@@ -1,0 +1,50 @@
+"""Random-walk probability between references (§2.4 of the paper).
+
+The directed walk probability from ``r1`` to ``r2`` along join path ``P`` is
+the probability of walking forward from ``r1`` to a neighbor tuple and then
+back along the reverse path to ``r2``::
+
+    Walk_P(r1 -> r2) = sum_t  Prob_P(r1 -> t) * Prob_P(t -> r2)
+
+Both factors come straight out of the propagation engine, which is exactly
+the composition trick §2.4 describes ("we can easily compute the probability
+of walking between two references by combining such probabilities"). The
+symmetric measure averages the two directions.
+"""
+
+from __future__ import annotations
+
+from repro.paths.profiles import NeighborProfile
+
+
+def directed_walk_probability(src: NeighborProfile, dst: NeighborProfile) -> float:
+    """``Walk_P(src.origin -> dst.origin)`` — see module docstring."""
+    if src.is_empty() or dst.is_empty():
+        return 0.0
+    small, large = (src, dst) if len(src) <= len(dst) else (dst, src)
+    # The product is over the support intersection; iterate the smaller side.
+    total = 0.0
+    if small is src:
+        for row_id, (fwd, _) in src.weights.items():
+            pair = dst.weights.get(row_id)
+            if pair is not None:
+                total += fwd * pair[1]
+    else:
+        for row_id, (_, back) in dst.weights.items():
+            pair = src.weights.get(row_id)
+            if pair is not None:
+                total += pair[0] * back
+    return total
+
+
+def walk_probability(a: NeighborProfile, b: NeighborProfile) -> float:
+    """Symmetric walk probability: the mean of the two directions.
+
+    Lies in [0, 1]; zero iff the profiles' supports are disjoint.
+    """
+    return 0.5 * (directed_walk_probability(a, b) + directed_walk_probability(b, a))
+
+
+def walk_vector(profiles_a: dict, profiles_b: dict) -> list[float]:
+    """Per-path symmetric walk probabilities, aligned on ``profiles_a`` keys."""
+    return [walk_probability(profiles_a[path], profiles_b[path]) for path in profiles_a]

@@ -1,0 +1,58 @@
+"""Set resemblance between neighbor profiles (Definition 2 of the paper).
+
+The resemblance of two references along one join path is the weighted
+Jaccard coefficient of their neighbor-tuple sets, with the forward
+connection strengths ``Prob_P(r -> t)`` as weights::
+
+    Resem_P(r1, r2) =  sum_{t}  min(p1(t), p2(t))
+                      ---------------------------
+                       sum_{t}  max(p1(t), p2(t))
+
+where the sums range over the union of the two supports (a tuple missing
+from one profile contributes 0 to min and its present weight to max).
+"""
+
+from __future__ import annotations
+
+from repro.paths.profiles import NeighborProfile
+
+
+def set_resemblance(a: NeighborProfile, b: NeighborProfile) -> float:
+    """Weighted Jaccard between two profiles of the same join path.
+
+    Returns 0.0 when either profile is empty (no shared context is not
+    evidence of similarity). The result lies in [0, 1] and equals 1 iff the
+    profiles are identical as weighted sets.
+    """
+    if a.is_empty() or b.is_empty():
+        return 0.0
+    small, large = (a, b) if len(a) <= len(b) else (b, a)
+
+    min_sum = 0.0
+    max_sum = 0.0
+    for row_id, (fwd_small, _) in small.weights.items():
+        fwd_large = large.forward(row_id)
+        if fwd_large <= fwd_small:
+            min_sum += fwd_large
+            max_sum += fwd_small
+        else:
+            min_sum += fwd_small
+            max_sum += fwd_large
+    # Tuples only in the larger profile contribute to the denominator.
+    max_sum += sum(
+        fwd for row_id, (fwd, _) in large.weights.items() if row_id not in small.weights
+    )
+    if max_sum == 0.0:
+        return 0.0
+    return min_sum / max_sum
+
+
+def resemblance_vector(
+    profiles_a: dict, profiles_b: dict
+) -> list[float]:
+    """Per-path resemblance values, aligned on the keys of ``profiles_a``.
+
+    Both arguments are ``path -> NeighborProfile`` mappings as produced by
+    :meth:`repro.paths.ProfileBuilder.profiles_for`.
+    """
+    return [set_resemblance(profiles_a[path], profiles_b[path]) for path in profiles_a]

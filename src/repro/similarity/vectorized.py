@@ -1,0 +1,80 @@
+"""Vectorized all-pairs similarity kernels over sparse profile matrices.
+
+The per-pair loops in :mod:`repro.core.features` are fine for the paper's
+name sizes (<= 151 references), but all-pairs *walk probabilities* have a
+matrix form that scales much further: stacking the forward profiles of all
+references into a sparse matrix ``F`` (rows = references, columns = end
+relation tuples) and the backward profiles into ``B``, the directed walk
+matrix is simply ``F @ B.T``, and the symmetric measure is the average of
+that and its transpose.
+
+Set resemblance has no matmul form (it needs elementwise min/max over the
+union of supports), so the vectorized path accelerates the walk half only —
+verified bit-for-bit against the scalar implementation by property tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.paths.joinpath import JoinPath
+from repro.paths.profiles import NeighborProfile
+
+
+def profile_matrices(
+    profiles: list[NeighborProfile],
+) -> tuple[sparse.csr_matrix, sparse.csr_matrix]:
+    """Stack profiles into (forward, backward) CSR matrices.
+
+    Rows follow the input order; columns are the union of the supports,
+    indexed densely in sorted row-id order.
+    """
+    columns = sorted({t for p in profiles for t in p.weights})
+    col_of = {t: i for i, t in enumerate(columns)}
+
+    rows_idx: list[int] = []
+    cols_idx: list[int] = []
+    fwd_vals: list[float] = []
+    back_vals: list[float] = []
+    for r, profile in enumerate(profiles):
+        for t, (fwd, back) in profile.weights.items():
+            rows_idx.append(r)
+            cols_idx.append(col_of[t])
+            fwd_vals.append(fwd)
+            back_vals.append(back)
+
+    shape = (len(profiles), len(columns))
+    forward = sparse.csr_matrix(
+        (fwd_vals, (rows_idx, cols_idx)), shape=shape
+    )
+    backward = sparse.csr_matrix(
+        (back_vals, (rows_idx, cols_idx)), shape=shape
+    )
+    return forward, backward
+
+
+def pairwise_walk_matrix(profiles: list[NeighborProfile]) -> np.ndarray:
+    """Symmetric all-pairs walk probabilities for one path.
+
+    Equivalent to calling
+    :func:`repro.similarity.randomwalk.walk_probability` on every pair, with
+    the diagonal zeroed (self-walks are not meaningful for clustering).
+    """
+    if not profiles:
+        return np.zeros((0, 0))
+    forward, backward = profile_matrices(profiles)
+    directed = (forward @ backward.T).toarray()
+    symmetric = 0.5 * (directed + directed.T)
+    np.fill_diagonal(symmetric, 0.0)
+    return symmetric
+
+
+def pairwise_walk_matrices(
+    profiles_by_path: dict[JoinPath, list[NeighborProfile]],
+) -> dict[JoinPath, np.ndarray]:
+    """Per-path all-pairs walk matrices (convenience wrapper)."""
+    return {
+        path: pairwise_walk_matrix(profiles)
+        for path, profiles in profiles_by_path.items()
+    }

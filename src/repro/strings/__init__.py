@@ -1,0 +1,38 @@
+"""Approximate string matching: finding *resembling* references.
+
+The paper defines references as resembling when their textual contents are
+identical, and cites Gravano et al., *Approximate string joins in a
+database (almost) for free* (VLDB 2001) [7] as the standard candidate
+generator. Real bibliographic data also carries near-identical variants
+("W. Wang", "Wei  Wang", "Wei Wang 0002"), so a complete system needs the
+approximate join too: this subpackage implements q-gram profiles, q-gram
+set/bag similarities, Levenshtein distance, and the count-filtering
+approximate join of [7] over an inverted q-gram index — all from scratch.
+
+The output of :func:`resembling_name_groups` (clusters of name variants)
+feeds the same distinction pipeline: pool the variants' references and
+resolve them together.
+"""
+
+from repro.strings.qgrams import (
+    qgram_profile,
+    qgram_set,
+    qgram_jaccard,
+    qgram_cosine,
+)
+from repro.strings.editdist import levenshtein, normalized_levenshtein
+from repro.strings.join import (
+    ApproximateJoin,
+    resembling_name_groups,
+)
+
+__all__ = [
+    "qgram_profile",
+    "qgram_set",
+    "qgram_jaccard",
+    "qgram_cosine",
+    "levenshtein",
+    "normalized_levenshtein",
+    "ApproximateJoin",
+    "resembling_name_groups",
+]

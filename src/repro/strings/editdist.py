@@ -1,0 +1,46 @@
+"""Levenshtein edit distance (dynamic programming, O(len_a * len_b)).
+
+Used as the exact verifier behind the q-gram count filter: the approximate
+join prunes with cheap q-gram overlap, then confirms candidates with the
+real distance.
+"""
+
+from __future__ import annotations
+
+
+def levenshtein(a: str, b: str, max_distance: int | None = None) -> int:
+    """Edit distance between ``a`` and ``b`` (insert/delete/substitute = 1).
+
+    With ``max_distance`` set, returns ``max_distance + 1`` as soon as the
+    true distance provably exceeds it (banded early exit) — the common case
+    in join verification.
+    """
+    if a == b:
+        return 0
+    if len(a) > len(b):
+        a, b = b, a  # ensure len(a) <= len(b)
+    if max_distance is not None and len(b) - len(a) > max_distance:
+        return max_distance + 1
+
+    previous = list(range(len(a) + 1))
+    for j, cb in enumerate(b, start=1):
+        current = [j] + [0] * len(a)
+        row_min = j
+        for i, ca in enumerate(a, start=1):
+            current[i] = min(
+                previous[i] + 1,          # deletion
+                current[i - 1] + 1,       # insertion
+                previous[i - 1] + (ca != cb),  # substitution / match
+            )
+            row_min = min(row_min, current[i])
+        if max_distance is not None and row_min > max_distance:
+            return max_distance + 1
+        previous = current
+    return previous[len(a)]
+
+
+def normalized_levenshtein(a: str, b: str) -> float:
+    """1 - distance / max_len, in [0, 1]; 1.0 for equal strings."""
+    if not a and not b:
+        return 1.0
+    return 1.0 - levenshtein(a, b) / max(len(a), len(b))

@@ -1,0 +1,150 @@
+"""The approximate string self-join of Gravano et al. [7], in memory.
+
+Pipeline: build an inverted index from q-grams to strings; for each string,
+merge the posting lists of its q-grams and keep candidates whose shared
+q-gram count passes the count filter for the requested edit-distance bound;
+verify survivors with banded Levenshtein. Length filtering (|len_a - len_b|
+<= k) is applied before counting.
+
+:func:`resembling_name_groups` applies the join to an author table and
+returns groups of resembling names — the candidate sets a full ER system
+would feed into the distinction pipeline.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.reldb.database import Database
+from repro.strings.editdist import levenshtein
+from repro.strings.qgrams import count_filter_threshold, qgram_profile
+
+
+@dataclass(frozen=True)
+class JoinMatch:
+    """One verified approximate match."""
+
+    left: str
+    right: str
+    distance: int
+
+
+class ApproximateJoin:
+    """Approximate self-join over a string collection.
+
+    Parameters
+    ----------
+    max_distance:
+        Edit-distance bound ``k``; pairs further apart are not reported.
+    q:
+        q-gram length (3 is the usual choice).
+    """
+
+    def __init__(self, max_distance: int = 2, q: int = 3) -> None:
+        if max_distance < 1:
+            raise ValueError("max_distance must be >= 1")
+        self.max_distance = max_distance
+        self.q = q
+
+    def matches(self, strings: list[str]) -> list[JoinMatch]:
+        """All unordered pairs within the distance bound (excluding equal
+        indices; duplicate string values match with distance 0)."""
+        unique = sorted(set(strings))
+        profiles = [qgram_profile(s, self.q) for s in unique]
+
+        # Inverted index: q-gram -> list of string ids containing it.
+        postings: dict[str, list[int]] = {}
+        for idx, profile in enumerate(profiles):
+            for gram in profile:
+                postings.setdefault(gram, []).append(idx)
+
+        found: dict[tuple[int, int], JoinMatch] = {}
+
+        def verify(small: int, large: int) -> None:
+            key = (small, large)
+            if key in found:
+                return
+            distance = levenshtein(
+                unique[small], unique[large], max_distance=self.max_distance
+            )
+            if distance <= self.max_distance:
+                found[key] = JoinMatch(unique[small], unique[large], distance)
+
+        for idx, profile in enumerate(profiles):
+            # Count shared q-grams with every earlier candidate (set
+            # semantics on grams; count filter uses distinct-gram overlap
+            # which lower-bounds bag overlap).
+            shared: Counter[int] = Counter()
+            for gram in profile:
+                for other in postings[gram]:
+                    if other < idx:
+                        shared[other] += 1
+            len_a = len(unique[idx])
+            for other, overlap in shared.items():
+                len_b = len(unique[other])
+                if abs(len_a - len_b) > self.max_distance:
+                    continue  # length filter
+                threshold = count_filter_threshold(
+                    len_a, len_b, self.max_distance, self.q
+                )
+                if overlap < threshold:
+                    continue  # count filter
+                verify(other, idx)
+
+        # The count filter is vacuous (threshold <= 0) when both strings are
+        # very short: such pairs may share zero q-grams yet still be within
+        # the bound, so the index cannot find them. Brute-force that bucket
+        # — it only holds strings of length <= (k-1)*q + 1.
+        short_limit = (self.max_distance - 1) * self.q + 1
+        short = [i for i, s in enumerate(unique) if len(s) <= short_limit]
+        for pos, small in enumerate(short):
+            for large in short[pos + 1 :]:
+                if abs(len(unique[small]) - len(unique[large])) <= self.max_distance:
+                    verify(small, large)
+
+        return [found[key] for key in sorted(found)]
+
+    def groups(self, strings: list[str]) -> list[set[str]]:
+        """Connected components of the match graph (resembling groups).
+
+        Only groups with at least two members are returned.
+        """
+        unique = sorted(set(strings))
+        parent = {s: s for s in unique}
+
+        def find(s: str) -> str:
+            while parent[s] != s:
+                parent[s] = parent[parent[s]]
+                s = parent[s]
+            return s
+
+        for match in self.matches(strings):
+            ra, rb = find(match.left), find(match.right)
+            if ra != rb:
+                parent[rb] = ra
+
+        components: dict[str, set[str]] = {}
+        for s in unique:
+            components.setdefault(find(s), set()).add(s)
+        return sorted(
+            (c for c in components.values() if len(c) > 1),
+            key=lambda c: (-len(c), min(c)),
+        )
+
+
+def resembling_name_groups(
+    db: Database,
+    object_relation: str = "Authors",
+    name_attribute: str = "name",
+    max_distance: int = 1,
+    q: int = 3,
+) -> list[set[str]]:
+    """Groups of resembling (near-identical) names in an object table.
+
+    These are candidate variant groups ("Wei Wang" / "Wei  Wang" /
+    "W. Wang") whose references a full ER pipeline would pool before
+    running object distinction.
+    """
+    names = [n for n in db.table(object_relation).column(name_attribute) if n]
+    return ApproximateJoin(max_distance=max_distance, q=q).groups(names)

@@ -1,0 +1,63 @@
+"""Positional-free q-gram profiles and similarities.
+
+A q-gram profile is the bag of length-q substrings of a padded string; two
+strings within edit distance k share at least ``max(|s1|, |s2|) - 1 -
+(k - 1) * q`` q-grams (the count filter of Gravano et al. [7]), which is
+what makes the approximate join cheap.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+PAD = ""  # padding char outside any real alphabet
+
+
+def _padded(text: str, q: int) -> str:
+    pad = PAD * (q - 1)
+    return f"{pad}{text.lower()}{pad}"
+
+
+def qgram_profile(text: str, q: int = 3) -> Counter[str]:
+    """The bag (multiset) of q-grams of ``text``, padded, lowercased."""
+    if q < 1:
+        raise ValueError("q must be >= 1")
+    padded = _padded(text, q)
+    return Counter(padded[i : i + q] for i in range(len(padded) - q + 1))
+
+
+def qgram_set(text: str, q: int = 3) -> frozenset[str]:
+    """The set of distinct q-grams (set semantics, for Jaccard)."""
+    return frozenset(qgram_profile(text, q))
+
+
+def qgram_jaccard(a: str, b: str, q: int = 3) -> float:
+    """Jaccard similarity of the q-gram sets; 1.0 for equal strings."""
+    sa, sb = qgram_set(a, q), qgram_set(b, q)
+    if not sa and not sb:
+        return 1.0
+    union = len(sa | sb)
+    return len(sa & sb) / union if union else 0.0
+
+
+def qgram_cosine(a: str, b: str, q: int = 3) -> float:
+    """Cosine similarity of the q-gram count vectors (bag semantics)."""
+    pa, pb = qgram_profile(a, q), qgram_profile(b, q)
+    if not pa and not pb:
+        return 1.0
+    dot = sum(count * pb.get(gram, 0) for gram, count in pa.items())
+    norm_a = math.sqrt(sum(c * c for c in pa.values()))
+    norm_b = math.sqrt(sum(c * c for c in pb.values()))
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 0.0
+    return dot / (norm_a * norm_b)
+
+
+def count_filter_threshold(len_a: int, len_b: int, k: int, q: int) -> int:
+    """Minimum shared q-grams for strings within edit distance ``k`` [7].
+
+    Counts are over padded strings (each string has ``len + q - 1`` grams).
+    May be <= 0, in which case the filter prunes nothing.
+    """
+    return max(len_a, len_b) + q - 1 - k * q

@@ -1,0 +1,71 @@
+import numpy as np
+import pytest
+
+from repro.cluster.kmedoids import kmedoids
+
+
+def block_matrix(groups, within=0.9, across=0.05):
+    n = sum(groups)
+    m = np.full((n, n), across)
+    start = 0
+    for size in groups:
+        m[start : start + size, start : start + size] = within
+        start += size
+    np.fill_diagonal(m, 1.0)
+    return m
+
+
+class TestKMedoids:
+    def test_recovers_block_structure(self):
+        matrix = block_matrix([4, 3, 5])
+        clusters = kmedoids(matrix, k=3)
+        assert sorted(len(c) for c in clusters) == [3, 4, 5]
+        expected = [set(range(4)), set(range(4, 7)), set(range(7, 12))]
+        assert {frozenset(c) for c in clusters} == {frozenset(c) for c in expected}
+
+    def test_k_one_merges_all(self):
+        matrix = block_matrix([3, 3])
+        clusters = kmedoids(matrix, k=1)
+        assert clusters == [set(range(6))]
+
+    def test_k_equals_n_splits_all(self):
+        matrix = block_matrix([4])
+        clusters = kmedoids(matrix, k=4)
+        assert all(len(c) == 1 for c in clusters)
+        assert len(clusters) == 4
+
+    def test_returns_exactly_k_clusters(self):
+        matrix = block_matrix([5, 5, 5])
+        for k in (2, 3, 4):
+            assert len(kmedoids(matrix, k=k)) == k
+
+    def test_clusters_partition_items(self):
+        matrix = block_matrix([3, 4])
+        clusters = kmedoids(matrix, k=2)
+        items = sorted(i for c in clusters for i in c)
+        assert items == list(range(7))
+
+    def test_deterministic(self):
+        matrix = block_matrix([4, 4], within=0.8, across=0.2)
+        assert kmedoids(matrix, k=2) == kmedoids(matrix, k=2)
+
+    def test_validation(self):
+        matrix = block_matrix([3])
+        with pytest.raises(ValueError):
+            kmedoids(matrix, k=0)
+        with pytest.raises(ValueError):
+            kmedoids(matrix, k=4)
+        with pytest.raises(ValueError):
+            kmedoids(np.zeros((2, 3)), k=1)
+
+    def test_noisy_blocks_still_recovered(self):
+        rng = np.random.default_rng(3)
+        matrix = block_matrix([6, 6], within=0.7, across=0.1)
+        noise = rng.uniform(-0.05, 0.05, matrix.shape)
+        noise = (noise + noise.T) / 2
+        np.fill_diagonal(noise, 0.0)
+        clusters = kmedoids(np.clip(matrix + noise, 0, 1), k=2)
+        assert {frozenset(c) for c in clusters} == {
+            frozenset(range(6)),
+            frozenset(range(6, 12)),
+        }

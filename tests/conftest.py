@@ -1,0 +1,46 @@
+"""Shared fixtures: a small synthetic world and a fitted pipeline.
+
+The full Table-1 world takes ~60 s to fit (auto-C cross-validation), so the
+test suite uses a reduced world with three ambiguous names and a fixed SVM
+cost. Session-scoped: built once per test run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Distinct, DistinctConfig, GeneratorConfig, generate_world
+from repro.data.ambiguity import AmbiguousNameSpec
+from repro.data.world import world_to_database
+
+SMALL_SPECS = [
+    AmbiguousNameSpec("Wei Wang", (12, 8, 3)),
+    AmbiguousNameSpec("Rakesh Kumar", (6, 5)),
+    AmbiguousNameSpec("Jim Smith", (4, 3, 2), multi_era=(0,), bridged=(0,)),
+]
+
+SMALL_CONFIG = GeneratorConfig(
+    seed=11,
+    n_communities=8,
+    regular_entities_per_community=25,
+    rare_entities=60,
+    background_papers_per_community_year=5,
+)
+
+
+@pytest.fixture(scope="session")
+def small_world():
+    return generate_world(SMALL_CONFIG, SMALL_SPECS)
+
+
+@pytest.fixture(scope="session")
+def small_db(small_world):
+    db, truth = world_to_database(small_world)
+    return db, truth
+
+
+@pytest.fixture(scope="session")
+def fitted(small_db):
+    db, truth = small_db
+    config = DistinctConfig(n_positive=300, n_negative=300, svm_C=10.0)
+    return Distinct(config).fit(db)

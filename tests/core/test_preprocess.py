@@ -1,0 +1,68 @@
+import pytest
+
+from repro.config import DistinctConfig
+from repro.core.preprocess import isolation_report
+from repro.data.dblp_schema import new_dblp_database, prepare_dblp_database
+
+from tests.minidb import build_minidb
+
+
+class TestIsolationReport:
+    def test_minidb_references_all_linked(self):
+        # Every Wei Wang reference in the mini DB shares a coauthor with
+        # another one (Jiong Yang links 0<->6, Xuemin Lin links 3<->8).
+        db = build_minidb()
+        report = isolation_report(db, "Wei Wang")
+        assert report.dropped == []
+        assert len(report.kept) == 4
+
+    def test_detects_isolated_reference(self):
+        db = new_dblp_database()
+        db.insert_many(
+            "Authors",
+            [(0, "Wei Wang"), (1, "Coauthor A"), (2, "Coauthor B"), (3, "Loner X")],
+        )
+        db.insert_many("Conferences", [(0, "VLDB", "X"), (1, "OTHER", "Y")])
+        db.insert_many(
+            "Proceedings", [(0, 0, 2000, "A"), (1, 0, 2001, "B"), (2, 1, 1990, "C")]
+        )
+        db.insert_many(
+            "Publications",
+            [(0, "p0", 0), (1, "p1", 1), (2, "isolated", 2)],
+        )
+        # Refs 0 and 1 share coauthor A; ref 2 is in another world entirely.
+        db.insert_many(
+            "Publish",
+            [(0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 3)],
+        )
+        db.check_integrity()
+        prepare_dblp_database(db)
+        report = isolation_report(db, "Wei Wang")
+        assert report.n_dropped == 1
+        assert report.dropped == [4]  # the (paper 2, Wei Wang) row
+        assert sorted(report.kept) == [0, 2]
+
+    def test_shared_venue_counts_as_linkage(self):
+        db = new_dblp_database()
+        db.insert_many("Authors", [(0, "Wei Wang"), (1, "A"), (2, "B")])
+        db.insert_many("Conferences", [(0, "VLDB", "X")])
+        db.insert_many("Proceedings", [(0, 0, 2000, "A")])
+        # Two Wei Wang papers, disjoint coauthors, same proceedings.
+        db.insert_many("Publications", [(0, "p0", 0), (1, "p1", 0)])
+        db.insert_many("Publish", [(0, 0), (0, 1), (1, 0), (1, 2)])
+        db.check_integrity()
+        prepare_dblp_database(db)
+        report = isolation_report(db, "Wei Wang")
+        assert report.dropped == []
+
+    def test_ambiguous_names_in_fixture_world_mostly_linked(self, small_db):
+        db, _ = small_db
+        report = isolation_report(db, "Wei Wang")
+        assert report.n_dropped <= 1
+
+    def test_unknown_name_raises(self):
+        from repro.errors import ReproError
+
+        db = build_minidb()
+        with pytest.raises(ReproError):
+            isolation_report(db, "Nobody")

@@ -1,0 +1,108 @@
+"""Additional schema and generator coverage."""
+
+import pytest
+
+from repro.data.ambiguity import AmbiguousNameSpec
+from repro.data.dblp_schema import (
+    dblp_schema,
+    new_dblp_database,
+    prepare_dblp_database,
+)
+from repro.data.generator import GeneratorConfig, generate_world
+from repro.data.world import world_to_database
+from repro.reldb.virtual import virtual_relation_name
+
+
+class TestDblpSchema:
+    def test_base_schema_relations(self):
+        schema = dblp_schema()
+        assert set(schema.relations) == {
+            "Authors", "Publish", "Publications", "Proceedings", "Conferences",
+        }
+        assert len(schema.foreign_keys) == 4
+
+    def test_citation_schema_adds_cites(self):
+        schema = dblp_schema(with_citations=True)
+        assert "Cites" in schema
+        assert len(schema.foreign_keys) == 6
+
+    def test_author_name_is_text_kind(self):
+        # Critical invariant: the name must never be virtualized, or the
+        # ambiguous name itself becomes a linkage.
+        schema = dblp_schema()
+        assert schema.relation("Authors").attribute("name").kind == "text"
+
+    def test_prepare_creates_expected_virtual_relations(self):
+        db = new_dblp_database()
+        db.insert("Conferences", (0, "VLDB", "ACM"))
+        db.insert("Proceedings", (0, 0, 2001, "Rome"))
+        prepare_dblp_database(db)
+        for rel, attr in (
+            ("Proceedings", "year"),
+            ("Proceedings", "location"),
+            ("Conferences", "publisher"),
+        ):
+            assert virtual_relation_name(rel, attr) in db.schema
+        assert virtual_relation_name("Authors", "name") not in db.schema
+
+    def test_prepare_is_idempotent(self):
+        db = new_dblp_database()
+        db.insert("Conferences", (0, "VLDB", "ACM"))
+        prepare_dblp_database(db)
+        before = set(db.schema.relations)
+        prepare_dblp_database(db)
+        assert set(db.schema.relations) == before
+
+
+class TestGeneratorEdgeCases:
+    def test_single_entity_spec(self):
+        world = generate_world(
+            GeneratorConfig(seed=1, n_communities=4,
+                            regular_entities_per_community=10, rare_entities=10,
+                            background_papers_per_community_year=2),
+            [AmbiguousNameSpec("Only One", (5,))],
+        )
+        db, truth = world_to_database(world)
+        assert len(truth.clusters_for("Only One")) == 1
+        assert len(truth.rows_of_name["Only One"]) == 5
+
+    def test_two_refs_minimum(self):
+        world = generate_world(
+            GeneratorConfig(seed=2, n_communities=4,
+                            regular_entities_per_community=10, rare_entities=10,
+                            background_papers_per_community_year=2),
+            [AmbiguousNameSpec("Tiny Pair", (1, 1))],
+        )
+        db, truth = world_to_database(world)
+        assert len(truth.rows_of_name["Tiny Pair"]) == 2
+        assert len(truth.clusters_for("Tiny Pair")) == 2
+
+    def test_empty_spec_list(self):
+        world = generate_world(
+            GeneratorConfig(seed=3, n_communities=4,
+                            regular_entities_per_community=10, rare_entities=10,
+                            background_papers_per_community_year=2),
+            [],
+        )
+        assert world.ambiguous_names == []
+        db, truth = world_to_database(world)
+        db.check_integrity()
+
+    def test_more_entities_than_communities_wraps(self):
+        world = generate_world(
+            GeneratorConfig(seed=4, n_communities=3,
+                            regular_entities_per_community=10, rare_entities=10,
+                            background_papers_per_community_year=2),
+            [AmbiguousNameSpec("Crowded Name", (2,) * 7)],
+        )
+        entities = world.entities_named("Crowded Name")
+        assert len(entities) == 7
+        communities = [e.communities[0] for e in entities]
+        assert len(set(communities)) == 3  # wrapped around
+
+    def test_world_stats_consistency(self, small_world):
+        stats = small_world.stats()
+        assert stats["authorships"] == sum(
+            len(p.author_entity_ids) for p in small_world.papers
+        )
+        assert stats["entities"] >= stats["distinct_names"] - 1

@@ -1,0 +1,146 @@
+import pytest
+
+from repro.data.ambiguity import (
+    TABLE1_EXPECTED,
+    TABLE1_SPEC,
+    AmbiguousNameSpec,
+    spec_by_name,
+)
+from repro.data.generator import GeneratorConfig, generate_world
+from repro.data.world import world_to_database
+
+from tests.conftest import SMALL_CONFIG, SMALL_SPECS
+
+
+class TestAmbiguousNameSpec:
+    def test_totals(self):
+        spec = AmbiguousNameSpec("X Y", (3, 2, 1))
+        assert spec.entity_count == 3
+        assert spec.total_refs == 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AmbiguousNameSpec("X", ())
+        with pytest.raises(ValueError):
+            AmbiguousNameSpec("X", (2, 0))
+        with pytest.raises(ValueError):
+            AmbiguousNameSpec("X", (2, 2), multi_era=(5,))
+        with pytest.raises(ValueError):
+            AmbiguousNameSpec("X", (2, 2), multi_era=(0,), bridged=(1,))
+
+    def test_table1_spec_matches_paper_counts(self):
+        for spec in TABLE1_SPEC:
+            authors, refs = TABLE1_EXPECTED[spec.name]
+            assert spec.entity_count == authors, spec.name
+            assert spec.total_refs == refs, spec.name
+
+    def test_spec_by_name(self):
+        index = spec_by_name(TABLE1_SPEC)
+        assert index["Wei Wang"].entity_count == 14
+
+
+class TestGenerateWorld:
+    def test_deterministic(self):
+        a = generate_world(SMALL_CONFIG, SMALL_SPECS)
+        b = generate_world(SMALL_CONFIG, SMALL_SPECS)
+        assert a.stats() == b.stats()
+        assert [p.author_entity_ids for p in a.papers[:50]] == [
+            p.author_entity_ids for p in b.papers[:50]
+        ]
+
+    def test_different_seed_different_world(self):
+        a = generate_world(SMALL_CONFIG, SMALL_SPECS)
+        b = generate_world(
+            GeneratorConfig(**{**SMALL_CONFIG.__dict__, "seed": 99}), SMALL_SPECS
+        )
+        assert [p.author_entity_ids for p in a.papers[:50]] != [
+            p.author_entity_ids for p in b.papers[:50]
+        ]
+
+    def test_ambiguous_entities_match_spec(self, small_world):
+        for spec in SMALL_SPECS:
+            entities = small_world.entities_named(spec.name)
+            assert len(entities) == spec.entity_count
+            counts = sorted(
+                len(small_world.papers_of(e.entity_id)) for e in entities
+            )
+            assert counts == sorted(spec.ref_counts)
+
+    def test_ambiguous_papers_never_solo(self, small_world):
+        for spec in SMALL_SPECS:
+            for entity in small_world.entities_named(spec.name):
+                for paper in small_world.papers_of(entity.entity_id):
+                    assert len(paper.author_entity_ids) >= 2
+
+    def test_entity_kinds(self, small_world):
+        kinds = {e.kind for e in small_world.entities}
+        assert kinds == {"regular", "rare", "ambiguous"}
+
+    def test_rare_names_unique(self, small_world):
+        rare_names = [e.name for e in small_world.entities if e.kind == "rare"]
+        assert len(rare_names) == len(set(rare_names))
+
+    def test_multi_era_entity_has_two_communities(self, small_world):
+        specs = spec_by_name(SMALL_SPECS)
+        jim_smiths = small_world.entities_named("Jim Smith")
+        multi = [e for e in jim_smiths if len(e.communities) == 2]
+        assert len(multi) == len(specs["Jim Smith"].multi_era)
+
+    def test_scale_grows_world(self):
+        small = generate_world(SMALL_CONFIG, SMALL_SPECS)
+        bigger = generate_world(
+            GeneratorConfig(**{**SMALL_CONFIG.__dict__, "scale": 2.0}), SMALL_SPECS
+        )
+        assert bigger.stats()["papers"] > 1.5 * small.stats()["papers"]
+
+    def test_citations_optional(self):
+        cfg = GeneratorConfig(**{**SMALL_CONFIG.__dict__, "with_citations": True})
+        world = generate_world(cfg, SMALL_SPECS)
+        assert any(p.citations for p in world.papers)
+        # citations point backward in time
+        papers = {p.paper_id: p for p in world.papers}
+        for paper in world.papers:
+            for cited in paper.citations:
+                assert papers[cited].year < paper.year
+
+
+class TestWorldToDatabase:
+    def test_integrity_and_sizes(self, small_world):
+        db, truth = world_to_database(small_world)
+        db.check_integrity()
+        stats = small_world.stats()
+        assert len(db.table("Publications")) == stats["papers"]
+        assert len(db.table("Publish")) == stats["authorships"]
+        assert len(db.table("Authors")) == stats["distinct_names"]
+
+    def test_ground_truth_covers_every_authorship(self, small_world):
+        db, truth = world_to_database(small_world)
+        assert len(truth.entity_of_row) == len(db.table("Publish"))
+
+    def test_ambiguous_name_shares_one_author_row(self, small_world):
+        db, truth = world_to_database(small_world)
+        assert "Wei Wang" in truth.author_row_of_name
+        rows = truth.rows_of_name["Wei Wang"]
+        author_pos = db.table("Publish").schema.position("author_key")
+        keys = {db.table("Publish").row(r)[author_pos] for r in rows}
+        assert len(keys) == 1
+
+    def test_gold_clusters_partition_references(self, small_world):
+        db, truth = world_to_database(small_world)
+        clusters = truth.clusters_for("Wei Wang")
+        all_rows = sorted(row for rows in clusters.values() for row in rows)
+        assert all_rows == sorted(truth.rows_of_name["Wei Wang"])
+        assert len(clusters) == 3
+
+    def test_citations_loaded_when_requested(self):
+        cfg = GeneratorConfig(**{**SMALL_CONFIG.__dict__, "with_citations": True})
+        world = generate_world(cfg, SMALL_SPECS)
+        db, _ = world_to_database(world, with_citations=True)
+        assert len(db.table("Cites")) > 0
+        db.check_integrity()
+
+    def test_proceedings_unique_per_conf_year(self, small_world):
+        db, _ = world_to_database(small_world)
+        proc = db.table("Proceedings")
+        pairs = [(row[1], row[2]) for row in proc.rows]
+        assert len(pairs) == len(set(pairs))

@@ -1,0 +1,49 @@
+"""Affiliation labels: generator -> ground truth -> Fig-5 rendering."""
+
+from repro.data.world import load_ground_truth, save_ground_truth
+
+
+class TestInstitutions:
+    def test_every_entity_has_one_institution_per_era(self, small_world):
+        for entity in small_world.entities:
+            assert len(entity.institutions) == len(entity.communities)
+            assert all(isinstance(i, str) and i for i in entity.institutions)
+
+    def test_same_community_entities_share_institution_pool(self, small_world):
+        by_community: dict[int, set[str]] = {}
+        for entity in small_world.entities:
+            if len(entity.communities) == 1:
+                by_community.setdefault(entity.communities[0], set()).add(
+                    entity.institutions[0]
+                )
+        # Institutions concentrate: each community uses at most 2 places.
+        assert all(len(insts) <= 2 for insts in by_community.values())
+
+    def test_ground_truth_carries_labels(self, small_db):
+        _, truth = small_db
+        assert truth.entity_labels
+        some_entity = next(iter(truth.entity_of_row.values()))
+        assert isinstance(truth.entity_labels[some_entity], str)
+
+    def test_labels_survive_serialization(self, small_db, tmp_path):
+        _, truth = small_db
+        path = tmp_path / "truth.json"
+        save_ground_truth(truth, path)
+        loaded = load_ground_truth(path)
+        assert loaded.entity_labels == truth.entity_labels
+
+    def test_multi_era_entity_label_joins_eras(self, small_world, small_db):
+        _, truth = small_db
+        multi = next(
+            e for e in small_world.entities if len(e.communities) == 2
+        )
+        label = truth.entity_labels[multi.entity_id]
+        assert " / " in label
+
+    def test_fig5_rendering_shows_affiliations(self, fitted, small_db):
+        from repro.eval.visualize import render_clusters_text
+
+        _, truth = small_db
+        resolution = fitted.resolve("Rakesh Kumar")
+        text = render_clusters_text(resolution, truth)
+        assert " @ " in text

@@ -1,0 +1,126 @@
+import pytest
+
+from repro.data.dblp_xml import iter_dblp_records, load_dblp_xml
+from repro.data.music import (
+    MusicConfig,
+    generate_music_database,
+    music_distinct_config,
+)
+
+SAMPLE_XML = """<dblp>
+<inproceedings key="conf/vldb/WangYM97">
+  <author>Wei Wang</author><author>Jiong Yang</author><author>Richard Muntz</author>
+  <title>STING: A Statistical Information Grid Approach.</title>
+  <booktitle>VLDB</booktitle><year>1997</year>
+</inproceedings>
+<inproceedings key="conf/sigmod/WangW02">
+  <author>Haixun Wang</author><author>Wei Wang</author>
+  <title>Clustering by pattern similarity.</title>
+  <booktitle>SIGMOD</booktitle><year>2002</year>
+</inproceedings>
+<article key="journals/tods/X">
+  <author>Someone Else</author>
+  <title>A journal paper.</title>
+  <journal>TODS</journal><year>2001</year>
+</article>
+<inproceedings key="conf/broken/1">
+  <title>No authors, skipped.</title>
+  <booktitle>X</booktitle><year>2000</year>
+</inproceedings>
+<inproceedings key="conf/broken/2">
+  <author>A B</author><title>No year, skipped.</title><booktitle>X</booktitle>
+</inproceedings>
+</dblp>"""
+
+
+class TestDblpXml:
+    def test_iter_records_parses_inproceedings(self):
+        records = list(iter_dblp_records(SAMPLE_XML))
+        assert len(records) == 2
+        assert records[0].venue == "VLDB"
+        assert records[0].year == 1997
+        assert records[0].authors[0] == "Wei Wang"
+
+    def test_article_records_optional(self):
+        records = list(
+            iter_dblp_records(SAMPLE_XML, record_tags=("inproceedings", "article"))
+        )
+        assert len(records) == 3
+        assert any(r.venue == "TODS" for r in records)
+
+    def test_load_builds_consistent_database(self):
+        db = load_dblp_xml(SAMPLE_XML)
+        db.check_integrity()
+        assert len(db.table("Publications")) == 2
+        assert len(db.table("Publish")) == 5
+        names = set(db.table("Authors").column("name"))
+        assert "Wei Wang" in names and "Haixun Wang" in names
+
+    def test_shared_name_shares_author_row(self):
+        db = load_dblp_xml(SAMPLE_XML)
+        rows = db.index("Authors", "name").lookup("Wei Wang")
+        assert len(rows) == 1
+
+    def test_min_papers_filter(self):
+        db = load_dblp_xml(SAMPLE_XML, min_papers=2)
+        names = set(db.table("Authors").column("name"))
+        assert names == {"Wei Wang"}  # only author with 2 papers
+        assert len(db.table("Publish")) == 2
+
+    def test_proceedings_per_venue_year(self):
+        db = load_dblp_xml(SAMPLE_XML)
+        assert len(db.table("Proceedings")) == 2
+        assert len(db.table("Conferences")) == 2
+
+    def test_file_source(self, tmp_path):
+        path = tmp_path / "dblp.xml"
+        path.write_text(SAMPLE_XML)
+        db = load_dblp_xml(path)
+        assert len(db.table("Publications")) == 2
+
+    def test_prepared_database_has_virtual_year(self):
+        db = load_dblp_xml(SAMPLE_XML)
+        assert "_v_Proceedings_year" in db.schema
+
+
+class TestMusicDomain:
+    @pytest.fixture(scope="class")
+    def music(self):
+        return generate_music_database(MusicConfig())
+
+    def test_database_consistent(self, music):
+        db, truth = music
+        db.check_integrity()
+        assert len(db.table("Credits")) == len(truth.entity_of_row)
+
+    def test_ambiguous_artist_present(self, music):
+        db, truth = music
+        clusters = truth.clusters_for("The Forgotten")
+        assert len(clusters) == 3
+
+    def test_deterministic(self):
+        a, truth_a = generate_music_database(MusicConfig())
+        b, truth_b = generate_music_database(MusicConfig())
+        assert a.relation_sizes() == b.relation_sizes()
+        assert truth_a.rows_of_name["The Forgotten"] == truth_b.rows_of_name[
+            "The Forgotten"
+        ]
+
+    def test_config_binds_to_music_schema(self):
+        config = music_distinct_config()
+        assert config.reference_relation == "Credits"
+        assert config.object_relation == "Artists"
+
+    def test_end_to_end_resolution(self, music):
+        # The full pipeline on a non-DBLP schema: fit + resolve the shared
+        # stage name; the three bands live in different scenes, so
+        # resolution should be near-perfect.
+        from repro import Distinct
+        from repro.eval.metrics import pairwise_scores
+
+        db, truth = music
+        distinct = Distinct(music_distinct_config()).fit(db)
+        resolution = distinct.resolve("The Forgotten")
+        gold = list(truth.clusters_for("The Forgotten").values())
+        scores = pairwise_scores(resolution.clusters, gold)
+        assert scores.f1 > 0.9

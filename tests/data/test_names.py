@@ -1,0 +1,102 @@
+import random
+
+import pytest
+
+from repro.data.names import (
+    COMMON_GIVEN,
+    COMMON_SURNAMES,
+    RARE_GIVEN,
+    RARE_SURNAMES,
+    NameFrequencyModel,
+    NameSampler,
+    PersonName,
+    zipf_weights,
+)
+
+
+class TestPersonName:
+    def test_full_and_parse_round_trip(self):
+        name = PersonName("Wei", "Wang")
+        assert name.full == "Wei Wang"
+        assert PersonName.parse("Wei Wang") == name
+
+    def test_parse_multi_token_first(self):
+        name = PersonName.parse("Juan Carlos Perez")
+        assert name.first == "Juan Carlos"
+        assert name.last == "Perez"
+
+    def test_parse_single_token(self):
+        name = PersonName.parse("Aristotle")
+        assert name.first == ""
+        assert name.last == "Aristotle"
+
+
+class TestZipfWeights:
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(20)
+        assert all(a > b for a, b in zip(weights, weights[1:]))
+
+    def test_head_much_heavier_than_tail(self):
+        weights = zipf_weights(100)
+        assert weights[0] / weights[-1] > 50
+
+
+class TestNameSampler:
+    def test_common_names_come_from_pools(self):
+        sampler = NameSampler(random.Random(0))
+        for _ in range(50):
+            name = sampler.sample_common()
+            assert name.first in COMMON_GIVEN
+            assert name.last in COMMON_SURNAMES
+
+    def test_rare_unique_never_repeats(self):
+        sampler = NameSampler(random.Random(0))
+        taken: set[str] = set()
+        names = [sampler.sample_rare_unique(taken) for _ in range(200)]
+        fulls = [n.full for n in names]
+        assert len(set(fulls)) == 200
+        assert taken == set(fulls)
+
+    def test_rare_names_use_rare_pools(self):
+        sampler = NameSampler(random.Random(1))
+        name = sampler.sample_rare_unique(set())
+        assert name.first in RARE_GIVEN
+        assert name.last in RARE_SURNAMES
+
+    def test_deterministic_given_seed(self):
+        a = NameSampler(random.Random(5)).sample_common()
+        b = NameSampler(random.Random(5)).sample_common()
+        assert a == b
+
+
+class TestNameFrequencyModel:
+    NAMES = [
+        "Wei Wang", "Wei Li", "Wei Chen", "John Wang",
+        "Zebulon Quarrington", "Ottilie Fernsby", "Zebulon Fernsby",
+    ]
+
+    def test_token_frequencies(self):
+        model = NameFrequencyModel(self.NAMES)
+        assert model.first_frequency("Wei Wang") == 3
+        assert model.last_frequency("Wei Wang") == 2
+        assert model.first_frequency("Zebulon Quarrington") == 2
+
+    def test_is_rare_requires_both_tokens_rare(self):
+        model = NameFrequencyModel(self.NAMES, max_token_count=2)
+        assert not model.is_rare("Wei Wang")  # Wei x3
+        assert model.is_rare("Ottilie Fernsby")  # 1 and 2
+        assert model.is_rare("Zebulon Quarrington")  # 2 and 1
+
+    def test_threshold_parameter(self):
+        strict = NameFrequencyModel(self.NAMES, max_token_count=1)
+        assert not strict.is_rare("Zebulon Quarrington")  # Zebulon x2
+
+    def test_rare_names_filter(self):
+        model = NameFrequencyModel(self.NAMES)
+        rare = model.rare_names(self.NAMES)
+        assert "Ottilie Fernsby" in rare
+        assert "Wei Wang" not in rare
+
+    def test_single_token_names_never_rare(self):
+        model = NameFrequencyModel(["Aristotle", "Plato"])
+        assert not model.is_rare("Aristotle")

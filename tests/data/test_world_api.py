@@ -1,0 +1,55 @@
+"""World object API coverage."""
+
+import pytest
+
+from repro.data.world import AuthorEntity, Conference, Paper, World
+
+
+@pytest.fixture()
+def tiny_world():
+    world = World()
+    world.entities = [
+        AuthorEntity(0, "A B", "regular", (0,), ("Inst X",)),
+        AuthorEntity(1, "C D", "rare", (1,), ("Inst Y",)),
+        AuthorEntity(2, "A B", "ambiguous", (1,), ("Inst Z",)),
+    ]
+    world.conferences = [Conference(0, "Conf", 0, "ACM")]
+    world.papers = [
+        Paper(0, "t0", 2000, 0, (0, 1)),
+        Paper(1, "t1", 2001, 0, (2,)),
+        Paper(2, "t2", 2002, 0, (0,)),
+    ]
+    world.ambiguous_names = ["A B"]
+    return world
+
+
+class TestWorldApi:
+    def test_entity_lookup(self, tiny_world):
+        assert tiny_world.entity(1).name == "C D"
+
+    def test_entities_named(self, tiny_world):
+        assert len(tiny_world.entities_named("A B")) == 2
+        assert tiny_world.entities_named("Nobody") == []
+
+    def test_papers_of(self, tiny_world):
+        assert [p.paper_id for p in tiny_world.papers_of(0)] == [0, 2]
+        assert [p.paper_id for p in tiny_world.papers_of(2)] == [1]
+
+    def test_stats(self, tiny_world):
+        stats = tiny_world.stats()
+        assert stats == {
+            "entities": 3,
+            "distinct_names": 2,
+            "conferences": 1,
+            "papers": 3,
+            "authorships": 4,
+        }
+
+    def test_world_to_database_collapses_names(self, tiny_world):
+        from repro.data.world import world_to_database
+
+        db, truth = world_to_database(tiny_world, prepared=False)
+        assert len(db.table("Authors")) == 2  # "A B" collapses
+        gold = truth.clusters_for("A B")
+        assert len(gold) == 2  # but ground truth separates the entities
+        assert truth.entity_labels[0] == "Inst X"

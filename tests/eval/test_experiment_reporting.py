@@ -1,0 +1,115 @@
+import pytest
+
+from repro.core.variants import FIG4_VARIANTS, variant_by_key
+from repro.eval.experiment import (
+    prepare_names,
+    run_variant,
+    score_resolution,
+    sweep_min_sim,
+)
+from repro.eval.reporting import format_bar_chart, format_table
+from repro.eval.visualize import render_clusters_dot, render_clusters_text
+
+NAMES = ["Wei Wang", "Rakesh Kumar", "Jim Smith"]
+
+
+@pytest.fixture(scope="module")
+def preps(fitted):
+    return prepare_names(fitted, NAMES)
+
+
+class TestExperiment:
+    def test_run_variant_scores_every_name(self, fitted, small_db, preps):
+        _, truth = small_db
+        result = run_variant(
+            fitted, preps, truth, variant_by_key("distinct"), min_sim=0.006
+        )
+        assert sorted(r.name for r in result.names) == sorted(NAMES)
+        assert 0.0 <= result.avg_f1 <= 1.0
+        assert result.min_sim == 0.006
+
+    def test_score_resolution_counts(self, fitted, small_db):
+        _, truth = small_db
+        resolution = fitted.resolve("Rakesh Kumar")
+        result = score_resolution(resolution, truth)
+        assert result.n_refs == 11
+        assert result.n_entities == 2
+        assert result.n_clusters == resolution.n_clusters
+
+    def test_sweep_picks_best_accuracy(self, fitted, small_db, preps):
+        _, truth = small_db
+        grid = (1e-4, 0.006, 0.5)
+        best, runs = sweep_min_sim(
+            fitted, preps, truth, variant_by_key("sup_resem"), grid
+        )
+        assert len(runs) == len(grid)
+        assert best.avg_accuracy == max(r.avg_accuracy for r in runs)
+
+    def test_distinct_beats_unsupervised_on_fixture(self, fitted, small_db, preps):
+        _, truth = small_db
+        grid = (1e-4, 1e-3, 0.006, 0.03, 0.1)
+        distinct_best, _ = sweep_min_sim(
+            fitted, preps, truth, variant_by_key("distinct"), grid
+        )
+        unsup_best, _ = sweep_min_sim(
+            fitted, preps, truth, variant_by_key("unsup_combined"), grid
+        )
+        assert distinct_best.avg_f1 >= unsup_best.avg_f1 - 1e-9
+
+    def test_empty_experiment_result_means(self, fitted, small_db):
+        _, truth = small_db
+        result = run_variant(fitted, {}, truth, variant_by_key("distinct"), 0.01)
+        assert result.avg_f1 == 0.0
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "f1"], [["Wei Wang", 0.9266], ["Bin Yu", 1.0]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "f1" in lines[1]
+        assert "0.927" in text
+        assert len({len(l) for l in lines[2:3]}) == 1
+
+    def test_format_table_row_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_bar_chart(self):
+        text = format_bar_chart([("DISTINCT", 0.9), ("baseline", 0.45)], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 9
+        assert lines[1].count("#") == 5 if "4" not in lines[1] else True
+        assert "0.900" in lines[0]
+
+    def test_bar_chart_clamps_values(self):
+        text = format_bar_chart([("x", 1.5)], width=10)
+        assert text.count("#") == 10
+
+
+class TestVisualize:
+    def test_text_rendering_mentions_errors(self, fitted, small_db):
+        _, truth = small_db
+        resolution = fitted.resolve("Jim Smith", min_sim=0.5)  # force splits
+        text = render_clusters_text(resolution, truth)
+        assert "Jim Smith" in text
+        assert "predicted clusters" in text
+        assert "cluster" in text
+
+    def test_text_rendering_perfect_case(self, fitted, small_db):
+        _, truth = small_db
+        resolution = fitted.resolve("Rakesh Kumar")
+        text = render_clusters_text(resolution, truth)
+        assert "Rakesh Kumar" in text
+
+    def test_dot_output_well_formed(self, fitted, small_db):
+        _, truth = small_db
+        resolution = fitted.resolve("Rakesh Kumar")
+        dot = render_clusters_dot(resolution, truth)
+        assert dot.startswith("graph distinct {")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("subgraph") == resolution.n_clusters
+        for row in resolution.rows:
+            assert f"r{row} " in dot

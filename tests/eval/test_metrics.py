@@ -1,0 +1,104 @@
+import pytest
+
+from repro.eval.metrics import (
+    bcubed_scores,
+    cluster_count_error,
+    pairwise_scores,
+)
+
+
+class TestPairwiseScores:
+    def test_perfect_clustering(self):
+        gold = [{1, 2, 3}, {4, 5}]
+        scores = pairwise_scores(gold, gold)
+        assert scores.precision == 1.0
+        assert scores.recall == 1.0
+        assert scores.f1 == 1.0
+        assert scores.accuracy == 1.0
+        assert scores.tp == 4  # C(3,2) + C(2,2)
+
+    def test_everything_merged(self):
+        gold = [{1, 2}, {3, 4}]
+        pred = [{1, 2, 3, 4}]
+        scores = pairwise_scores(pred, gold)
+        assert scores.tp == 2
+        assert scores.fp == 4
+        assert scores.fn == 0
+        assert scores.precision == pytest.approx(2 / 6)
+        assert scores.recall == 1.0
+
+    def test_everything_split(self):
+        gold = [{1, 2, 3}]
+        pred = [{1}, {2}, {3}]
+        scores = pairwise_scores(pred, gold)
+        assert scores.tp == 0
+        assert scores.precision == 1.0  # no predicted pairs -> vacuous
+        assert scores.recall == 0.0
+        assert scores.f1 == 0.0
+        assert scores.accuracy == 0.0
+
+    def test_hand_computed_mixed_case(self):
+        gold = [{1, 2, 3}, {4, 5}]
+        pred = [{1, 2}, {3, 4, 5}]
+        scores = pairwise_scores(pred, gold)
+        # predicted pairs: (1,2) TP, (3,4) FP, (3,5) FP, (4,5) TP
+        assert scores.tp == 2
+        assert scores.fp == 2
+        assert scores.fn == 2  # (1,3), (2,3)
+        assert scores.precision == pytest.approx(0.5)
+        assert scores.recall == pytest.approx(0.5)
+        # total pairs C(5,2)=10, tn = 10-2-2-2=4 -> acc = 6/10
+        assert scores.accuracy == pytest.approx(0.6)
+
+    def test_singletons_only(self):
+        scores = pairwise_scores([{1}, {2}], [{1}, {2}])
+        assert scores.precision == 1.0
+        assert scores.recall == 1.0
+
+    def test_item_in_two_clusters_rejected(self):
+        with pytest.raises(ValueError):
+            pairwise_scores([{1, 2}, {2}], [{1}, {2}])
+
+    def test_coverage_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pairwise_scores([{1, 2}], [{1, 2, 3}])
+
+    def test_symmetric_under_cluster_order(self):
+        gold = [{1, 2}, {3, 4, 5}]
+        pred = [{5, 4, 3}, {2, 1}]
+        scores = pairwise_scores(pred, gold)
+        assert scores.f1 == 1.0
+
+
+class TestBCubed:
+    def test_perfect(self):
+        gold = [{1, 2}, {3}]
+        scores = bcubed_scores(gold, gold)
+        assert scores.f1 == 1.0
+
+    def test_merged_penalizes_precision(self):
+        gold = [{1, 2}, {3, 4}]
+        pred = [{1, 2, 3, 4}]
+        scores = bcubed_scores(pred, gold)
+        assert scores.precision == pytest.approx(0.5)
+        assert scores.recall == 1.0
+
+    def test_split_penalizes_recall(self):
+        gold = [{1, 2, 3, 4}]
+        pred = [{1, 2}, {3, 4}]
+        scores = bcubed_scores(pred, gold)
+        assert scores.precision == 1.0
+        assert scores.recall == pytest.approx(0.5)
+
+    def test_bcubed_gentler_than_pairwise_on_large_merges(self):
+        gold = [{i} for i in range(10)]
+        pred = [set(range(10))]
+        bc = bcubed_scores(pred, gold)
+        pw = pairwise_scores(pred, gold)
+        assert bc.precision > pw.precision == 0.0
+
+
+class TestClusterCountError:
+    def test_value(self):
+        assert cluster_count_error([{1}, {2}], [{1, 2}]) == 1
+        assert cluster_count_error([{1}], [{1}]) == 0

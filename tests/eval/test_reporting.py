@@ -1,0 +1,82 @@
+"""Coverage for the reporting renderers beyond the smoke checks."""
+
+import pytest
+
+from repro.eval.reporting import format_bar_chart, format_table, format_xy_chart
+
+
+class TestFormatTable:
+    def test_custom_float_format(self):
+        text = format_table(["x"], [[0.123456]], float_format="{:+.5f}")
+        assert "+0.12346" in text
+
+    def test_mixed_types_render(self):
+        text = format_table(
+            ["name", "count", "score", "note"],
+            [["Wei Wang", 14, 0.5, None]],
+        )
+        assert "Wei Wang" in text
+        assert "14" in text
+        assert "None" in text
+
+    def test_column_alignment(self):
+        text = format_table(
+            ["a", "bbbb"],
+            [["xxxxxxx", 1], ["y", 22]],
+        )
+        lines = text.splitlines()
+        # Header separator line matches column widths.
+        assert lines[1].startswith("-" * 7)
+        # All data rows start their second column at the same offset.
+        col2_positions = {line.index(val) for line, val in zip(lines[2:], ["1", "22"])}
+        assert len(col2_positions) == 1
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+    def test_no_title_by_default(self):
+        text = format_table(["a"], [[1]])
+        assert text.splitlines()[0].startswith("a")
+
+
+class TestFormatBarChart:
+    def test_empty_items(self):
+        assert format_bar_chart([]) == ""
+
+    def test_zero_value_has_no_bar(self):
+        text = format_bar_chart([("zero", 0.0)], width=20)
+        assert "#" not in text
+
+    def test_full_value_fills_width(self):
+        text = format_bar_chart([("one", 1.0)], width=20)
+        assert "#" * 20 in text
+
+    def test_labels_padded_to_common_width(self):
+        text = format_bar_chart([("a", 0.5), ("longer label", 0.5)])
+        lines = text.splitlines()
+        assert lines[0].index("0.500") == lines[1].index("0.500")
+
+
+class TestFormatXYChart:
+    def test_height_and_width_respected(self):
+        points = [(float(i), i / 10) for i in range(10)]
+        text = format_xy_chart(points, width=30, height=6)
+        grid_lines = [l for l in text.splitlines() if l.startswith("|")]
+        assert len(grid_lines) == 6
+        assert all(len(l) <= 31 for l in grid_lines)
+
+    def test_monotone_points_render_monotone(self):
+        points = [(1.0, 0.0), (2.0, 0.5), (3.0, 1.0)]
+        text = format_xy_chart(points, width=9, height=3)
+        grid = [l[1:] for l in text.splitlines() if l.startswith("|")]
+        # Highest y lands on the top row, lowest on the bottom row.
+        assert "*" in grid[0] and "*" in grid[-1]
+        assert grid[0].index("*") > grid[-1].index("*")
+
+    def test_constant_y_single_row(self):
+        points = [(1.0, 0.4), (2.0, 0.4)]
+        text = format_xy_chart(points)
+        grid = [l for l in text.splitlines() if l.startswith("|")]
+        rows_with_points = [l for l in grid if "*" in l]
+        assert len(rows_with_points) == 1

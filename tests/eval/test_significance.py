@@ -1,0 +1,70 @@
+import pytest
+
+from repro.eval.experiment import ExperimentResult, NameResult
+from repro.eval.metrics import ClusterScores
+from repro.eval.significance import paired_bootstrap
+
+
+def make_result(key, f1_by_name):
+    result = ExperimentResult(variant_key=key, min_sim=0.01)
+    for name, f1 in f1_by_name.items():
+        result.names.append(
+            NameResult(
+                name=name,
+                n_refs=10,
+                n_entities=2,
+                n_clusters=2,
+                scores=ClusterScores(precision=f1, recall=f1, f1=f1),
+            )
+        )
+    return result
+
+
+class TestPairedBootstrap:
+    def test_clear_win_is_significant(self):
+        a = make_result("a", {f"n{i}": 0.9 for i in range(10)})
+        b = make_result("b", {f"n{i}": 0.5 for i in range(10)})
+        comparison = paired_bootstrap(a, b, seed=1)
+        assert comparison.observed_difference == pytest.approx(0.4)
+        assert comparison.significant
+        assert comparison.p_sign_flip == 0.0
+        assert comparison.ci_low > 0.3
+
+    def test_tie_is_not_significant(self):
+        scores_a = {f"n{i}": 0.7 + 0.02 * ((-1) ** i) for i in range(10)}
+        scores_b = {f"n{i}": 0.7 + 0.02 * ((-1) ** (i + 1)) for i in range(10)}
+        a = make_result("a", scores_a)
+        b = make_result("b", scores_b)
+        comparison = paired_bootstrap(a, b, seed=1)
+        assert abs(comparison.observed_difference) < 0.01
+        assert not comparison.significant
+
+    def test_negative_difference_direction(self):
+        a = make_result("a", {f"n{i}": 0.4 for i in range(6)})
+        b = make_result("b", {f"n{i}": 0.8 for i in range(6)})
+        comparison = paired_bootstrap(a, b, seed=2)
+        assert comparison.observed_difference < 0
+        assert comparison.ci_high < 0
+
+    def test_mismatched_names_rejected(self):
+        a = make_result("a", {"x": 0.5})
+        b = make_result("b", {"y": 0.5})
+        with pytest.raises(ValueError):
+            paired_bootstrap(a, b)
+
+    def test_empty_results_rejected(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap(make_result("a", {}), make_result("b", {}))
+
+    def test_str_rendering(self):
+        a = make_result("a", {"x": 0.9, "y": 0.8})
+        b = make_result("b", {"x": 0.5, "y": 0.6})
+        text = str(paired_bootstrap(a, b, seed=0))
+        assert "a - b:" in text
+        assert "sign-flip" in text
+
+    def test_other_metric(self):
+        a = make_result("a", {"x": 0.9, "y": 0.9})
+        b = make_result("b", {"x": 0.5, "y": 0.5})
+        comparison = paired_bootstrap(a, b, metric="precision", seed=0)
+        assert comparison.observed_difference == pytest.approx(0.4)

@@ -1,0 +1,92 @@
+import pytest
+
+from repro.eval.experiment import run_variant, prepare_names
+from repro.eval.persistence import (
+    experiment_result_from_dict,
+    experiment_result_to_dict,
+    load_experiment_results,
+    save_experiment_results,
+)
+from repro.eval.visualize import cluster_context, render_clusters_context
+from repro.core.variants import variant_by_key
+
+
+@pytest.fixture(scope="module")
+def kumar_resolution(fitted):
+    return fitted.resolve("Rakesh Kumar")
+
+
+class TestClusterContext:
+    def test_context_has_coauthors_and_years(self, fitted, small_db, kumar_resolution):
+        db, _ = small_db
+        context = cluster_context(db, kumar_resolution, kumar_resolution.clusters[0])
+        assert context["top_coauthors"]
+        name, count = context["top_coauthors"][0]
+        assert isinstance(name, str) and count >= 1
+        assert context["year_span"] is None or context["year_span"][0] <= context["year_span"][1]
+
+    def test_clusters_have_distinct_top_collaborators(self, fitted, small_db):
+        db, truth = small_db
+        resolution = fitted.resolve("Rakesh Kumar")
+        if resolution.n_clusters < 2:
+            pytest.skip("resolution merged everything")
+        a = cluster_context(db, resolution, resolution.clusters[0])
+        b = cluster_context(db, resolution, resolution.clusters[1])
+        top_a = {n for n, _ in a["top_coauthors"]}
+        top_b = {n for n, _ in b["top_coauthors"]}
+        assert top_a != top_b  # different people, different circles
+
+    def test_render_context_text(self, fitted, small_db, kumar_resolution):
+        db, truth = small_db
+        text = render_clusters_context(kumar_resolution, truth, db)
+        assert "frequent collaborators" in text
+        assert "Rakesh Kumar" in text
+
+
+class TestPersistence:
+    @pytest.fixture()
+    def results(self, fitted, small_db):
+        _, truth = small_db
+        preps = prepare_names(fitted, ["Rakesh Kumar", "Jim Smith"])
+        return {
+            "distinct": run_variant(
+                fitted, preps, truth, variant_by_key("distinct"), 0.006
+            )
+        }
+
+    def test_round_trip_dict(self, results):
+        payload = experiment_result_to_dict(results["distinct"])
+        restored = experiment_result_from_dict(payload)
+        assert restored.variant_key == "distinct"
+        assert restored.avg_f1 == pytest.approx(results["distinct"].avg_f1)
+        assert len(restored.names) == 2
+
+    def test_round_trip_file(self, results, tmp_path):
+        path = tmp_path / "results.json"
+        save_experiment_results(results, path)
+        loaded = load_experiment_results(path)
+        assert set(loaded) == {"distinct"}
+        original = results["distinct"].names[0]
+        restored = loaded["distinct"].names[0]
+        assert restored.name == original.name
+        assert restored.scores.f1 == pytest.approx(original.scores.f1)
+        assert restored.scores.tp == original.scores.tp
+
+    def test_missing_optional_fields_default(self):
+        payload = {
+            "variant_key": "x",
+            "min_sim": 0.1,
+            "names": [
+                {
+                    "name": "A",
+                    "n_refs": 2,
+                    "n_entities": 1,
+                    "n_clusters": 1,
+                    "precision": 1.0,
+                    "recall": 1.0,
+                    "f1": 1.0,
+                }
+            ],
+        }
+        restored = experiment_result_from_dict(payload)
+        assert restored.names[0].scores.accuracy == 0.0

@@ -1,0 +1,57 @@
+"""Edge cases for the graph views."""
+
+import networkx as nx
+import pytest
+
+from repro.graph import (
+    connected_component_clusters,
+    similarity_histogram,
+)
+
+
+class TestConnectedComponents:
+    def test_empty_graph(self):
+        graph = nx.Graph()
+        assert connected_component_clusters(graph, 0.1) == []
+
+    def test_isolated_nodes_become_singletons(self):
+        graph = nx.Graph()
+        graph.add_nodes_from([1, 2, 3])
+        clusters = connected_component_clusters(graph, 0.1)
+        assert clusters == [{1}, {2}, {3}]
+
+    def test_threshold_filters_edges(self):
+        graph = nx.Graph()
+        graph.add_edge(1, 2, weight=0.5)
+        graph.add_edge(2, 3, weight=0.05)
+        assert connected_component_clusters(graph, 0.1) == [{1, 2}, {3}]
+        assert connected_component_clusters(graph, 0.01) == [{1, 2, 3}]
+
+    def test_missing_weight_treated_as_zero(self):
+        graph = nx.Graph()
+        graph.add_edge(1, 2)  # no weight attribute
+        assert connected_component_clusters(graph, 0.1) == [{1}, {2}]
+        assert connected_component_clusters(graph, 0.0) == [{1, 2}]
+
+    def test_ordering_by_size_then_min(self):
+        graph = nx.Graph()
+        graph.add_edge(5, 6, weight=1.0)
+        graph.add_edge(1, 2, weight=1.0)
+        graph.add_edge(2, 3, weight=1.0)
+        clusters = connected_component_clusters(graph, 0.5)
+        assert clusters == [{1, 2, 3}, {5, 6}]
+
+
+class TestSimilarityHistogram:
+    def test_empty_graph(self):
+        assert similarity_histogram(nx.Graph()) == []
+
+    def test_bins_cover_range(self):
+        graph = nx.Graph()
+        for i, w in enumerate((0.1, 0.2, 0.9)):
+            graph.add_edge(i, i + 100, weight=w)
+        hist = similarity_histogram(graph, bins=4)
+        assert len(hist) == 4
+        assert hist[0][0] == pytest.approx(0.1)
+        assert hist[-1][1] == pytest.approx(0.9)
+        assert sum(c for _, _, c in hist) == 3

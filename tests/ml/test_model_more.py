@@ -1,0 +1,64 @@
+"""Additional PathWeightModel and TrainingSet coverage."""
+
+import pytest
+
+from repro.ml.model import PathWeightModel
+from repro.ml.trainingset import TrainingPair, TrainingSet
+
+
+class TestPathWeightModelMore:
+    def test_align_to_empty_paths(self):
+        model = PathWeightModel("resemblance", ["a"], [1.0])
+        aligned = model.align_to([])
+        assert aligned.weights == []
+        assert aligned.signatures == []
+
+    def test_align_preserves_bias_and_metadata(self):
+        model = PathWeightModel(
+            "walk", ["a", "b"], [1.0, 2.0], bias=-0.3, metadata={"C": 10.0}
+        )
+        from repro.paths import JoinPath
+        from repro.reldb.joins import JoinStep
+
+        path = JoinPath([JoinStep("Publish", "paper_key", "Publications", "paper_key", "n1")])
+        aligned = model.align_to([path])
+        assert aligned.bias == -0.3
+        assert aligned.metadata == {"C": 10.0}
+
+    def test_top_paths_more_than_available(self):
+        model = PathWeightModel("resemblance", ["a", "b"], [0.1, 0.9])
+        top = model.top_paths(10)
+        assert len(top) == 2
+        assert top[0] == ("b", 0.9)
+
+    def test_decision_value_uses_signed_weights_and_bias(self):
+        model = PathWeightModel("walk", ["a", "b"], [1.0, -2.0], bias=0.5)
+        assert model.decision_value([1.0, 1.0]) == pytest.approx(-0.5)
+
+    def test_from_dict_defaults(self):
+        model = PathWeightModel.from_dict(
+            {"measure": "walk", "signatures": ["a"], "weights": [1.5]}
+        )
+        assert model.bias == 0.0
+        assert model.metadata == {}
+
+
+class TestTrainingSetAccessors:
+    def make_set(self):
+        pairs = [
+            TrainingPair(0, 1, "A B", "A B", 1),
+            TrainingPair(2, 3, "C D", "E F", -1),
+            TrainingPair(4, 5, "A B", "A B", 1),
+        ]
+        return TrainingSet(pairs=pairs, rare_names=["A B", "C D", "E F"])
+
+    def test_counts(self):
+        ts = self.make_set()
+        assert ts.n_positive == 2
+        assert ts.n_negative == 1
+
+    def test_labels_order(self):
+        assert self.make_set().labels() == [1, -1, 1]
+
+    def test_names_used(self):
+        assert self.make_set().names_used() == {"A B", "C D", "E F"}

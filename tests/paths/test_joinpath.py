@@ -1,0 +1,76 @@
+import pytest
+
+from repro.errors import PathError
+from repro.paths import JoinPath
+from repro.reldb.joins import JoinStep
+
+
+def step(src, dst, card="n1", src_attr=None, dst_attr=None):
+    return JoinStep(src, src_attr or "k", dst, dst_attr or "k", card)
+
+
+PUB_PAP = JoinStep("Publish", "paper_key", "Publications", "paper_key", "n1")
+PAP_PUB = PUB_PAP.reverse()
+PUB_AUTH = JoinStep("Publish", "author_key", "Authors", "author_key", "n1")
+
+
+class TestJoinPath:
+    def test_empty_path_rejected(self):
+        with pytest.raises(PathError):
+            JoinPath([])
+
+    def test_non_contiguous_rejected(self):
+        with pytest.raises(PathError):
+            JoinPath([PUB_PAP, PUB_AUTH])
+
+    def test_endpoints_and_length(self):
+        path = JoinPath([PUB_PAP, PAP_PUB, PUB_AUTH])
+        assert path.start_relation == "Publish"
+        assert path.end_relation == "Authors"
+        assert path.length == 3
+
+    def test_relation_sequence(self):
+        path = JoinPath([PUB_PAP, PAP_PUB, PUB_AUTH])
+        assert path.relation_sequence() == [
+            "Publish",
+            "Publications",
+            "Publish",
+            "Authors",
+        ]
+
+    def test_extend_checks_contiguity(self):
+        path = JoinPath([PUB_PAP])
+        extended = path.extend(PAP_PUB)
+        assert extended.length == 2
+        with pytest.raises(PathError):
+            path.extend(PUB_AUTH)
+
+    def test_extend_returns_new_object(self):
+        path = JoinPath([PUB_PAP])
+        path.extend(PAP_PUB)
+        assert path.length == 1
+
+    def test_sibling_expansions_counts_reversals(self):
+        coauthor = JoinPath([PUB_PAP, PAP_PUB, PUB_AUTH])
+        assert coauthor.sibling_expansions() == 1
+        assert JoinPath([PUB_PAP]).sibling_expansions() == 0
+
+    def test_signature_is_stable_and_distinct(self):
+        p1 = JoinPath([PUB_PAP])
+        p2 = JoinPath([PUB_PAP, PAP_PUB])
+        assert p1.signature() != p2.signature()
+        assert p1.signature() == JoinPath([PUB_PAP]).signature()
+
+    def test_describe(self):
+        path = JoinPath([PUB_PAP, PAP_PUB, PUB_AUTH])
+        assert path.describe() == "Publish~Publications~Publish~Authors"
+
+    def test_equality_and_hash(self):
+        assert JoinPath([PUB_PAP]) == JoinPath([PUB_PAP])
+        assert hash(JoinPath([PUB_PAP])) == hash(JoinPath([PUB_PAP]))
+        assert JoinPath([PUB_PAP]) != JoinPath([PUB_AUTH])
+
+    def test_iter_and_len(self):
+        path = JoinPath([PUB_PAP, PAP_PUB])
+        assert list(path) == [PUB_PAP, PAP_PUB]
+        assert len(path) == 2

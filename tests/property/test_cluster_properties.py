@@ -1,0 +1,147 @@
+"""Property-based tests for the clustering layer.
+
+The central invariant (§4.2): the *incrementally* maintained cluster
+similarities must equal a brute-force recomputation from the original pair
+matrices after any sequence of merges.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import (
+    AgglomerativeClusterer,
+    AverageLinkMeasure,
+    CompleteLinkMeasure,
+    CompositeMeasure,
+    SingleLinkMeasure,
+)
+
+
+@st.composite
+def pair_matrix(draw, n_min=2, n_max=8):
+    n = draw(st.integers(min_value=n_min, max_value=n_max))
+    values = draw(
+        st.lists(
+            st.floats(0.0, 1.0, allow_nan=False),
+            min_size=n * (n - 1) // 2,
+            max_size=n * (n - 1) // 2,
+        )
+    )
+    matrix = np.zeros((n, n))
+    k = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            matrix[i, j] = matrix[j, i] = values[k]
+            k += 1
+    return matrix
+
+
+def brute_force(matrix, members_a, members_b, kind):
+    values = [matrix[i, j] for i in members_a for j in members_b]
+    if kind == "single":
+        return max(values)
+    if kind == "complete":
+        return min(values)
+    return sum(values) / len(values)
+
+
+@st.composite
+def matrix_and_merges(draw):
+    matrix = draw(pair_matrix(n_min=4))
+    n = matrix.shape[0]
+    merges = draw(st.integers(min_value=1, max_value=n - 2))
+    return matrix, merges
+
+
+class TestIncrementalEqualsBruteForce:
+    @given(matrix_and_merges(), st.randoms(use_true_random=False))
+    @settings(max_examples=60, deadline=None)
+    def test_linkage_measures(self, matrix_merges, rng):
+        matrix, n_merges = matrix_merges
+        n = matrix.shape[0]
+        measures = {
+            "single": SingleLinkMeasure(matrix),
+            "complete": CompleteLinkMeasure(matrix),
+            "average": AverageLinkMeasure(matrix),
+        }
+        members = {i: {i} for i in range(n)}
+        next_id = n
+        for _ in range(n_merges):
+            active = sorted(members)
+            a, b = rng.sample(active, 2)
+            for measure in measures.values():
+                measure.merge(a, b, next_id)
+            members[next_id] = members.pop(a) | members.pop(b)
+            next_id += 1
+
+        active = sorted(members)
+        for x_idx in range(len(active)):
+            for y_idx in range(x_idx + 1, len(active)):
+                x, y = active[x_idx], active[y_idx]
+                for kind, measure in measures.items():
+                    expected = brute_force(matrix, members[x], members[y], kind)
+                    assert measure.similarity(x, y) == pytest.approx(
+                        expected, abs=1e-9
+                    ), kind
+
+    @given(matrix_and_merges(), st.randoms(use_true_random=False))
+    @settings(max_examples=60, deadline=None)
+    def test_composite_measure(self, matrix_merges, rng):
+        resem, n_merges = matrix_merges
+        walk = resem * 0.25  # any symmetric non-negative matrix works
+        measure = CompositeMeasure(resem, walk)
+        n = resem.shape[0]
+        members = {i: {i} for i in range(n)}
+        next_id = n
+        for _ in range(n_merges):
+            a, b = rng.sample(sorted(members), 2)
+            measure.merge(a, b, next_id)
+            members[next_id] = members.pop(a) | members.pop(b)
+            next_id += 1
+
+        active = sorted(members)
+        for i in range(len(active)):
+            for j in range(i + 1, len(active)):
+                x, y = active[i], active[j]
+                ma, mb = members[x], members[y]
+                r_sum = sum(resem[p, q] for p in ma for q in mb)
+                w_sum = sum(walk[p, q] for p in ma for q in mb)
+                avg_resem = r_sum / (len(ma) * len(mb))
+                coll_walk = 0.5 * (w_sum / len(ma) + w_sum / len(mb))
+                expected = (
+                    math.sqrt(avg_resem * coll_walk)
+                    if avg_resem > 0 and coll_walk > 0
+                    else 0.0
+                )
+                assert measure.similarity(x, y) == pytest.approx(expected, abs=1e-9)
+
+
+class TestEngineInvariants:
+    @given(pair_matrix())
+    @settings(max_examples=80, deadline=None)
+    def test_clusters_partition_items(self, matrix):
+        result = AgglomerativeClusterer(min_sim=0.3).cluster(
+            AverageLinkMeasure(matrix)
+        )
+        items = sorted(i for cluster in result.clusters for i in cluster)
+        assert items == list(range(matrix.shape[0]))
+
+    @given(pair_matrix(), st.floats(0.0, 1.0, allow_nan=False))
+    @settings(max_examples=80, deadline=None)
+    def test_all_merges_meet_threshold(self, matrix, min_sim):
+        result = AgglomerativeClusterer(min_sim=min_sim).cluster(
+            AverageLinkMeasure(matrix)
+        )
+        assert all(s >= min_sim for s in result.merge_similarities)
+
+    @given(pair_matrix())
+    @settings(max_examples=60, deadline=None)
+    def test_threshold_monotonicity(self, matrix):
+        low = AgglomerativeClusterer(min_sim=0.1).cluster(AverageLinkMeasure(matrix))
+        high = AgglomerativeClusterer(min_sim=0.6).cluster(AverageLinkMeasure(matrix))
+        assert low.n_clusters <= high.n_clusters

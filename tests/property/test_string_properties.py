@@ -1,0 +1,110 @@
+"""Property-based tests for the string-matching substrate."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.strings import (
+    ApproximateJoin,
+    levenshtein,
+    normalized_levenshtein,
+    qgram_jaccard,
+    qgram_profile,
+)
+from repro.strings.qgrams import count_filter_threshold
+
+short_text = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll",), max_codepoint=0x7F),
+    max_size=10,
+)
+
+
+class TestLevenshteinMetricAxioms:
+    @given(short_text, short_text)
+    @settings(max_examples=150, deadline=None)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(short_text)
+    @settings(max_examples=100, deadline=None)
+    def test_identity(self, a):
+        assert levenshtein(a, a) == 0
+
+    @given(short_text, short_text)
+    @settings(max_examples=150, deadline=None)
+    def test_positivity(self, a, b):
+        d = levenshtein(a, b)
+        assert d >= 0
+        assert (d == 0) == (a == b)
+
+    @given(short_text, short_text, short_text)
+    @settings(max_examples=120, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(short_text, short_text)
+    @settings(max_examples=120, deadline=None)
+    def test_bounded_by_max_length(self, a, b):
+        assert levenshtein(a, b) <= max(len(a), len(b))
+
+    @given(short_text, short_text, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=120, deadline=None)
+    def test_banded_matches_exact_within_bound(self, a, b, k):
+        exact = levenshtein(a, b)
+        banded = levenshtein(a, b, max_distance=k)
+        if exact <= k:
+            assert banded == exact
+        else:
+            assert banded == k + 1
+
+    @given(short_text, short_text)
+    @settings(max_examples=100, deadline=None)
+    def test_normalized_bounds(self, a, b):
+        assert 0.0 <= normalized_levenshtein(a, b) <= 1.0
+
+
+class TestCountFilterSoundness:
+    @given(short_text, short_text, st.integers(min_value=1, max_value=3))
+    @settings(max_examples=200, deadline=None)
+    def test_filter_never_prunes_true_matches(self, a, b, k):
+        """Strings within edit distance k share at least the threshold
+        number of q-grams — the core guarantee of Gravano et al. [7]."""
+        q = 3
+        if levenshtein(a, b) > k:
+            return
+        pa, pb = qgram_profile(a, q), qgram_profile(b, q)
+        shared_distinct = len(set(pa) & set(pb))
+        threshold = count_filter_threshold(len(a), len(b), k, q)
+        # Distinct-gram overlap is what the join counts.
+        assert shared_distinct >= min(threshold, len(set(pa)), len(set(pb)))
+
+
+class TestJoinCompleteness:
+    @given(st.lists(short_text, min_size=0, max_size=12), st.integers(1, 2))
+    @settings(max_examples=80, deadline=None)
+    def test_join_equals_bruteforce(self, strings, k):
+        join = ApproximateJoin(max_distance=k)
+        found = {frozenset((m.left, m.right)) for m in join.matches(strings)}
+        unique = sorted(set(strings))
+        expected = {
+            frozenset((a, b))
+            for i, a in enumerate(unique)
+            for b in unique[i + 1 :]
+            if levenshtein(a, b) <= k
+        }
+        assert found == expected
+
+
+class TestQGramJaccardProperties:
+    @given(short_text, short_text)
+    @settings(max_examples=120, deadline=None)
+    def test_bounds_and_symmetry(self, a, b):
+        value = qgram_jaccard(a, b)
+        assert 0.0 <= value <= 1.0
+        assert value == pytest.approx(qgram_jaccard(b, a))
+
+    @given(short_text)
+    @settings(max_examples=80, deadline=None)
+    def test_identity(self, a):
+        assert qgram_jaccard(a, a) == 1.0

@@ -1,0 +1,143 @@
+import pytest
+
+from repro.errors import IntegrityError, SchemaError, UnknownRelationError
+from repro.reldb import (
+    Attribute,
+    Database,
+    ForeignKey,
+    RelationSchema,
+    Schema,
+)
+from repro.reldb.virtual import (
+    is_virtual_relation,
+    virtual_relation_name,
+    virtualize_all,
+    virtualize_attribute,
+)
+
+
+def make_db() -> Database:
+    schema = Schema()
+    schema.add_relation(
+        RelationSchema(
+            "Conferences",
+            [
+                Attribute("conf_key", kind="key"),
+                Attribute("name", kind="value"),
+                Attribute("publisher", kind="value"),
+            ],
+        )
+    )
+    schema.add_relation(
+        RelationSchema(
+            "Proceedings",
+            [
+                Attribute("proc_key", kind="key"),
+                Attribute("conf_key", kind="fk"),
+                Attribute("year", kind="value"),
+            ],
+        )
+    )
+    schema.add_foreign_key(
+        ForeignKey("Proceedings", "conf_key", "Conferences", "conf_key")
+    )
+    db = Database(schema)
+    db.insert_many(
+        "Conferences",
+        [(1, "VLDB", "VLDB Endowment"), (2, "SIGMOD", "ACM"), (3, "KDD", "ACM")],
+    )
+    db.insert_many(
+        "Proceedings",
+        [(10, 1, 2002), (11, 1, 2003), (12, 2, 2002), (13, 3, 2003)],
+    )
+    return db
+
+
+class TestDatabase:
+    def test_construction_validates_schema(self):
+        schema = Schema()
+        schema.add_relation(RelationSchema("A", [Attribute("k", kind="key")]))
+        schema.add_foreign_key(ForeignKey("A", "k", "Missing", "k"))
+        with pytest.raises(UnknownRelationError):
+            Database(schema)
+
+    def test_index_is_cached_and_refreshed(self):
+        db = make_db()
+        idx1 = db.index("Proceedings", "conf_key")
+        assert idx1.lookup(1) == [0, 1]
+        db.insert("Proceedings", (14, 1, 2004))
+        idx2 = db.index("Proceedings", "conf_key")
+        assert idx2 is idx1
+        assert idx2.lookup(1) == [0, 1, 4]
+
+    def test_check_integrity_passes_on_consistent_data(self):
+        make_db().check_integrity()
+
+    def test_check_integrity_detects_dangling_fk(self):
+        db = make_db()
+        db.insert("Proceedings", (15, 99, 2004))
+        with pytest.raises(IntegrityError):
+            db.check_integrity()
+
+    def test_check_integrity_allows_null_fk(self):
+        db = make_db()
+        db.insert("Proceedings", (15, None, 2004))
+        db.check_integrity()
+
+    def test_relation_sizes_and_summary(self):
+        db = make_db()
+        sizes = db.relation_sizes()
+        assert sizes == {"Conferences": 3, "Proceedings": 4}
+        assert "Proceedings: 4 rows" in db.summary()
+
+
+class TestVirtualization:
+    def test_virtualize_creates_distinct_value_rows(self):
+        db = make_db()
+        vname = virtualize_attribute(db, "Conferences", "publisher")
+        assert vname == virtual_relation_name("Conferences", "publisher")
+        assert is_virtual_relation(vname)
+        values = sorted(db.table(vname).column("value"))
+        assert values == ["ACM", "VLDB Endowment"]
+
+    def test_virtualize_adds_foreign_key(self):
+        db = make_db()
+        vname = virtualize_attribute(db, "Conferences", "publisher")
+        fks = [fk for fk in db.schema.foreign_keys if fk.dst_relation == vname]
+        assert len(fks) == 1
+        db.check_integrity()
+
+    def test_virtualize_is_idempotent(self):
+        db = make_db()
+        first = virtualize_attribute(db, "Conferences", "publisher")
+        second = virtualize_attribute(db, "Conferences", "publisher")
+        assert first == second
+        assert len(db.table(first)) == 2
+
+    def test_virtualize_rejects_keys_and_fks(self):
+        db = make_db()
+        with pytest.raises(SchemaError):
+            virtualize_attribute(db, "Conferences", "conf_key")
+        with pytest.raises(SchemaError):
+            virtualize_attribute(db, "Proceedings", "conf_key")
+
+    def test_virtualize_skips_none_values(self):
+        db = make_db()
+        db.insert("Conferences", (4, "ICDE", None))
+        vname = virtualize_attribute(db, "Conferences", "publisher")
+        assert None not in db.table(vname).column("value")
+        db.check_integrity()  # None FK values are nullable
+
+    def test_virtualize_all_respects_skip(self):
+        db = make_db()
+        created = virtualize_all(db, skip={("Conferences", "name")})
+        names = set(created)
+        assert virtual_relation_name("Conferences", "publisher") in names
+        assert virtual_relation_name("Proceedings", "year") in names
+        assert virtual_relation_name("Conferences", "name") not in names
+
+    def test_virtualize_all_ignores_virtual_relations(self):
+        db = make_db()
+        first = virtualize_all(db)
+        second = virtualize_all(db)
+        assert set(first) == set(second)

@@ -1,0 +1,138 @@
+import pytest
+
+from repro.reldb import Attribute, Database, ForeignKey, JoinStep, RelationSchema, Schema
+from repro.reldb.csvio import load_database, save_database
+from repro.reldb.joins import schema_join_steps, steps_for_foreign_key, steps_from
+from repro.reldb.query import count_rows, follow, project, select
+
+
+def make_db() -> Database:
+    schema = Schema()
+    schema.add_relation(
+        RelationSchema(
+            "Authors",
+            [Attribute("author_key", kind="key"), Attribute("name", kind="value")],
+        )
+    )
+    schema.add_relation(
+        RelationSchema(
+            "Publish",
+            [Attribute("paper_key", kind="fk"), Attribute("author_key", kind="fk")],
+        )
+    )
+    schema.add_relation(
+        RelationSchema(
+            "Publications",
+            [Attribute("paper_key", kind="key"), Attribute("title", kind="text")],
+        )
+    )
+    schema.add_foreign_key(ForeignKey("Publish", "author_key", "Authors", "author_key"))
+    schema.add_foreign_key(
+        ForeignKey("Publish", "paper_key", "Publications", "paper_key")
+    )
+    db = Database(schema)
+    db.insert_many("Authors", [(1, "Wei Wang"), (2, "Jiawei Han"), (3, "Jian Pei")])
+    db.insert_many("Publications", [(10, "Paper A"), (11, "Paper B")])
+    db.insert_many("Publish", [(10, 1), (10, 2), (11, 1), (11, 3)])
+    return db
+
+
+class TestJoinSteps:
+    def test_fk_yields_forward_and_reverse_steps(self):
+        db = make_db()
+        fk = db.schema.foreign_keys[0]
+        forward, reverse = steps_for_foreign_key(fk)
+        assert forward.cardinality == "n1"
+        assert reverse.cardinality == "1n"
+        assert reverse.is_reverse_of(forward)
+        assert forward.is_reverse_of(reverse)
+
+    def test_reverse_is_involution(self):
+        step = JoinStep("A", "x", "B", "y", "n1")
+        assert step.reverse().reverse() == step
+
+    def test_schema_join_steps_count(self):
+        db = make_db()
+        assert len(schema_join_steps(db.schema)) == 4
+
+    def test_steps_from_relation(self):
+        db = make_db()
+        from_publish = steps_from(db.schema, "Publish")
+        assert {s.dst_relation for s in from_publish} == {"Authors", "Publications"}
+        from_authors = steps_from(db.schema, "Authors")
+        assert [s.dst_relation for s in from_authors] == ["Publish"]
+
+    def test_str_rendering(self):
+        step = JoinStep("Publish", "author_key", "Authors", "author_key", "n1")
+        assert "Publish.author_key -> Authors.author_key" == str(step)
+
+
+class TestQuery:
+    def test_select_with_index(self):
+        db = make_db()
+        rows = list(select(db, "Publish", {"author_key": 1}))
+        assert rows == [0, 2]
+
+    def test_select_multiple_conditions(self):
+        db = make_db()
+        rows = list(select(db, "Publish", {"author_key": 1, "paper_key": 11}))
+        assert rows == [2]
+
+    def test_select_no_conditions_scans_all(self):
+        db = make_db()
+        assert list(select(db, "Authors")) == [0, 1, 2]
+
+    def test_select_with_predicate(self):
+        db = make_db()
+        rows = list(
+            select(db, "Authors", predicate=lambda r: r["name"].startswith("Ji"))
+        )
+        assert rows == [1, 2]
+
+    def test_project(self):
+        db = make_db()
+        assert project(db, "Authors", [0, 2], "name") == ["Wei Wang", "Jian Pei"]
+
+    def test_follow_forward_and_reverse(self):
+        db = make_db()
+        fk = db.schema.foreign_keys[1]  # Publish.paper_key -> Publications
+        forward, reverse = steps_for_foreign_key(fk)
+        assert follow(db, forward, 0) == [0]  # authorship row 0 -> paper 10
+        assert follow(db, reverse, 0) == [0, 1]  # paper 10 -> two authorships
+
+    def test_follow_null_fk_returns_empty(self):
+        db = make_db()
+        db.insert("Publish", (None, 1))
+        fk = db.schema.foreign_keys[1]
+        forward, _ = steps_for_foreign_key(fk)
+        assert follow(db, forward, 4) == []
+
+    def test_count_rows(self):
+        db = make_db()
+        assert count_rows(db, "Publish", {"paper_key": 10}) == 2
+
+
+class TestCsvIO:
+    def test_round_trip_preserves_rows_and_schema(self, tmp_path):
+        db = make_db()
+        save_database(db, tmp_path)
+        loaded = load_database(tmp_path)
+        assert loaded.relation_sizes() == db.relation_sizes()
+        assert loaded.table("Authors").rows == db.table("Authors").rows
+        loaded.check_integrity()
+
+    def test_round_trip_preserves_none(self, tmp_path):
+        db = make_db()
+        db.insert("Publish", (None, 1))
+        save_database(db, tmp_path)
+        loaded = load_database(tmp_path)
+        assert loaded.table("Publish").rows[-1] == (None, 1)
+
+    def test_virtual_relations_not_persisted(self, tmp_path):
+        from repro.reldb.virtual import virtualize_attribute
+
+        db = make_db()
+        virtualize_attribute(db, "Authors", "name")
+        save_database(db, tmp_path)
+        loaded = load_database(tmp_path)
+        assert all(not name.startswith("_v_") for name in loaded.schema.relations)

@@ -1,0 +1,87 @@
+"""Additional query-layer coverage against the mini DBLP database."""
+
+import pytest
+
+from repro.reldb.joins import JoinStep, steps_for_foreign_key
+from repro.reldb.query import count_rows, follow, project, select
+
+from tests.minidb import build_minidb
+
+
+@pytest.fixture(scope="module")
+def db():
+    return build_minidb()
+
+
+class TestSelectOnMiniDb:
+    def test_select_picks_most_selective_index(self, db):
+        # paper_key=0 has 3 rows, author_key=2 has 1 row: the planner should
+        # produce the same answer regardless of which index prefilters.
+        rows = list(select(db, "Publish", {"paper_key": 0, "author_key": 2}))
+        assert rows == [2]
+
+    def test_select_contradictory_conditions(self, db):
+        assert list(select(db, "Publish", {"paper_key": 0, "author_key": 3})) == []
+
+    def test_select_on_virtual_relation(self, db):
+        rows = list(select(db, "_v_Proceedings_year", {"value": 2002}))
+        assert len(rows) == 1
+
+    def test_predicate_combined_with_index(self, db):
+        rows = list(
+            select(
+                db,
+                "Publish",
+                {"author_key": 0},
+                predicate=lambda r: r["paper_key"] >= 2,
+            )
+        )
+        assert rows == [6, 8]
+
+    def test_count_matches_select_everywhere(self, db):
+        for author in range(5):
+            where = {"author_key": author}
+            assert count_rows(db, "Publish", where) == len(
+                list(select(db, "Publish", where))
+            )
+
+
+class TestFollowAndProject:
+    def test_follow_into_virtual_relation(self, db):
+        step = JoinStep("Proceedings", "year", "_v_Proceedings_year", "value", "n1")
+        targets = follow(db, step, 0)  # proceedings 0 -> year 1997
+        assert len(targets) == 1
+        assert db.table("_v_Proceedings_year").row(targets[0]) == (1997,)
+
+    def test_follow_reverse_from_virtual(self, db):
+        forward = JoinStep("Proceedings", "year", "_v_Proceedings_year", "value", "n1")
+        year_2002_row = next(
+            i
+            for i, row in enumerate(db.table("_v_Proceedings_year").rows)
+            if row[0] == 2002
+        )
+        back = follow(db, forward.reverse(), year_2002_row)
+        assert len(back) == 2  # proceedings 1 and 2 are both from 2002
+
+    def test_project_preserves_order(self, db):
+        values = project(db, "Publications", [2, 0], "title")
+        assert values == ["Sequential patterns", "STING"]
+
+    def test_chained_follow_reaches_coauthors(self, db):
+        fk_paper = next(
+            fk for fk in db.schema.foreign_keys
+            if fk.src_relation == "Publish" and fk.dst_relation == "Publications"
+        )
+        fk_author = next(
+            fk for fk in db.schema.foreign_keys
+            if fk.src_relation == "Publish" and fk.dst_relation == "Authors"
+        )
+        to_paper, to_authorships = steps_for_foreign_key(fk_paper)
+        to_author, _ = steps_for_foreign_key(fk_author)
+
+        paper = follow(db, to_paper, 0)[0]
+        authorships = follow(db, to_authorships, paper)
+        authors = sorted(
+            follow(db, to_author, a)[0] for a in authorships
+        )
+        assert authors == [0, 1, 2]  # WW, Jiong Yang, Jiawei Han

@@ -1,0 +1,114 @@
+import pytest
+
+from repro.errors import SchemaError, UnknownAttributeError, UnknownRelationError
+from repro.reldb import Attribute, ForeignKey, RelationSchema, Schema
+
+
+def make_schema() -> Schema:
+    schema = Schema()
+    schema.add_relation(
+        RelationSchema(
+            "Authors",
+            [Attribute("author_key", kind="key"), Attribute("name", kind="value")],
+        )
+    )
+    schema.add_relation(
+        RelationSchema(
+            "Publish",
+            [Attribute("paper_key", kind="fk"), Attribute("author_key", kind="fk")],
+        )
+    )
+    schema.add_relation(
+        RelationSchema(
+            "Publications",
+            [
+                Attribute("paper_key", kind="key"),
+                Attribute("title", kind="text"),
+            ],
+        )
+    )
+    schema.add_foreign_key(ForeignKey("Publish", "author_key", "Authors", "author_key"))
+    schema.add_foreign_key(ForeignKey("Publish", "paper_key", "Publications", "paper_key"))
+    return schema
+
+
+class TestAttribute:
+    def test_default_kind_is_value(self):
+        assert Attribute("year").kind == "value"
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("year", kind="numeric")
+
+
+class TestRelationSchema:
+    def test_positions_follow_declaration_order(self):
+        rel = RelationSchema("R", [Attribute("a"), Attribute("b"), Attribute("c")])
+        assert [rel.position(n) for n in "abc"] == [0, 1, 2]
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", [Attribute("a"), Attribute("a")])
+
+    def test_two_primary_keys_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", [Attribute("a", kind="key"), Attribute("b", kind="key")])
+
+    def test_key_is_none_without_key_attribute(self):
+        rel = RelationSchema("R", [Attribute("a"), Attribute("b")])
+        assert rel.key is None
+
+    def test_unknown_attribute_raises(self):
+        rel = RelationSchema("R", [Attribute("a")])
+        with pytest.raises(UnknownAttributeError):
+            rel.position("missing")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("", [Attribute("a")])
+
+
+class TestSchema:
+    def test_validate_accepts_consistent_schema(self):
+        make_schema().validate()
+
+    def test_duplicate_relation_rejected(self):
+        schema = make_schema()
+        with pytest.raises(SchemaError):
+            schema.add_relation(RelationSchema("Authors", [Attribute("x")]))
+
+    def test_unknown_relation_raises(self):
+        with pytest.raises(UnknownRelationError):
+            make_schema().relation("Nope")
+
+    def test_fk_must_reference_primary_key(self):
+        schema = make_schema()
+        schema.add_foreign_key(ForeignKey("Publish", "author_key", "Authors", "name"))
+        with pytest.raises(SchemaError):
+            schema.validate()
+
+    def test_fk_source_must_be_fk_kind(self):
+        schema = make_schema()
+        schema.add_relation(
+            RelationSchema("Bad", [Attribute("k", kind="key"), Attribute("v")])
+        )
+        schema.add_foreign_key(ForeignKey("Bad", "v", "Authors", "author_key"))
+        with pytest.raises(SchemaError):
+            schema.validate()
+
+    def test_fk_with_missing_attribute_rejected(self):
+        schema = make_schema()
+        schema.add_foreign_key(ForeignKey("Publish", "nope", "Authors", "author_key"))
+        with pytest.raises(UnknownAttributeError):
+            schema.validate()
+
+    def test_foreign_keys_from_and_to(self):
+        schema = make_schema()
+        assert len(schema.foreign_keys_from("Publish")) == 2
+        assert len(schema.foreign_keys_to("Authors")) == 1
+        assert schema.foreign_keys_from("Authors") == []
+
+    def test_contains(self):
+        schema = make_schema()
+        assert "Authors" in schema
+        assert "Nope" not in schema

@@ -1,0 +1,86 @@
+import pytest
+
+from repro.reldb.stats import (
+    column_stats,
+    database_stats,
+    fanout_stats,
+    format_stats,
+)
+
+from tests.minidb import build_minidb
+
+
+@pytest.fixture(scope="module")
+def db():
+    return build_minidb()
+
+
+class TestColumnStats:
+    def test_key_column_is_unique(self, db):
+        stats = column_stats(db, "Authors", "author_key")
+        assert stats.n_rows == 5
+        assert stats.n_distinct == 5
+        assert stats.n_null == 0
+        assert stats.density == 1.0
+
+    def test_fk_column_density(self, db):
+        stats = column_stats(db, "Publish", "author_key")
+        assert stats.n_rows == 10
+        assert stats.n_distinct == 5
+        assert stats.density == 2.0
+
+    def test_null_counting(self):
+        db = build_minidb(prepared=False)
+        db.insert("Publish", (0, None))
+        stats = column_stats(db, "Publish", "author_key")
+        assert stats.n_null == 1
+        assert stats.n_distinct == 5
+
+    def test_empty_table(self):
+        from repro.data.dblp_schema import new_dblp_database
+
+        db = new_dblp_database()
+        stats = column_stats(db, "Authors", "name")
+        assert stats.n_rows == 0
+        assert stats.density == 0.0
+
+
+class TestFanoutStats:
+    def test_authorships_per_paper(self, db):
+        fk = next(
+            fk
+            for fk in db.schema.foreign_keys
+            if fk.src_relation == "Publish" and fk.dst_relation == "Publications"
+        )
+        stats = fanout_stats(db, fk)
+        # Papers have 3, 3, 2, 2 authorship rows.
+        assert stats.min == 2
+        assert stats.max == 3
+        assert stats.mean == pytest.approx(2.5)
+
+    def test_zero_fanout_included(self, db):
+        fk = next(
+            fk
+            for fk in db.schema.foreign_keys
+            if fk.src_relation == "Publish" and fk.dst_relation == "Authors"
+        )
+        stats = fanout_stats(db, fk)
+        assert stats.min >= 1  # every author in the mini DB has a row
+        assert "Authors <- Publish.author_key" in str(stats)
+
+
+class TestDatabaseStats:
+    def test_report_excludes_virtual_by_default(self, db):
+        report = database_stats(db)
+        assert all(not name.startswith("_v_") for name in report["relations"])
+        assert len(report["fanouts"]) == 4
+
+    def test_report_can_include_virtual(self, db):
+        report = database_stats(db, include_virtual=True)
+        assert any(name.startswith("_v_") for name in report["relations"])
+
+    def test_format_stats(self, db):
+        text = format_stats(db)
+        assert "relation sizes:" in text
+        assert "join fan-outs" in text
+        assert "Publish" in text

@@ -1,0 +1,151 @@
+import pytest
+
+from repro.strings import (
+    ApproximateJoin,
+    levenshtein,
+    normalized_levenshtein,
+    qgram_cosine,
+    qgram_jaccard,
+    qgram_profile,
+    qgram_set,
+    resembling_name_groups,
+)
+from repro.strings.qgrams import count_filter_threshold
+
+
+class TestQGrams:
+    def test_profile_counts_padded_grams(self):
+        profile = qgram_profile("ab", q=2)
+        # padded: _ab_ -> "_a", "ab", "b_"
+        assert sum(profile.values()) == 3
+        assert profile["ab"] == 1
+
+    def test_profile_repeated_grams(self):
+        profile = qgram_profile("aaa", q=2)
+        assert profile["aa"] == 2
+
+    def test_case_insensitive(self):
+        assert qgram_profile("Wei") == qgram_profile("wei")
+
+    def test_q_validation(self):
+        with pytest.raises(ValueError):
+            qgram_profile("x", q=0)
+
+    def test_set_vs_profile(self):
+        assert qgram_set("aaa", q=2) == frozenset(qgram_profile("aaa", q=2))
+
+    def test_jaccard_identical(self):
+        assert qgram_jaccard("wei wang", "wei wang") == 1.0
+
+    def test_jaccard_disjoint(self):
+        assert qgram_jaccard("aaaa", "zzzz") == 0.0
+
+    def test_jaccard_close_names_high(self):
+        assert qgram_jaccard("wei wang", "wei wang 2") > 0.5
+
+    def test_cosine_bounds_and_identity(self):
+        assert qgram_cosine("hello", "hello") == pytest.approx(1.0)
+        assert 0.0 <= qgram_cosine("hello", "help") <= 1.0
+
+    def test_empty_strings(self):
+        assert qgram_jaccard("", "") == 1.0
+        assert qgram_cosine("", "") == 1.0
+
+    def test_count_filter_threshold(self):
+        # Equal strings of length 5, k=1, q=3: must share >= 5+2-3 = 4 grams.
+        assert count_filter_threshold(5, 5, 1, 3) == 4
+        # Can go non-positive (filter prunes nothing).
+        assert count_filter_threshold(2, 2, 2, 3) <= 0
+
+
+class TestLevenshtein:
+    def test_classic_cases(self):
+        assert levenshtein("kitten", "sitting") == 3
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("abc", "abc") == 0
+        assert levenshtein("abc", "acb") == 2
+
+    def test_symmetry(self):
+        assert levenshtein("wei wang", "wie wang") == levenshtein(
+            "wie wang", "wei wang"
+        )
+
+    def test_banded_early_exit(self):
+        assert levenshtein("aaaaaaaa", "bbbbbbbb", max_distance=2) == 3
+
+    def test_length_gap_shortcut(self):
+        assert levenshtein("a", "aaaaaa", max_distance=2) == 3
+
+    def test_normalized(self):
+        assert normalized_levenshtein("abc", "abc") == 1.0
+        assert normalized_levenshtein("", "") == 1.0
+        assert normalized_levenshtein("abc", "xyz") == 0.0
+        assert 0.0 < normalized_levenshtein("abcd", "abce") < 1.0
+
+
+class TestApproximateJoin:
+    NAMES = [
+        "Wei Wang", "Wei  Wang", "W. Wang", "Wei Wang", "Jiawei Han",
+        "Jaiwei Han", "Philip Yu", "Completely Different",
+    ]
+
+    def test_finds_near_duplicates(self):
+        matches = ApproximateJoin(max_distance=2).matches(self.NAMES)
+        pairs = {(m.left, m.right) for m in matches}
+        assert ("Wei  Wang", "Wei Wang") in pairs or ("Wei Wang", "Wei  Wang") in pairs
+        assert any({"Jiawei Han", "Jaiwei Han"} == {m.left, m.right} for m in matches)
+
+    def test_distances_verified(self):
+        for match in ApproximateJoin(max_distance=2).matches(self.NAMES):
+            assert levenshtein(match.left, match.right) == match.distance
+            assert match.distance <= 2
+
+    def test_matches_complete_vs_bruteforce(self):
+        join = ApproximateJoin(max_distance=2)
+        found = {
+            frozenset((m.left, m.right)) for m in join.matches(self.NAMES)
+        }
+        unique = sorted(set(self.NAMES))
+        expected = {
+            frozenset((a, b))
+            for i, a in enumerate(unique)
+            for b in unique[i + 1 :]
+            if levenshtein(a, b) <= 2
+        }
+        assert found == expected
+
+    def test_groups(self):
+        groups = ApproximateJoin(max_distance=2).groups(self.NAMES)
+        wang_group = next(g for g in groups if "Wei Wang" in g)
+        assert "Wei  Wang" in wang_group
+        assert "Completely Different" not in {n for g in groups for n in g}
+
+    def test_no_matches(self):
+        assert ApproximateJoin(max_distance=1).groups(["abcdef", "uvwxyz"]) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ApproximateJoin(max_distance=0)
+
+
+class TestResemblingNameGroups:
+    def test_on_database(self):
+        from repro.data.dblp_schema import new_dblp_database
+
+        db = new_dblp_database()
+        db.insert_many(
+            "Authors",
+            [
+                (0, "Wei Wang"),
+                (1, "Wei Wang 2"),
+                (2, "Jiawei Han"),
+                (3, "Unrelated Person"),
+            ],
+        )
+        groups = resembling_name_groups(db, max_distance=2)
+        assert groups == [{"Wei Wang", "Wei Wang 2"}]
+
+    def test_empty_table(self):
+        from repro.data.dblp_schema import new_dblp_database
+
+        assert resembling_name_groups(new_dblp_database()) == []

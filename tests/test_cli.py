@@ -1,0 +1,209 @@
+"""End-to-end tests of the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def world_dir(tmp_path_factory):
+    out = tmp_path_factory.mktemp("cliworld")
+    code = main(["generate", "--out", str(out), "--scale", "0.3", "--seed", "5"])
+    assert code == 0
+    return out
+
+
+@pytest.fixture(scope="module")
+def model_dir(world_dir, tmp_path_factory):
+    out = tmp_path_factory.mktemp("models")
+    code = main(
+        [
+            "fit",
+            "--db", str(world_dir),
+            "--out", str(out),
+            "--positive", "150",
+            "--negative", "150",
+            "--svm-c", "10",
+        ]
+    )
+    assert code == 0
+    return out
+
+
+class TestGenerate:
+    def test_writes_database_and_truth(self, world_dir):
+        assert (world_dir / "schema.json").exists()
+        assert (world_dir / "Publish.csv").exists()
+        assert (world_dir / "truth.json").exists()
+        names = json.loads((world_dir / "ambiguous_names.json").read_text())
+        assert "Wei Wang" in names
+
+    def test_stats_runs(self, world_dir, capsys):
+        assert main(["stats", "--db", str(world_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "Publish" in out
+        assert "Wei Wang" in out
+
+
+class TestFit:
+    def test_writes_models_and_report(self, model_dir):
+        assert (model_dir / "resem_model.json").exists()
+        assert (model_dir / "walk_model.json").exists()
+        report = json.loads((model_dir / "fit_report.json").read_text())
+        assert report["n_training_pairs"] == 300
+        assert report["n_paths"] > 10
+
+
+class TestResolve:
+    def test_resolve_without_truth(self, world_dir, model_dir, capsys):
+        code = main(
+            [
+                "resolve",
+                "--db", str(world_dir),
+                "--models", str(model_dir),
+                "--name", "Rakesh Kumar",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "'Rakesh Kumar'" in out
+        assert "object 0" in out
+
+    def test_resolve_with_truth_renders_diagram(self, world_dir, model_dir, capsys):
+        code = main(
+            [
+                "resolve",
+                "--db", str(world_dir),
+                "--models", str(model_dir),
+                "--name", "Rakesh Kumar",
+                "--truth", str(world_dir / "truth.json"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "real entities" in out
+        assert "cluster" in out
+
+    def test_min_sim_override(self, world_dir, model_dir, capsys):
+        code = main(
+            [
+                "resolve",
+                "--db", str(world_dir),
+                "--models", str(model_dir),
+                "--name", "Rakesh Kumar",
+                "--min-sim", "99.0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # Impossible threshold -> every reference its own cluster.
+        assert "36 references -> 36 objects" in out
+
+
+class TestExperiment:
+    def test_distinct_table(self, world_dir, model_dir, capsys):
+        code = main(
+            [
+                "experiment",
+                "--db", str(world_dir),
+                "--models", str(model_dir),
+                "--truth", str(world_dir / "truth.json"),
+                "--names", "Rakesh Kumar,Hui Fang",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "DISTINCT accuracy" in out
+        assert "average" in out
+
+    def test_default_names_come_from_saved_world(self, world_dir, model_dir, capsys):
+        code = main(
+            [
+                "experiment",
+                "--db", str(world_dir),
+                "--models", str(model_dir),
+                "--truth", str(world_dir / "truth.json"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Wei Wang" in out
+
+
+class TestExplainCommand:
+    def test_explains_a_pair(self, world_dir, model_dir, capsys):
+        import json
+
+        rows = json.loads((world_dir / "truth.json").read_text())["rows_of_name"][
+            "Rakesh Kumar"
+        ][:2]
+        code = main(
+            [
+                "explain",
+                "--db", str(world_dir),
+                "--models", str(model_dir),
+                "--name", "Rakesh Kumar",
+                "--rows", f"{rows[0]},{rows[1]}",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "composite similarity" in out
+
+    def test_bad_rows_argument(self, world_dir, model_dir, capsys):
+        code = main(
+            [
+                "explain",
+                "--db", str(world_dir),
+                "--models", str(model_dir),
+                "--name", "Rakesh Kumar",
+                "--rows", "1,2,3",
+            ]
+        )
+        assert code == 2
+
+
+class TestCandidatesCommand:
+    def test_prints_ranked_names(self, world_dir, capsys):
+        code = main(
+            ["candidates", "--db", str(world_dir), "--min-refs", "5", "--limit", "10"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "candidate ambiguous names" in out
+        assert "score" in out
+
+    def test_no_candidates_message(self, world_dir, capsys):
+        code = main(
+            ["candidates", "--db", str(world_dir), "--min-score", "0.999"]
+        )
+        assert code == 0
+        assert "no candidate" in capsys.readouterr().out
+
+
+class TestCalibrateCommand:
+    def test_prints_threshold_table(self, world_dir, model_dir, capsys):
+        code = main(
+            [
+                "calibrate",
+                "--db", str(world_dir),
+                "--models", str(model_dir),
+                "--names", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best min-sim:" in out
+        assert "synthetic" in out
+
+
+class TestParser:
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_errors(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,59 @@
+"""The exception hierarchy and the public package surface."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    ConvergenceError,
+    IntegrityError,
+    NotFittedError,
+    PathError,
+    ReproError,
+    SchemaError,
+    TrainingError,
+    UnknownAttributeError,
+    UnknownRelationError,
+)
+
+
+class TestExceptionHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for exc in (
+            SchemaError, IntegrityError, PathError, TrainingError,
+            NotFittedError, ConvergenceError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_unknown_relation_message_and_fields(self):
+        error = UnknownRelationError("Nope")
+        assert isinstance(error, SchemaError)
+        assert error.name == "Nope"
+        assert "Nope" in str(error)
+
+    def test_unknown_attribute_message_and_fields(self):
+        error = UnknownAttributeError("Authors", "missing")
+        assert error.relation == "Authors"
+        assert error.attribute == "missing"
+        assert "Authors" in str(error) and "missing" in str(error)
+
+    def test_catching_base_class_catches_everything(self):
+        with pytest.raises(ReproError):
+            raise TrainingError("no rare names")
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_key_entry_points_present(self):
+        assert callable(repro.Distinct)
+        assert callable(repro.generate_world)
+        assert callable(repro.world_to_database)
+        assert callable(repro.pairwise_scores)
+
+    def test_table1_spec_exposed(self):
+        assert len(repro.TABLE1_SPEC) == 10

@@ -1,0 +1,52 @@
+"""Smoke tests for the example scripts.
+
+Each example must at least import cleanly and expose ``main``. The fastest
+one (the music store) is executed end to end; the slower ones are covered
+indirectly — their building blocks run in the integration tests and the
+benchmark suite executes the same pipelines.
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load_module(path: Path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {p.name for p in EXAMPLES}
+        assert {
+            "quickstart.py",
+            "dblp_case_study.py",
+            "music_store.py",
+            "model_inspection.py",
+            "discovery_pipeline.py",
+        } <= names
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+    def test_example_importable_with_main(self, path):
+        module = load_module(path)
+        assert callable(module.main)
+
+    def test_music_store_runs_end_to_end(self):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / "music_store.py")],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "distinct bands" in result.stdout
+        assert "p=1.000" in result.stdout or "f=" in result.stdout

@@ -1,0 +1,142 @@
+"""Cross-module integration tests: determinism, model reuse, alternate
+schemas, end-to-end invariants."""
+
+import numpy as np
+import pytest
+
+from repro import Distinct, DistinctConfig, GeneratorConfig, generate_world
+from repro.data.ambiguity import AmbiguousNameSpec
+from repro.data.world import world_to_database
+from repro.eval.metrics import pairwise_scores
+from repro.ml.model import PathWeightModel
+
+
+SPECS = [AmbiguousNameSpec("Wei Wang", (8, 5))]
+GEN = GeneratorConfig(
+    seed=23,
+    n_communities=6,
+    regular_entities_per_community=20,
+    rare_entities=50,
+    background_papers_per_community_year=4,
+)
+CFG = DistinctConfig(n_positive=200, n_negative=200, svm_C=10.0, min_sim=0.012)
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    world = generate_world(GEN, SPECS)
+    db, truth = world_to_database(world)
+    distinct = Distinct(CFG).fit(db)
+    return world, db, truth, distinct
+
+
+class TestDeterminism:
+    def test_same_seed_same_models(self, pipeline):
+        world, db, truth, distinct = pipeline
+        again = Distinct(CFG).fit(db)
+        assert again.resem_model_.weights == pytest.approx(
+            distinct.resem_model_.weights
+        )
+        assert again.walk_model_.weights == pytest.approx(distinct.walk_model_.weights)
+
+    def test_same_seed_same_clusters(self, pipeline):
+        world, db, truth, distinct = pipeline
+        a = distinct.resolve("Wei Wang")
+        b = Distinct(CFG).fit(db).resolve("Wei Wang")
+        assert a.clusters == b.clusters
+
+    def test_different_training_seed_similar_quality(self, pipeline):
+        world, db, truth, distinct = pipeline
+        other = Distinct(CFG.with_options(seed=99)).fit(db)
+        gold = list(truth.clusters_for("Wei Wang").values())
+        f_a = pairwise_scores(distinct.resolve("Wei Wang").clusters, gold).f1
+        f_b = pairwise_scores(other.resolve("Wei Wang").clusters, gold).f1
+        assert abs(f_a - f_b) < 0.35  # robust to the training sample
+
+
+class TestModelReuse:
+    def test_save_load_from_models_identical_resolution(self, pipeline, tmp_path):
+        world, db, truth, distinct = pipeline
+        distinct.resem_model_.save(tmp_path / "r.json")
+        distinct.walk_model_.save(tmp_path / "w.json")
+
+        fresh = Distinct.from_models(
+            db,
+            PathWeightModel.load(tmp_path / "r.json"),
+            PathWeightModel.load(tmp_path / "w.json"),
+            CFG,
+        )
+        assert fresh.resolve("Wei Wang").clusters == distinct.resolve("Wei Wang").clusters
+
+    def test_models_transfer_to_fresh_world_same_schema(self, pipeline):
+        world, db, truth, distinct = pipeline
+        other_world = generate_world(
+            GeneratorConfig(**{**GEN.__dict__, "seed": 31}), SPECS
+        )
+        other_db, other_truth = world_to_database(other_world)
+        transferred = Distinct.from_models(
+            other_db, distinct.resem_model_, distinct.walk_model_, CFG
+        )
+        resolution = transferred.resolve("Wei Wang")
+        gold = list(other_truth.clusters_for("Wei Wang").values())
+        assert pairwise_scores(resolution.clusters, gold).f1 > 0.6
+
+    def test_from_models_rejects_resolution_before_alignment_errors(self, pipeline):
+        world, db, truth, distinct = pipeline
+        # Aligning to a schema where signatures do not overlap leaves zero
+        # weights -> everything unclustered at any positive threshold.
+        from repro.data.music import generate_music_database, music_distinct_config
+
+        music_db, _ = generate_music_database()
+        transferred = Distinct.from_models(
+            music_db,
+            distinct.resem_model_,
+            distinct.walk_model_,
+            music_distinct_config(),
+        )
+        resolution = transferred.resolve("The Forgotten")
+        # No DBLP path exists on the music schema: all weights align to 0.
+        assert all(w == 0.0 for w in transferred.resem_model_.weights)
+        assert resolution.n_clusters == len(resolution.rows)
+
+
+class TestEndToEndInvariants:
+    def test_resolution_is_a_partition(self, pipeline):
+        world, db, truth, distinct = pipeline
+        resolution = distinct.resolve("Wei Wang")
+        seen = set()
+        for cluster in resolution.clusters:
+            assert not seen & cluster
+            seen |= cluster
+        assert seen == set(truth.rows_of_name["Wei Wang"])
+
+    def test_min_sim_extremes(self, pipeline):
+        world, db, truth, distinct = pipeline
+        prep = distinct.prepare("Wei Wang")
+        merged = distinct.cluster_prepared(prep, min_sim=0.0)
+        split = distinct.cluster_prepared(prep, min_sim=1e9)
+        assert merged.n_clusters < split.n_clusters
+        assert split.n_clusters == len(prep.rows)
+
+    def test_pair_matrices_rows_align(self, pipeline):
+        world, db, truth, distinct = pipeline
+        resolution = distinct.resolve("Wei Wang")
+        n = len(resolution.rows)
+        assert resolution.resem_matrix.shape == (n, n)
+        assert resolution.walk_matrix.shape == (n, n)
+
+    def test_citation_schema_end_to_end(self):
+        config = GeneratorConfig(**{**GEN.__dict__, "with_citations": True})
+        world = generate_world(config, SPECS)
+        db, truth = world_to_database(world, with_citations=True)
+        distinct = Distinct(CFG).fit(db)
+        assert any("Cites" in p.describe() for p in distinct.paths_)
+        resolution = distinct.resolve("Wei Wang")
+        gold = list(truth.clusters_for("Wei Wang").values())
+        assert pairwise_scores(resolution.clusters, gold).f1 > 0.6
+
+    def test_fit_twice_overwrites_cleanly(self, pipeline):
+        world, db, truth, distinct = pipeline
+        first_weights = list(distinct.resem_model_.weights)
+        distinct.fit(db)
+        assert distinct.resem_model_.weights == pytest.approx(first_weights)
