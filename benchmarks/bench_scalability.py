@@ -60,7 +60,21 @@ def test_scaling_world_size(benchmark, report):
         rows,
         title="Scalability: phase cost vs world size (one 40-ref name)",
     )
-    report("scalability", table)
+    report(
+        "scalability",
+        table,
+        data={
+            row[0]: {
+                "papers": row[1],
+                "authorships": row[2],
+                "load_s": round(row[3], 3),
+                "fit_s": round(row[4], 3),
+                "prepare_s": round(row[5], 3),
+                "cluster_s": round(row[6], 3),
+            }
+            for row in rows
+        },
+    )
 
     # Loading should scale roughly linearly (within generous bounds).
     assert rows[-1][3] < rows[0][3] * 12

@@ -41,7 +41,17 @@ def test_table2_accuracy(benchmark, distinct, preparations, db_truth, report):
             "avg recall 0.836, avg f ~0.90"
         ),
     )
-    report("table2_accuracy", table)
+    report(
+        "table2_accuracy",
+        table,
+        data={
+            "avg_precision": round(result.avg_precision, 4),
+            "avg_recall": round(result.avg_recall, 4),
+            "avg_f1": round(result.avg_f1, 4),
+            "min_sim": distinct.config.min_sim,
+            "per_name_f1": {r.name: round(r.scores.f1, 4) for r in result.names},
+        },
+    )
 
     # Shape assertions (paper-vs-measured detailed in EXPERIMENTS.md):
     perfect_precision = sum(1 for r in result.names if r.scores.precision >= 0.999)

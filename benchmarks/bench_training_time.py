@@ -32,7 +32,18 @@ def test_training_phase_breakdown(benchmark, distinct, db_truth, report):
             f"DBLP; {fit.n_training_pairs} pairs from {fit.n_rare_names} rare names)"
         ),
     )
-    report("training_time", table)
+    report(
+        "training_time",
+        table,
+        data={
+            "seconds_training_set": round(fit.seconds_training_set, 3),
+            "seconds_features": round(fit.seconds_features, 3),
+            "seconds_svm": round(fit.seconds_svm, 3),
+            "seconds_total": round(fit.seconds_total, 3),
+            "n_training_pairs": fit.n_training_pairs,
+            "n_rare_names": fit.n_rare_names,
+        },
+    )
 
     result = benchmark(build_training_set, db)
     assert result.n_positive == 1000

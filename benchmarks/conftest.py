@@ -5,11 +5,14 @@ setting): built once per session, fitted once per session. Each bench
 regenerates one table or figure of the paper, prints it to the terminal
 (bypassing capture so it lands in ``bench_output.txt``), writes it to
 ``benchmarks/results/``, and times a representative kernel with
-pytest-benchmark.
+pytest-benchmark. Benches that pass ``data=`` to the report fixture also
+land their key numbers in ``benchmarks/results/summary.json`` for
+machine consumption (trend tracking across PRs).
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -45,11 +48,26 @@ def preparations(distinct, world):
 
 @pytest.fixture()
 def report(capsys):
-    """Print a reproduced table/figure to the real terminal and archive it."""
+    """Print a reproduced table/figure to the real terminal and archive it.
 
-    def _report(name: str, text: str) -> None:
-        RESULTS_DIR.mkdir(exist_ok=True)
+    ``data`` (optional) is a JSON-serializable dict of the bench's key
+    numbers; it is merged into ``benchmarks/results/summary.json`` under
+    the bench name, so the numeric trajectory of every bench is
+    machine-readable, not just the formatted text tables.
+    """
+
+    def _report(name: str, text: str, data: dict | None = None) -> None:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        if data is not None:
+            summary_path = RESULTS_DIR / "summary.json"
+            summary = (
+                json.loads(summary_path.read_text()) if summary_path.exists() else {}
+            )
+            summary[name] = data
+            summary_path.write_text(
+                json.dumps(summary, indent=2, sort_keys=True) + "\n"
+            )
         with capsys.disabled():
             print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")
 

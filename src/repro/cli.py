@@ -40,18 +40,70 @@ from repro.eval.experiment import prepare_names, run_experiment, run_variant
 from repro.eval.reporting import format_table
 from repro.eval.visualize import render_clusters_text
 from repro.ml.model import PathWeightModel
+from repro.obs import (
+    disable_tracing,
+    enable_tracing,
+    get_logger,
+    get_metrics,
+    setup_logging,
+    span,
+)
+from repro.obs.export import write_trace
 from repro.reldb.csvio import load_database, save_database
 
 TRUTH_FILE = "truth.json"
 AMBIGUOUS_FILE = "ambiguous_names.json"
 
+log = get_logger("cli")
+
+
+def _obs_options() -> argparse.ArgumentParser:
+    """The observability flags, accepted before *or* after the subcommand.
+
+    Defaults are SUPPRESS so a flag parsed at the top level is not
+    clobbered by the subparser's default; ``main`` reads them via
+    ``getattr`` with the real fallbacks.
+    """
+    common = argparse.ArgumentParser(add_help=False)
+    group = common.add_argument_group("observability")
+    group.add_argument(
+        "--log-level",
+        default=argparse.SUPPRESS,
+        choices=("DEBUG", "INFO", "WARNING", "ERROR"),
+        help="log verbosity for the repro logger tree (default: WARNING)",
+    )
+    group.add_argument(
+        "--json-logs",
+        action="store_true",
+        default=argparse.SUPPRESS,
+        help="emit logs as JSON lines instead of human-readable text",
+    )
+    group.add_argument(
+        "--trace-out",
+        default=argparse.SUPPRESS,
+        metavar="PATH",
+        help="enable tracing and write the span tree + metrics JSON here",
+    )
+    return common
+
 
 def build_parser() -> argparse.ArgumentParser:
+    common = _obs_options()
     parser = argparse.ArgumentParser(
         prog="repro",
         description="DISTINCT: distinguishing objects with identical names",
+        parents=[common],
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    class _Sub:
+        """add_parser shim attaching the shared observability options."""
+
+        @staticmethod
+        def add_parser(name: str, **kwargs):
+            return subparsers.add_parser(name, parents=[common], **kwargs)
+
+    sub = _Sub()
 
     p = sub.add_parser("generate", help="generate a synthetic world")
     p.add_argument("--out", required=True, help="output directory")
@@ -339,7 +391,21 @@ def cmd_experiment(args) -> int:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    setup_logging(
+        level=getattr(args, "log_level", "WARNING"),
+        json_lines=getattr(args, "json_logs", False),
+    )
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        enable_tracing()
+    try:
+        with span(args.command):
+            return args.func(args)
+    finally:
+        if trace_out:
+            path = write_trace(Path(trace_out), metrics=get_metrics())
+            disable_tracing()
+            log.info("trace written to %s", path)
 
 
 if __name__ == "__main__":

@@ -18,6 +18,10 @@ from dataclasses import dataclass, field
 from typing import Protocol
 
 from repro.cluster.dendrogram import Dendrogram
+from repro.obs import counter, span
+
+_MERGES = counter("cluster.merges")
+_RUNS = counter("cluster.runs")
 
 
 class ClusterMeasure(Protocol):
@@ -77,10 +81,22 @@ class AgglomerativeClusterer:
         self.min_sim = min_sim
 
     def cluster(self, measure: ClusterMeasure) -> ClusteringResult:
+        _RUNS.inc()
         n = measure.n_items()
         dendrogram = Dendrogram(n_leaves=n)
         if n == 0:
             return ClusteringResult([], dendrogram, self.min_sim)
+        with span("cluster.agglomerative", n_items=n, min_sim=self.min_sim) as sp:
+            result = self._merge_loop(measure, n, dendrogram)
+            sp.annotate(
+                n_clusters=result.n_clusters, n_merges=len(result.merge_similarities)
+            )
+        _MERGES.inc(len(result.merge_similarities))
+        return result
+
+    def _merge_loop(
+        self, measure: ClusterMeasure, n: int, dendrogram: Dendrogram
+    ) -> ClusteringResult:
 
         members: dict[int, set[int]] = {i: {i} for i in range(n)}
         version: dict[int, int] = {i: 0 for i in range(n)}

@@ -13,7 +13,6 @@ best similarity falls below ``min_sim``.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -34,6 +33,7 @@ from repro.ml.model import PathWeightModel
 from repro.ml.validation import cross_validate
 from repro.ml.svm import LinearSVM
 from repro.ml.trainingset import TrainingSet, build_training_set
+from repro.obs import counter, get_logger, span, timed
 from repro.paths.enumerate import enumerate_paths
 from repro.paths.joinpath import JoinPath
 from repro.paths.profiles import ProfileBuilder
@@ -41,6 +41,10 @@ from repro.reldb.database import Database
 from repro.similarity.combine import PathWeights, uniform_weights
 
 MEASURES = ("combined", "resemblance", "walk")
+
+log = get_logger("core.distinct")
+_PAIRS_SCORED = counter("pairs.scored")
+_NAMES_RESOLVED = counter("names.resolved")
 
 
 @dataclass
@@ -132,46 +136,60 @@ class Distinct:
         """Learn per-path weights from the automatically built training set."""
         config = self.config
         self.db = db
-        self.paths_ = enumerate_paths(
-            db.schema, config.reference_relation, config.path_config
-        )
+        with span("fit", reference_relation=config.reference_relation) as fit_span:
+            self.paths_ = enumerate_paths(
+                db.schema, config.reference_relation, config.path_config
+            )
 
-        t0 = time.perf_counter()
-        training_set = build_training_set(
-            db,
-            n_positive=config.n_positive,
-            n_negative=config.n_negative,
-            max_token_count=config.max_token_count,
-            min_refs=config.min_refs,
-            max_refs=config.max_refs,
-            seed=config.seed,
-            reference_relation=config.reference_relation,
-            object_relation=config.object_relation,
-            object_key=config.object_key,
-            name_attribute=config.name_attribute,
-        )
-        t1 = time.perf_counter()
+            with timed("fit.training_set") as sp_training:
+                training_set = build_training_set(
+                    db,
+                    n_positive=config.n_positive,
+                    n_negative=config.n_negative,
+                    max_token_count=config.max_token_count,
+                    min_refs=config.min_refs,
+                    max_refs=config.max_refs,
+                    seed=config.seed,
+                    reference_relation=config.reference_relation,
+                    object_relation=config.object_relation,
+                    object_key=config.object_key,
+                    name_attribute=config.name_attribute,
+                )
 
-        features = self._training_features(training_set)
-        t2 = time.perf_counter()
+            with timed("fit.features", n_pairs=len(training_set.pairs)) as sp_features:
+                features = self._training_features(training_set)
 
-        labels = np.asarray(training_set.labels(), dtype=float)
-        self.resem_model_, acc_resem = self._train_measure(
-            "resemblance", features.resemblance, labels
-        )
-        self.walk_model_, acc_walk = self._train_measure("walk", features.walk, labels)
-        t3 = time.perf_counter()
+            with timed("fit.svm") as sp_svm:
+                labels = np.asarray(training_set.labels(), dtype=float)
+                self.resem_model_, acc_resem = self._train_measure(
+                    "resemblance", features.resemblance, labels
+                )
+                self.walk_model_, acc_walk = self._train_measure(
+                    "walk", features.walk, labels
+                )
 
-        self.training_set_ = training_set
-        self.fit_report_ = FitReport(
-            n_paths=len(self.paths_),
-            n_training_pairs=len(training_set.pairs),
-            n_rare_names=len(training_set.rare_names),
-            train_accuracy_resem=acc_resem,
-            train_accuracy_walk=acc_walk,
-            seconds_training_set=t1 - t0,
-            seconds_features=t2 - t1,
-            seconds_svm=t3 - t2,
+            self.training_set_ = training_set
+            self.fit_report_ = FitReport(
+                n_paths=len(self.paths_),
+                n_training_pairs=len(training_set.pairs),
+                n_rare_names=len(training_set.rare_names),
+                train_accuracy_resem=acc_resem,
+                train_accuracy_walk=acc_walk,
+                seconds_training_set=sp_training.duration,
+                seconds_features=sp_features.duration,
+                seconds_svm=sp_svm.duration,
+            )
+            fit_span.annotate(
+                n_paths=len(self.paths_), n_training_pairs=len(training_set.pairs)
+            )
+        log.info(
+            "fit: %d paths, %d training pairs, train acc resem=%.3f walk=%.3f "
+            "(%.2fs)",
+            len(self.paths_),
+            len(training_set.pairs),
+            acc_resem,
+            acc_walk,
+            self.fit_report_.seconds_total,
         )
         return self
 
@@ -288,14 +306,24 @@ class Distinct:
         """
         if self.db is None or self.paths_ is None:
             raise NotFittedError("call fit(db) before prepare()")
-        refs = extract_references(self.db, name, self.config)
-        if len(refs.rows) <= 1:
-            return NamePreparation(name=name, rows=list(refs.rows), features=None)
-        builder = ProfileBuilder(
-            self.db, self.paths_, exclusions_for_name(self.db, name, self.config)
-        )
-        pairs = all_pairs(refs.rows)
-        features = compute_pair_features(builder, pairs)
+        with span("resolve.prepare", name=name) as prep_span:
+            refs = extract_references(self.db, name, self.config)
+            if len(refs.rows) <= 1:
+                prep_span.annotate(n_refs=len(refs.rows))
+                return NamePreparation(name=name, rows=list(refs.rows), features=None)
+            builder = ProfileBuilder(
+                self.db, self.paths_, exclusions_for_name(self.db, name, self.config)
+            )
+            with span("resolve.profiles", name=name, n_refs=len(refs.rows)) as sp:
+                builder.warm(refs.rows)
+                sp.annotate(n_profiles=builder.cache_size)
+            pairs = all_pairs(refs.rows)
+            with span("resolve.similarity", name=name, n_pairs=len(pairs)):
+                features = compute_pair_features(builder, pairs)
+            _PAIRS_SCORED.inc(len(pairs))
+            prep_span.annotate(n_refs=len(refs.rows), n_pairs=len(pairs))
+        log.debug("prepared %r: %d references, %d pairs", name, len(refs.rows),
+                  len(pairs))
         return NamePreparation(name=name, rows=list(refs.rows), features=features)
 
     def cluster_prepared(
@@ -322,11 +350,16 @@ class Distinct:
             )
 
         features = prep.features
-        resem_values, walk_values = self._combined_pair_values(features, supervised)
-        resem_matrix = pair_matrix(prep.rows, features.pairs, resem_values)
-        walk_matrix = pair_matrix(prep.rows, features.pairs, walk_values)
-        cluster_measure = self._make_measure(measure, resem_matrix, walk_matrix)
-        result = AgglomerativeClusterer(min_sim=min_sim).cluster(cluster_measure)
+        with span(
+            "resolve.cluster", name=prep.name, measure=measure, min_sim=min_sim
+        ) as sp:
+            resem_values, walk_values = self._combined_pair_values(features, supervised)
+            resem_matrix = pair_matrix(prep.rows, features.pairs, resem_values)
+            walk_matrix = pair_matrix(prep.rows, features.pairs, walk_values)
+            cluster_measure = self._make_measure(measure, resem_matrix, walk_matrix)
+            result = AgglomerativeClusterer(min_sim=min_sim).cluster(cluster_measure)
+            sp.annotate(n_clusters=result.n_clusters)
+        _NAMES_RESOLVED.inc()
 
         clusters = [{prep.rows[i] for i in cluster} for cluster in result.clusters]
         return NameResolution(

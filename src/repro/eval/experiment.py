@@ -16,6 +16,9 @@ from repro.core.distinct import Distinct, NamePreparation
 from repro.core.variants import VariantSpec
 from repro.data.world import GroundTruth
 from repro.eval.metrics import ClusterScores, pairwise_scores
+from repro.obs import get_logger, span
+
+log = get_logger("eval.experiment")
 
 #: Default threshold grid for the per-variant best-min-sim sweep. Spans the
 #: scales of the three cluster measures (walk probabilities live orders of
@@ -68,7 +71,10 @@ class ExperimentResult:
 
 def prepare_names(distinct: Distinct, names: list[str]) -> dict[str, NamePreparation]:
     """Prepare every name once (profiles + pair features)."""
-    return {name: distinct.prepare(name) for name in names}
+    with span("experiment.prepare", n_names=len(names)):
+        preparations = {name: distinct.prepare(name) for name in names}
+    log.info("prepared %d names", len(names))
+    return preparations
 
 
 def score_resolution(resolution, truth: GroundTruth) -> NameResult:
@@ -93,14 +99,20 @@ def run_variant(
 ) -> ExperimentResult:
     """Cluster every prepared name under one variant at one threshold."""
     result = ExperimentResult(variant_key=variant.key, min_sim=min_sim)
-    for name, prep in preparations.items():
-        resolution = distinct.cluster_prepared(
-            prep,
-            min_sim=min_sim,
-            measure=variant.measure,
-            supervised=variant.supervised,
-        )
-        result.names.append(score_resolution(resolution, truth))
+    with span("experiment.variant", variant=variant.key, min_sim=min_sim) as sp:
+        for name, prep in preparations.items():
+            resolution = distinct.cluster_prepared(
+                prep,
+                min_sim=min_sim,
+                measure=variant.measure,
+                supervised=variant.supervised,
+            )
+            result.names.append(score_resolution(resolution, truth))
+        sp.annotate(avg_f1=round(result.avg_f1, 4))
+    log.debug(
+        "variant %s @ min_sim=%g: avg f1 %.4f over %d names",
+        variant.key, min_sim, result.avg_f1, len(result.names),
+    )
     return result
 
 

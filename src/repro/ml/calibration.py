@@ -15,6 +15,7 @@ exclusions, exactly as a genuinely shared name would be.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -25,7 +26,10 @@ from repro.core.references import extract_references
 from repro.errors import NotFittedError, TrainingError
 from repro.eval.metrics import pairwise_scores
 from repro.ml.trainingset import build_training_set
+from repro.obs import get_logger, span
 from repro.paths.profiles import ProfileBuilder
+
+log = get_logger("ml.calibration")
 
 DEFAULT_GRID: tuple[float, ...] = (
     0.001, 0.002, 0.004, 0.006, 0.008, 0.012, 0.02, 0.03, 0.05,
@@ -43,13 +47,24 @@ class SyntheticName:
 
 @dataclass
 class CalibrationResult:
-    """Outcome of :func:`calibrate_min_sim`."""
+    """Outcome of :func:`calibrate_min_sim`.
+
+    ``seconds_prepare`` / ``seconds_sweep`` are ``time.perf_counter``
+    wall times of the two calibration phases (profiling the pooled
+    synthetic names vs. the threshold sweep over them).
+    """
 
     best_min_sim: float
     f1_by_min_sim: dict[float, float]
     n_synthetic_names: int
     members_per_name: int
     details: list[SyntheticName] = field(default_factory=list, repr=False)
+    seconds_prepare: float = 0.0
+    seconds_sweep: float = 0.0
+
+    @property
+    def seconds_total(self) -> float:
+        return self.seconds_prepare + self.seconds_sweep
 
 
 def make_synthetic_names(
@@ -128,24 +143,35 @@ def calibrate_min_sim(
     Uses the already-fitted supervised models and the composite measure —
     the exact configuration that will run at resolve time.
     """
-    synthetic = make_synthetic_names(
-        distinct, n_names=n_names, members=members, seed=seed
-    )
-    preparations = [(s, prepare_synthetic(distinct, s)) for s in synthetic]
+    t0 = time.perf_counter()
+    with span("calibration.prepare", n_names=n_names, members=members):
+        synthetic = make_synthetic_names(
+            distinct, n_names=n_names, members=members, seed=seed
+        )
+        preparations = [(s, prepare_synthetic(distinct, s)) for s in synthetic]
+    t1 = time.perf_counter()
 
     f1_by_min_sim: dict[float, float] = {}
-    for min_sim in grid:
-        scores = []
-        for syn, prep in preparations:
-            resolution = distinct.cluster_prepared(prep, min_sim=min_sim)
-            scores.append(pairwise_scores(resolution.clusters, syn.gold).f1)
-        f1_by_min_sim[min_sim] = float(np.mean(scores))
+    with span("calibration.sweep", grid_size=len(grid)):
+        for min_sim in grid:
+            scores = []
+            for syn, prep in preparations:
+                resolution = distinct.cluster_prepared(prep, min_sim=min_sim)
+                scores.append(pairwise_scores(resolution.clusters, syn.gold).f1)
+            f1_by_min_sim[min_sim] = float(np.mean(scores))
+    t2 = time.perf_counter()
 
     best = max(f1_by_min_sim, key=f1_by_min_sim.get)
+    log.info(
+        "calibrated min_sim=%g over %d synthetic names (prepare %.2fs, sweep %.2fs)",
+        best, n_names, t1 - t0, t2 - t1,
+    )
     return CalibrationResult(
         best_min_sim=best,
         f1_by_min_sim=f1_by_min_sim,
         n_synthetic_names=n_names,
         members_per_name=members,
         details=synthetic,
+        seconds_prepare=t1 - t0,
+        seconds_sweep=t2 - t1,
     )

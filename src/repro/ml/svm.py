@@ -24,6 +24,10 @@ import random
 import numpy as np
 
 from repro.errors import ConvergenceError, NotFittedError
+from repro.obs import counter, span
+
+_FITS = counter("svm.fits")
+_ITERATIONS = counter("svm.iterations")
 
 
 class LinearSVM:
@@ -115,6 +119,14 @@ class LinearSVM:
         if len(set(np.unique(y))) < 2:
             raise ValueError("training set needs both classes")
 
+        with span("svm.fit", n=int(X.shape[0]), d=int(X.shape[1]), C=self.C) as sp:
+            self._fit_dual(X, y)
+            sp.annotate(epochs=self.n_epochs_)
+        _FITS.inc()
+        _ITERATIONS.inc(self.n_epochs_ or 0)
+        return self
+
+    def _fit_dual(self, X: np.ndarray, y: np.ndarray) -> None:
         n, d = X.shape
         if self.fit_bias:
             X = np.hstack([X, np.ones((n, 1))])
@@ -175,7 +187,6 @@ class LinearSVM:
             self.bias_ = 0.0
         self.n_epochs_ = epoch
         self.dual_coef_ = alpha
-        return self
 
     # -- inference ----------------------------------------------------------
 

@@ -18,7 +18,11 @@ from dataclasses import dataclass, field
 
 from repro.data.names import NameFrequencyModel
 from repro.errors import TrainingError
+from repro.obs import counter, get_logger, span
 from repro.reldb.database import Database
+
+log = get_logger("ml.trainingset")
+_PAIRS_BUILT = counter("trainingset.pairs_built")
 
 
 @dataclass(frozen=True)
@@ -80,6 +84,29 @@ def build_training_set(
         If the database has no usable rare names (fewer than two rare names
         with at least ``min_refs`` references each).
     """
+    with span(
+        "trainingset.build", n_positive=n_positive, n_negative=n_negative
+    ) as sp:
+        return _build(
+            db, sp, n_positive, n_negative, max_token_count, min_refs, max_refs,
+            seed, reference_relation, object_relation, object_key, name_attribute,
+        )
+
+
+def _build(
+    db: Database,
+    sp,
+    n_positive: int,
+    n_negative: int,
+    max_token_count: int,
+    min_refs: int,
+    max_refs: int,
+    seed: int,
+    reference_relation: str,
+    object_relation: str,
+    object_key: str,
+    name_attribute: str,
+) -> TrainingSet:
     rng = random.Random(seed)
     objects = db.table(object_relation)
     names = objects.column(name_attribute)
@@ -138,6 +165,16 @@ def build_training_set(
 
     pairs = positives + negatives
     rng.shuffle(pairs)
+    _PAIRS_BUILT.inc(len(pairs))
+    sp.annotate(
+        n_rare_names=len(rare_names),
+        n_positive_built=len(positives),
+        n_negative_built=len(negatives),
+    )
+    log.debug(
+        "training set: %d rare names, %d positive + %d negative pairs",
+        len(rare_names), len(positives), len(negatives),
+    )
     return TrainingSet(
         pairs=pairs,
         rare_names=rare_names,

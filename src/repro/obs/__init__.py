@@ -1,0 +1,92 @@
+"""Observability for the DISTINCT pipeline: tracing, metrics, logging.
+
+The pipeline runs expensive multi-stage work (path enumeration,
+probability propagation, similarity kernels, SVM training, agglomerative
+merging); this package makes that work visible without slowing it down:
+
+- :mod:`repro.obs.trace` — nested span context managers recording wall
+  time, counters, and parent/child structure, with a thread-local span
+  stack and a zero-cost no-op mode when tracing is disabled;
+- :mod:`repro.obs.metrics` — a process-global registry of counters,
+  gauges, and fixed-bucket histograms;
+- :mod:`repro.obs.logging` — structured stdlib-logging setup with
+  optional JSON-lines output;
+- :mod:`repro.obs.export` — dump a run's span tree plus a metrics
+  snapshot to JSON, and render a human-readable tree report.
+
+Typical instrumentation::
+
+    from repro.obs import counter, get_logger, span
+
+    _PAIRS = counter("pairs.scored")
+    log = get_logger("core.distinct")
+
+    with span("resolve.profiles", name=name) as sp:
+        ...
+        sp.annotate(cache_size=builder.cache_size)
+    _PAIRS.inc(len(pairs))
+
+Tracing is off by default: ``span(...)`` then returns a shared no-op
+span, so instrumented code pays only a global read per call site.
+Enable it with :func:`enable_tracing` (the CLI does this for
+``--trace-out``) and export with :func:`repro.obs.export.write_trace`.
+"""
+
+from repro.obs.export import (
+    load_trace,
+    render_tree,
+    span_to_dict,
+    trace_payload,
+    write_trace,
+)
+from repro.obs.logging import get_logger, setup_logging
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    get_metrics,
+    histogram,
+)
+from repro.obs.trace import (
+    NOOP_SPAN,
+    Span,
+    Tracer,
+    current_span,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    span,
+    timed,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "Span",
+    "Tracer",
+    "counter",
+    "current_span",
+    "disable_tracing",
+    "enable_tracing",
+    "gauge",
+    "get_logger",
+    "get_metrics",
+    "get_tracer",
+    "histogram",
+    "load_trace",
+    "render_tree",
+    "setup_logging",
+    "span",
+    "span_to_dict",
+    "timed",
+    "trace_payload",
+    "tracing_enabled",
+    "write_trace",
+]

@@ -1,0 +1,138 @@
+"""Export a run's trace: JSON span tree + metrics snapshot, tree report.
+
+The on-disk format (version 1) is one JSON document::
+
+    {
+      "version": 1,
+      "spans": [ {"name", "duration_s", "attrs", "counters", "children"} ],
+      "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}}
+    }
+
+Durations are seconds. :func:`load_trace` reads the document back;
+:func:`render_tree` formats the span forest as an indented,
+human-readable report with per-span wall times, attributes, and counters.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry, get_metrics
+from repro.obs.trace import Span, Tracer, get_tracer
+
+__all__ = [
+    "TRACE_FORMAT_VERSION",
+    "load_trace",
+    "render_tree",
+    "span_to_dict",
+    "trace_payload",
+    "write_trace",
+]
+
+TRACE_FORMAT_VERSION = 1
+
+
+def span_to_dict(span: Span) -> dict[str, Any]:
+    """Recursive plain-data form of one span subtree."""
+    out: dict[str, Any] = {
+        "name": span.name,
+        "duration_s": round(span.duration, 9),
+    }
+    if span.attrs:
+        out["attrs"] = dict(span.attrs)
+    if span.counters:
+        out["counters"] = dict(span.counters)
+    out["children"] = [span_to_dict(child) for child in span.children]
+    return out
+
+
+def trace_payload(
+    tracer: Tracer | None = None, metrics: MetricsRegistry | None = None
+) -> dict[str, Any]:
+    """The full exportable document for a run (spans may be empty)."""
+    tracer = tracer if tracer is not None else get_tracer()
+    metrics = metrics if metrics is not None else get_metrics()
+    roots = tracer.roots if tracer is not None else []
+    return {
+        "version": TRACE_FORMAT_VERSION,
+        "spans": [span_to_dict(root) for root in roots],
+        "metrics": metrics.snapshot(),
+    }
+
+
+def write_trace(
+    path: str | Path,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+) -> Path:
+    """Write the trace document to ``path`` (parents created); returns it."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(trace_payload(tracer, metrics), indent=2) + "\n")
+    return path
+
+
+def load_trace(path: str | Path) -> dict[str, Any]:
+    """Read a trace document back (raises on unknown format versions)."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("version")
+    if version != TRACE_FORMAT_VERSION:
+        raise ValueError(f"unsupported trace format version: {version!r}")
+    return payload
+
+
+def _format_duration(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+def _render_span(node: dict[str, Any], depth: int, lines: list[str]) -> None:
+    parts = [f"{'  ' * depth}{node['name']}", _format_duration(node["duration_s"])]
+    attrs = node.get("attrs") or {}
+    if attrs:
+        parts.append(" ".join(f"{k}={v}" for k, v in attrs.items()))
+    counters = node.get("counters") or {}
+    if counters:
+        parts.append(" ".join(f"{k}:{v:g}" for k, v in counters.items()))
+    lines.append("  ".join(parts))
+    for child in node.get("children", []):
+        _render_span(child, depth + 1, lines)
+
+
+def render_tree(payload: dict[str, Any]) -> str:
+    """Human-readable report: indented span tree plus non-zero metrics."""
+    lines: list[str] = []
+    for root in payload.get("spans", []):
+        _render_span(root, 0, lines)
+    metrics = payload.get("metrics", {})
+    counters = {
+        name: value
+        for name, value in metrics.get("counters", {}).items()
+        if value
+    }
+    if counters:
+        lines.append("")
+        lines.append("counters:")
+        width = max(len(name) for name in counters)
+        for name, value in counters.items():
+            lines.append(f"  {name:<{width}}  {value:g}")
+    gauges = {n: v for n, v in metrics.get("gauges", {}).items() if v}
+    if gauges:
+        lines.append("gauges:")
+        for name, value in gauges.items():
+            lines.append(f"  {name}  {value:g}")
+    histograms = metrics.get("histograms", {})
+    if any(h.get("count") for h in histograms.values()):
+        lines.append("histograms:")
+        for name, h in histograms.items():
+            if h.get("count"):
+                mean = h["sum"] / h["count"]
+                lines.append(
+                    f"  {name}  count={h['count']} sum={h['sum']:g} mean={mean:g}"
+                )
+    return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""Structured logging setup on top of the stdlib.
+
+All pipeline loggers live under the ``"repro"`` namespace
+(:func:`get_logger` prefixes automatically), so one :func:`setup_logging`
+call controls the whole tree without touching the root logger or any
+host application's configuration.
+
+``json_lines=True`` switches the handler to one JSON object per line
+(timestamp, level, logger, message, plus any ``extra={...}`` fields),
+which is what log shippers want; the default is a compact human format.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Any, TextIO
+
+__all__ = ["JsonLinesFormatter", "get_logger", "setup_logging"]
+
+ROOT_LOGGER_NAME = "repro"
+
+#: LogRecord attributes that are stdlib bookkeeping, not user payload.
+_RESERVED = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """One JSON object per record; ``extra`` fields are inlined."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED and not key.startswith("_"):
+                payload[key] = value
+        if record.exc_info:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+def setup_logging(
+    level: int | str = "WARNING",
+    json_lines: bool = False,
+    stream: TextIO | None = None,
+) -> logging.Logger:
+    """Configure the ``repro`` logger tree; idempotent.
+
+    Replaces any handler a previous ``setup_logging`` call installed, so
+    repeated calls (tests, long-lived sessions) never duplicate output.
+    Returns the configured root ``repro`` logger.
+    """
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    if isinstance(level, str):
+        level = logging.getLevelName(level.upper())
+        if not isinstance(level, int):
+            raise ValueError(f"unknown log level {level!r}")
+    logger.setLevel(level)
+    logger.propagate = False
+
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_obs", False):
+            logger.removeHandler(handler)
+
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler._repro_obs = True  # type: ignore[attr-defined]
+    if json_lines:
+        handler.setFormatter(JsonLinesFormatter())
+    else:
+        formatter = logging.Formatter(
+            "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+        )
+        formatter.converter = time.gmtime
+        handler.setFormatter(formatter)
+    logger.addHandler(handler)
+    return logger
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger under the ``repro`` namespace: ``get_logger("core.distinct")``."""
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")

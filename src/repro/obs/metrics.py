@@ -1,0 +1,200 @@
+"""Process-global counters, gauges, and fixed-bucket histograms.
+
+The registry is a flat namespace of dot-separated metric names
+(``propagation.tuples_visited``, ``pairs.scored``, ``cluster.merges``).
+Instruments are created on first use and are stable objects: hot call
+sites bind them once at import time and pay only an attribute access plus
+an add per event::
+
+    _TUPLES = counter("propagation.tuples_visited")
+    ...
+    _TUPLES.inc(n)
+
+:meth:`MetricsRegistry.reset` zeroes values *in place*, preserving
+instrument identity, so pre-bound module-level instruments survive a
+reset (important for benchmarks and tests that reset between runs).
+
+Naming conventions are documented in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "counter",
+    "gauge",
+    "get_metrics",
+    "histogram",
+]
+
+#: Default histogram buckets: log-spaced upper bounds suited to both
+#: sub-millisecond kernel times (seconds) and small integer sizes.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0,
+)
+
+
+class Counter:
+    """Monotonically increasing count of events."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def inc(self, value: float = 1) -> None:
+        self.value += value
+
+    def _reset(self) -> None:
+        self.value = 0
+
+    def _snapshot(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A value that goes up and down (cache sizes, active names)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, value: float = 1) -> None:
+        self.value += value
+
+    def dec(self, value: float = 1) -> None:
+        self.value -= value
+
+    def _reset(self) -> None:
+        self.value = 0
+
+    def _snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket histogram of observed values.
+
+    ``buckets`` are sorted upper bounds (inclusive); ``counts`` has one
+    extra slot for overflow (values above the last bound). ``sum`` and
+    ``count`` track the exact total alongside the bucketed distribution.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "sum", "count")
+
+    def __init__(self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("buckets must be a non-empty sorted sequence")
+        self.name = name
+        self.buckets = tuple(float(b) for b in buckets)
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.sum: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def _reset(self) -> None:
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def _snapshot(self) -> dict:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, snapshot/reset as a unit."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            with self._lock:
+                c = self._counters.setdefault(name, Counter(name))
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            with self._lock:
+                g = self._gauges.setdefault(name, Gauge(name))
+        return g
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            with self._lock:
+                h = self._histograms.setdefault(name, Histogram(name, buckets))
+        return h
+
+    def snapshot(self) -> dict:
+        """Plain-data view of every instrument (JSON-serializable)."""
+        return {
+            "counters": {n: c._snapshot() for n, c in sorted(self._counters.items())},
+            "gauges": {n: g._snapshot() for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h._snapshot() for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Zero every instrument in place (identities preserved)."""
+        for c in self._counters.values():
+            c._reset()
+        for g in self._gauges.values():
+            g._reset()
+        for h in self._histograms.values():
+            h._reset()
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-global registry."""
+    return _REGISTRY
+
+
+def counter(name: str) -> Counter:
+    """Shorthand for ``get_metrics().counter(name)`` (bind at import time)."""
+    return _REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return _REGISTRY.gauge(name)
+
+
+def histogram(name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> Histogram:
+    return _REGISTRY.histogram(name, buckets)

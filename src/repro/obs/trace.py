@@ -1,0 +1,285 @@
+"""Nested wall-time spans with a thread-local stack and a no-op mode.
+
+A :class:`Span` records one timed region of a run: name, attributes,
+start/end (``time.perf_counter``), per-span counters, and child spans.
+Spans nest via a thread-local stack held by the :class:`Tracer`, so
+concurrent threads build independent subtrees under their own roots.
+
+The module-level :func:`span` is the instrumentation entry point. When no
+tracer is installed (the default) it returns :data:`NOOP_SPAN`, a shared
+do-nothing span, so instrumented call sites cost one global read — hot
+paths can stay instrumented permanently.
+
+:func:`timed` is the variant for durations that must exist even when
+tracing is off (e.g. the numbers feeding ``FitReport``): it always
+measures wall time, and additionally records a real span when tracing is
+enabled.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Iterator
+
+__all__ = [
+    "NOOP_SPAN",
+    "Span",
+    "Tracer",
+    "current_span",
+    "disable_tracing",
+    "enable_tracing",
+    "get_tracer",
+    "span",
+    "timed",
+    "tracing_enabled",
+]
+
+
+class Span:
+    """One timed region: name, attributes, counters, children.
+
+    ``duration`` is in seconds; while the span is open it reflects time
+    elapsed so far. ``attrs`` hold static context (name being resolved,
+    pair counts); ``counters`` accumulate within-span event counts via
+    :meth:`add`.
+    """
+
+    __slots__ = ("name", "attrs", "start", "end", "counters", "children")
+
+    def __init__(self, name: str, attrs: dict[str, Any] | None = None) -> None:
+        self.name = name
+        self.attrs: dict[str, Any] = dict(attrs) if attrs else {}
+        self.start = time.perf_counter()
+        self.end: float | None = None
+        self.counters: dict[str, float] = {}
+        self.children: list["Span"] = []
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            return time.perf_counter() - self.start
+        return self.end - self.start
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach (or overwrite) attributes on the span."""
+        self.attrs.update(attrs)
+
+    def add(self, name: str, value: float = 1) -> None:
+        """Increment a per-span counter."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def find(self, name: str) -> "Span | None":
+        """First descendant (depth-first, self included) with this name."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def walk(self) -> Iterator["Span"]:
+        """Depth-first iteration over self and all descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if self.end is None else f"{self.duration * 1e3:.2f}ms"
+        return f"Span({self.name!r}, {state}, children={len(self.children)})"
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned when tracing is disabled.
+
+    Supports the full :class:`Span` surface (context manager, ``annotate``,
+    ``add``) so call sites never branch on whether tracing is on.
+    """
+
+    __slots__ = ()
+
+    duration = 0.0
+    name = ""
+    attrs: dict[str, Any] = {}
+    counters: dict[str, float] = {}
+    children: list[Span] = []
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def annotate(self, **attrs: Any) -> None:
+        pass
+
+    def add(self, name: str, value: float = 1) -> None:
+        pass
+
+    def find(self, name: str) -> None:
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "NOOP_SPAN"
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class _SpanContext:
+    """Context manager opening a span on a tracer."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self._span: Span | None = None
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer.start(self._name, self._attrs)
+        return self._span
+
+    def __exit__(self, exc_type: object, *exc: object) -> bool:
+        assert self._span is not None
+        if exc_type is not None:
+            self._span.attrs["error"] = True
+        self._tracer.finish(self._span)
+        return False
+
+
+class Tracer:
+    """Collects a forest of spans, one stack per thread.
+
+    Spans opened with no active parent become roots; the roots list is
+    shared across threads (guarded by a lock), while the open-span stack
+    is thread-local so concurrent work nests correctly.
+    """
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def span(self, name: str, /, **attrs: Any) -> _SpanContext:
+        """``with tracer.span("stage", key=val) as sp:`` — open a child span."""
+        return _SpanContext(self, name, attrs)
+
+    def start(self, name: str, attrs: dict[str, Any] | None = None) -> Span:
+        """Open a span under the current thread's innermost open span."""
+        sp = Span(name, attrs)
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(sp)
+        else:
+            with self._lock:
+                self.roots.append(sp)
+        stack.append(sp)
+        return sp
+
+    def finish(self, sp: Span) -> None:
+        """Close a span, popping it (and any unclosed descendants) off the stack."""
+        sp.end = time.perf_counter()
+        stack = self._stack()
+        while stack:
+            if stack.pop() is sp:
+                break
+
+    def current(self) -> Span | _NoopSpan:
+        stack = self._stack()
+        return stack[-1] if stack else NOOP_SPAN
+
+
+_tracer: Tracer | None = None
+
+
+def enable_tracing() -> Tracer:
+    """Install (and return) a fresh global tracer; spans start recording."""
+    global _tracer
+    _tracer = Tracer()
+    return _tracer
+
+
+def disable_tracing() -> None:
+    """Remove the global tracer; :func:`span` reverts to no-ops."""
+    global _tracer
+    _tracer = None
+
+
+def get_tracer() -> Tracer | None:
+    return _tracer
+
+
+def tracing_enabled() -> bool:
+    return _tracer is not None
+
+
+def span(name: str, /, **attrs: Any) -> "_SpanContext | _NoopSpan":
+    """Open a nested span on the global tracer, or a no-op when disabled.
+
+    Usage mirrors both modes::
+
+        with span("resolve.cluster", measure=measure) as sp:
+            ...
+            sp.add("merges")
+    """
+    tracer = _tracer
+    if tracer is None:
+        return NOOP_SPAN
+    return tracer.span(name, **attrs)
+
+
+def current_span() -> Span | _NoopSpan:
+    """The innermost open span of this thread (no-op span when none)."""
+    tracer = _tracer
+    if tracer is None:
+        return NOOP_SPAN
+    return tracer.current()
+
+
+class _Timed:
+    """Minimal always-on timer with the span surface (used when disabled)."""
+
+    __slots__ = ("start", "end")
+
+    def __init__(self) -> None:
+        self.start = 0.0
+        self.end: float | None = None
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            return time.perf_counter() - self.start
+        return self.end - self.start
+
+    def __enter__(self) -> "_Timed":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.end = time.perf_counter()
+        return False
+
+    def annotate(self, **attrs: Any) -> None:
+        pass
+
+    def add(self, name: str, value: float = 1) -> None:
+        pass
+
+
+def timed(name: str, /, **attrs: Any) -> "_SpanContext | _Timed":
+    """Like :func:`span`, but ``duration`` is measured even when tracing
+    is disabled — for durations that feed reports (e.g. ``FitReport``)."""
+    tracer = _tracer
+    if tracer is None:
+        return _Timed()
+    return tracer.span(name, **attrs)

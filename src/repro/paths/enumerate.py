@@ -29,10 +29,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs import counter, get_logger, span
 from repro.paths.joinpath import JoinPath
 from repro.reldb.joins import JoinStep, steps_from
 from repro.reldb.schema import Schema
 from repro.reldb.virtual import is_virtual_relation
+
+log = get_logger("paths.enumerate")
+_PATHS_ENUMERATED = counter("paths.enumerated")
 
 
 @dataclass(frozen=True)
@@ -71,29 +75,33 @@ def enumerate_paths(
     config = config or PathEnumerationConfig()
     schema.relation(start_relation)  # raises if unknown
 
-    results: list[JoinPath] = []
-    frontier: list[JoinPath] = [
-        JoinPath([step]) for step in steps_from(schema, start_relation)
-    ]
+    with span("paths.enumerate", start=start_relation) as sp:
+        results: list[JoinPath] = []
+        frontier: list[JoinPath] = [
+            JoinPath([step]) for step in steps_from(schema, start_relation)
+        ]
 
-    while frontier:
-        next_frontier: list[JoinPath] = []
-        for path in frontier:
-            results.append(path)
-            if path.length >= config.max_hops:
-                continue
-            if config.virtual_terminal and is_virtual_relation(path.end_relation):
-                continue
-            last = path.steps[-1]
-            for step in steps_from(schema, path.end_relation):
-                if not _admissible(path, last, step, config):
+        while frontier:
+            next_frontier: list[JoinPath] = []
+            for path in frontier:
+                results.append(path)
+                if path.length >= config.max_hops:
                     continue
-                next_frontier.append(path.extend(step))
-        frontier = next_frontier
+                if config.virtual_terminal and is_virtual_relation(path.end_relation):
+                    continue
+                last = path.steps[-1]
+                for step in steps_from(schema, path.end_relation):
+                    if not _admissible(path, last, step, config):
+                        continue
+                    next_frontier.append(path.extend(step))
+            frontier = next_frontier
 
-    results.sort(key=lambda p: (p.length, p.signature()))
-    if config.max_paths is not None:
-        results = results[: config.max_paths]
+        results.sort(key=lambda p: (p.length, p.signature()))
+        if config.max_paths is not None:
+            results = results[: config.max_paths]
+        sp.annotate(n_paths=len(results), max_hops=config.max_hops)
+    _PATHS_ENUMERATED.inc(len(results))
+    log.debug("enumerated %d paths from %s", len(results), start_relation)
     return results
 
 

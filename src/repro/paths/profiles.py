@@ -13,9 +13,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs import counter
 from repro.paths.joinpath import JoinPath
 from repro.paths.propagation import Exclusions, PropagationEngine, PropagationResult
 from repro.reldb.database import Database
+
+_CACHE_HITS = counter("profiles.cache_hits")
+_CACHE_MISSES = counter("profiles.cache_misses")
 
 
 @dataclass
@@ -86,8 +90,11 @@ class ProfileBuilder:
         key = (path, origin_row)
         cached = self._cache.get(key)
         if cached is None:
+            _CACHE_MISSES.inc()
             cached = NeighborProfile.from_result(self.engine.propagate(path, origin_row))
             self._cache[key] = cached
+        else:
+            _CACHE_HITS.inc()
         return cached
 
     def profiles_for(self, origin_row: int) -> dict[JoinPath, NeighborProfile]:
@@ -101,10 +108,12 @@ class ProfileBuilder:
         if missing:
             from repro.paths.trie import propagate_trie
 
+            _CACHE_MISSES.inc(len(missing))
             for path, result in propagate_trie(
                 self.engine, missing, origin_row
             ).items():
                 self._cache[(path, origin_row)] = NeighborProfile.from_result(result)
+        _CACHE_HITS.inc(len(self.paths) - len(missing))
         return {path: self._cache[(path, origin_row)] for path in self.paths}
 
     def warm(self, origin_rows: list[int]) -> None:

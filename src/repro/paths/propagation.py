@@ -27,10 +27,18 @@ from __future__ import annotations
 from collections.abc import Mapping
 from dataclasses import dataclass, field
 
+from repro.obs import counter
 from repro.paths.joinpath import JoinPath
 from repro.reldb.database import Database
 
 Exclusions = Mapping[str, frozenset[int]]
+
+#: Work accounting. ``tuples_visited`` counts tuples materialized at each
+#: propagation level (forward and backward), in both the per-path and the
+#: prefix-shared trie drivers — the dominant cost of profile building.
+_RUNS = counter("propagation.runs")
+_STEPS = counter("propagation.steps")
+_TUPLES_VISITED = counter("propagation.tuples_visited")
 
 _EMPTY_SET: frozenset[int] = frozenset()
 
@@ -89,6 +97,7 @@ class PropagationEngine:
 
     def propagate(self, path: JoinPath, origin_row: int) -> PropagationResult:
         """Propagate from ``origin_row`` of ``path.start_relation`` along ``path``."""
+        _RUNS.inc()
         levels = self._forward_levels(path, origin_row)
         backward = self._backward(path, origin_row, levels)
         return PropagationResult(
@@ -136,6 +145,8 @@ class PropagationEngine:
             share = mass / len(partners)
             for partner in partners:
                 nxt[partner] = nxt.get(partner, 0.0) + share
+        _STEPS.inc()
+        _TUPLES_VISITED.inc(len(nxt))
         return nxt
 
     # -- backward -----------------------------------------------------------
@@ -197,6 +208,8 @@ class PropagationEngine:
             gathered = sum(prev_rev.get(p, 0.0) for p in partners)
             if gathered:
                 rev[row_id] = gathered / len(partners)
+        _STEPS.inc()
+        _TUPLES_VISITED.inc(len(rev))
         return rev
 
     # -- helpers --------------------------------------------------------------

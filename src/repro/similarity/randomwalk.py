@@ -14,7 +14,10 @@ symmetric measure averages the two directions.
 
 from __future__ import annotations
 
+from repro.obs import counter
 from repro.paths.profiles import NeighborProfile
+
+_CALLS = counter("similarity.walk.calls")
 
 
 def directed_walk_probability(src: NeighborProfile, dst: NeighborProfile) -> float:
@@ -42,6 +45,7 @@ def walk_probability(a: NeighborProfile, b: NeighborProfile) -> float:
 
     Lies in [0, 1]; zero iff the profiles' supports are disjoint.
     """
+    _CALLS.inc()
     return 0.5 * (directed_walk_probability(a, b) + directed_walk_probability(b, a))
 
 

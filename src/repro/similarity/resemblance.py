@@ -14,7 +14,10 @@ from one profile contributes 0 to min and its present weight to max).
 
 from __future__ import annotations
 
+from repro.obs import counter
 from repro.paths.profiles import NeighborProfile
+
+_CALLS = counter("similarity.resemblance.calls")
 
 
 def set_resemblance(a: NeighborProfile, b: NeighborProfile) -> float:
@@ -24,6 +27,7 @@ def set_resemblance(a: NeighborProfile, b: NeighborProfile) -> float:
     evidence of similarity). The result lies in [0, 1] and equals 1 iff the
     profiles are identical as weighted sets.
     """
+    _CALLS.inc()
     if a.is_empty() or b.is_empty():
         return 0.0
     small, large = (a, b) if len(a) <= len(b) else (b, a)

@@ -1,0 +1,99 @@
+"""JSON export round-trip and the human-readable tree report."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    TRACE_FORMAT_VERSION,
+    load_trace,
+    render_tree,
+    span_to_dict,
+    trace_payload,
+    write_trace,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import disable_tracing, enable_tracing, span
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    disable_tracing()
+    yield
+    disable_tracing()
+
+
+def _sample_run():
+    """A small trace + metrics, as one run of the pipeline would leave."""
+    tracer = enable_tracing()
+    metrics = MetricsRegistry()
+    with span("resolve", command="resolve") as root:
+        with span("resolve.profiles", name="Wei Wang", n_refs=3) as sp:
+            sp.add("propagations", 81)
+        with span("resolve.cluster", min_sim=0.006):
+            metrics.counter("cluster.merges").inc(2)
+    metrics.counter("pairs.scored").inc(3)
+    metrics.histogram("resolve.seconds", buckets=(0.1, 1.0)).observe(0.05)
+    root.annotate(done=True)
+    return tracer, metrics
+
+
+class TestSpanToDict:
+    def test_structure(self):
+        tracer, _ = _sample_run()
+        d = span_to_dict(tracer.roots[0])
+        assert d["name"] == "resolve"
+        assert d["attrs"] == {"command": "resolve", "done": True}
+        assert d["duration_s"] >= 0
+        child_names = [c["name"] for c in d["children"]]
+        assert child_names == ["resolve.profiles", "resolve.cluster"]
+        assert d["children"][0]["counters"] == {"propagations": 81}
+
+
+class TestRoundTrip:
+    def test_write_then_load_is_identity(self, tmp_path):
+        tracer, metrics = _sample_run()
+        payload = trace_payload(tracer, metrics)
+        path = write_trace(tmp_path / "sub" / "trace.json", tracer, metrics)
+        assert path.exists()  # parents created
+        loaded = load_trace(path)
+        assert loaded == json.loads(json.dumps(payload))
+        assert loaded["version"] == TRACE_FORMAT_VERSION
+        assert loaded["metrics"]["counters"]["pairs.scored"] == 3
+        hist = loaded["metrics"]["histograms"]["resolve.seconds"]
+        assert hist["counts"] == [1, 0, 0]
+
+    def test_load_rejects_unknown_version(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"version": 99, "spans": []}))
+        with pytest.raises(ValueError, match="version"):
+            load_trace(bad)
+
+    def test_payload_without_tracer_is_valid(self):
+        payload = trace_payload(None, MetricsRegistry())
+        assert payload["spans"] == []
+        assert "counters" in payload["metrics"]
+
+
+class TestRenderTree:
+    def test_tree_shows_nesting_durations_and_metrics(self):
+        tracer, metrics = _sample_run()
+        text = render_tree(trace_payload(tracer, metrics))
+        lines = text.splitlines()
+        assert lines[0].startswith("resolve")
+        assert lines[1].startswith("  resolve.profiles")
+        assert "name=Wei Wang" in lines[1]
+        assert "propagations:81" in lines[1]
+        assert any(u in lines[0] for u in ("us", "ms", "s"))
+        assert "counters:" in text
+        assert "pairs.scored" in text
+        assert "resolve.seconds" in text  # histogram summary
+
+    def test_zero_metrics_are_omitted(self):
+        tracer = enable_tracing()
+        metrics = MetricsRegistry()
+        metrics.counter("never.incremented")
+        with span("root"):
+            pass
+        text = render_tree(trace_payload(tracer, metrics))
+        assert "never.incremented" not in text

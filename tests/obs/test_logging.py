@@ -1,0 +1,84 @@
+"""Structured logging: setup idempotency and JSON-lines output."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.logging import JsonLinesFormatter, get_logger, setup_logging
+
+
+@pytest.fixture(autouse=True)
+def restore_logging():
+    yield
+    # Leave the suite with the quiet default so other tests see no output.
+    setup_logging(level="WARNING", stream=io.StringIO())
+
+
+class TestGetLogger:
+    def test_namespaced_under_repro(self):
+        assert get_logger("core.distinct").name == "repro.core.distinct"
+        assert get_logger().name == "repro"
+
+    def test_children_propagate_to_repro_handler(self):
+        stream = io.StringIO()
+        setup_logging(level="INFO", stream=stream)
+        get_logger("paths.enumerate").info("hello %d", 7)
+        assert "hello 7" in stream.getvalue()
+        assert "repro.paths.enumerate" in stream.getvalue()
+
+
+class TestSetupLogging:
+    def test_idempotent_no_duplicate_handlers(self):
+        stream = io.StringIO()
+        setup_logging(level="INFO", stream=stream)
+        setup_logging(level="INFO", stream=stream)
+        get_logger("x").info("once")
+        assert stream.getvalue().count("once") == 1
+
+    def test_level_filtering(self):
+        stream = io.StringIO()
+        setup_logging(level="WARNING", stream=stream)
+        get_logger("x").info("hidden")
+        get_logger("x").warning("shown")
+        out = stream.getvalue()
+        assert "hidden" not in out
+        assert "shown" in out
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            setup_logging(level="LOUD")
+
+
+class TestJsonLines:
+    def test_records_are_one_json_object_per_line(self):
+        stream = io.StringIO()
+        setup_logging(level="INFO", json_lines=True, stream=stream)
+        log = get_logger("eval.experiment")
+        log.info("prepared %d names", 10)
+        log.warning("slow name", extra={"author": "Wei Wang", "seconds": 1.5})
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        first, second = (json.loads(line) for line in lines)
+        assert first["message"] == "prepared 10 names"
+        assert first["level"] == "INFO"
+        assert first["logger"] == "repro.eval.experiment"
+        assert isinstance(first["ts"], float)
+        # extra={} fields are inlined into the payload.
+        assert second["author"] == "Wei Wang"
+        assert second["seconds"] == 1.5
+
+    def test_exception_info_serialized(self):
+        formatter = JsonLinesFormatter()
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            record = logging.LogRecord(
+                "repro.t", logging.ERROR, __file__, 1, "failed", (), True
+            )
+            import sys
+
+            record.exc_info = sys.exc_info()
+        payload = json.loads(formatter.format(record))
+        assert "boom" in payload["exc_info"]

@@ -1,0 +1,190 @@
+"""Span nesting, timing, no-op mode, and thread isolation."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.trace import (
+    NOOP_SPAN,
+    Tracer,
+    current_span,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    span,
+    timed,
+    tracing_enabled,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    disable_tracing()
+    yield
+    disable_tracing()
+
+
+class TestNesting:
+    def test_parent_child_structure(self):
+        tracer = enable_tracing()
+        with span("outer") as outer:
+            with span("inner.a"):
+                pass
+            with span("inner.b") as b:
+                with span("leaf"):
+                    pass
+        assert [r.name for r in tracer.roots] == ["outer"]
+        assert [c.name for c in outer.children] == ["inner.a", "inner.b"]
+        assert [c.name for c in b.children] == ["leaf"]
+
+    def test_sequential_roots(self):
+        tracer = enable_tracing()
+        with span("first"):
+            pass
+        with span("second"):
+            pass
+        assert [r.name for r in tracer.roots] == ["first", "second"]
+
+    def test_current_span_tracks_innermost(self):
+        enable_tracing()
+        assert current_span() is NOOP_SPAN
+        with span("outer") as outer:
+            assert current_span() is outer
+            with span("inner") as inner:
+                assert current_span() is inner
+            assert current_span() is outer
+        assert current_span() is NOOP_SPAN
+
+    def test_find_and_walk(self):
+        enable_tracing()
+        with span("root") as root:
+            with span("a"):
+                with span("target"):
+                    pass
+            with span("b"):
+                pass
+        assert root.find("target").name == "target"
+        assert root.find("missing") is None
+        assert [s.name for s in root.walk()] == ["root", "a", "target", "b"]
+
+
+class TestTiming:
+    def test_duration_measures_wall_time(self):
+        enable_tracing()
+        with span("sleepy") as sp:
+            time.sleep(0.01)
+        assert sp.duration >= 0.009
+        assert sp.end is not None
+
+    def test_children_within_parent_duration(self):
+        enable_tracing()
+        with span("outer") as outer:
+            with span("inner") as inner:
+                time.sleep(0.005)
+        assert outer.duration >= inner.duration
+
+    def test_attrs_and_counters(self):
+        enable_tracing()
+        with span("stage", key="val") as sp:
+            sp.annotate(extra=3)
+            sp.add("events")
+            sp.add("events", 2)
+        assert sp.attrs == {"key": "val", "extra": 3}
+        assert sp.counters == {"events": 3}
+
+    def test_exception_marks_span_and_closes_it(self):
+        tracer = enable_tracing()
+        with pytest.raises(RuntimeError):
+            with span("doomed"):
+                raise RuntimeError("boom")
+        (root,) = tracer.roots
+        assert root.attrs.get("error") is True
+        assert root.end is not None
+        assert current_span() is NOOP_SPAN
+
+
+class TestNoopMode:
+    def test_disabled_returns_shared_noop(self):
+        assert not tracing_enabled()
+        assert span("anything") is NOOP_SPAN
+        assert span("other", attr=1) is NOOP_SPAN
+
+    def test_noop_supports_span_surface(self):
+        with span("x") as sp:
+            sp.annotate(a=1)
+            sp.add("c", 5)
+        assert sp is NOOP_SPAN
+        assert sp.duration == 0.0
+        assert sp.attrs == {}
+        assert sp.counters == {}
+
+    def test_enable_disable_roundtrip(self):
+        assert get_tracer() is None
+        tracer = enable_tracing()
+        assert get_tracer() is tracer
+        assert tracing_enabled()
+        disable_tracing()
+        assert get_tracer() is None
+
+    def test_enable_twice_gives_fresh_tracer(self):
+        first = enable_tracing()
+        with span("old"):
+            pass
+        second = enable_tracing()
+        assert second is not first
+        assert second.roots == []
+
+
+class TestTimed:
+    def test_timed_measures_without_tracer(self):
+        assert not tracing_enabled()
+        with timed("phase") as t:
+            time.sleep(0.01)
+        assert t.duration >= 0.009
+
+    def test_timed_records_span_when_enabled(self):
+        tracer = enable_tracing()
+        with timed("phase") as t:
+            pass
+        assert [r.name for r in tracer.roots] == ["phase"]
+        assert t.duration >= 0.0
+
+
+class TestThreads:
+    def test_threads_get_independent_stacks(self):
+        tracer = enable_tracing()
+        errors = []
+
+        def worker(tag):
+            try:
+                with span(f"root.{tag}") as sp:
+                    time.sleep(0.005)
+                    assert current_span() is sp
+                    with span(f"child.{tag}"):
+                        time.sleep(0.005)
+            except AssertionError as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(tracer.roots) == 4
+        for root in tracer.roots:
+            assert len(root.children) == 1
+
+
+class TestTracerApi:
+    def test_manual_start_finish(self):
+        tracer = Tracer()
+        sp = tracer.start("manual")
+        child = tracer.start("child")
+        tracer.finish(child)
+        tracer.finish(sp)
+        assert sp.children == [child]
+        assert sp.end is not None

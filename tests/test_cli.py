@@ -199,6 +199,76 @@ class TestCalibrateCommand:
         assert "synthetic" in out
 
 
+class TestObservabilityFlags:
+    def test_trace_out_writes_valid_span_tree(self, world_dir, model_dir, tmp_path):
+        from repro.obs.export import load_trace
+
+        trace_path = tmp_path / "trace.json"
+        code = main(
+            [
+                "resolve",
+                "--db", str(world_dir),
+                "--models", str(model_dir),
+                "--name", "Rakesh Kumar",
+                "--trace-out", str(trace_path),
+            ]
+        )
+        assert code == 0
+        payload = load_trace(trace_path)
+
+        (root,) = payload["spans"]
+        assert root["name"] == "resolve"
+        assert root["duration_s"] > 0
+
+        def find(node, name):
+            if node["name"] == name:
+                return node
+            for child in node["children"]:
+                found = find(child, name)
+                if found is not None:
+                    return found
+            return None
+
+        # The trace covers profiles -> similarity -> clustering with
+        # per-stage wall times.
+        for stage in ("resolve.prepare", "resolve.profiles",
+                      "resolve.similarity", "resolve.cluster",
+                      "cluster.agglomerative"):
+            node = find(root, stage)
+            assert node is not None, stage
+            assert node["duration_s"] >= 0
+        assert find(root, "resolve.prepare")["attrs"]["name"] == "Rakesh Kumar"
+
+        counters = payload["metrics"]["counters"]
+        for name in ("pairs.scored", "propagation.tuples_visited",
+                     "cluster.merges", "paths.enumerated"):
+            assert counters[name] > 0, name
+
+    def test_tracing_disabled_after_run(self, world_dir, model_dir, tmp_path):
+        from repro.obs import tracing_enabled
+
+        code = main(
+            [
+                "resolve",
+                "--db", str(world_dir),
+                "--models", str(model_dir),
+                "--name", "Rakesh Kumar",
+                "--trace-out", str(tmp_path / "t.json"),
+            ]
+        )
+        assert code == 0
+        assert not tracing_enabled()
+
+    def test_flags_accepted_before_subcommand(self, world_dir, capsys):
+        code = main(["--log-level", "ERROR", "stats", "--db", str(world_dir)])
+        assert code == 0
+        assert "Publish" in capsys.readouterr().out
+
+    def test_json_logs_flag_parses(self, world_dir, capsys):
+        code = main(["stats", "--db", str(world_dir), "--json-logs"])
+        assert code == 0
+
+
 class TestParser:
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
