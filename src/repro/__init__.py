@@ -40,8 +40,16 @@ from repro.eval import (
     run_experiment,
 )
 from repro.reldb import Database, Schema
+from repro.resilience import (
+    CheckpointStore,
+    Deadline,
+    ErrorCollector,
+    FaultPlan,
+    Policy,
+    retry,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Distinct",
@@ -68,5 +76,11 @@ __all__ = [
     "run_experiment",
     "Database",
     "Schema",
+    "CheckpointStore",
+    "Deadline",
+    "ErrorCollector",
+    "FaultPlan",
+    "Policy",
+    "retry",
     "__version__",
 ]

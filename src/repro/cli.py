@@ -36,8 +36,9 @@ from repro.data.world import (
     save_ground_truth,
     world_to_database,
 )
-from repro.eval.experiment import prepare_names, run_experiment, run_variant
+from repro.eval.experiment import run_experiment
 from repro.eval.reporting import format_table
+from repro.eval.runner import experiment_checkpoint, run_resilient
 from repro.eval.visualize import render_clusters_text
 from repro.ml.model import PathWeightModel
 from repro.obs import (
@@ -50,6 +51,10 @@ from repro.obs import (
 )
 from repro.obs.export import write_trace
 from repro.reldb.csvio import load_database, save_database
+from repro.resilience import Deadline, ErrorCollector, Policy
+
+#: Exit code when a run stops at its ``--deadline`` (resumable via --resume).
+EXIT_DEADLINE = 3
 
 TRUTH_FILE = "truth.json"
 AMBIGUOUS_FILE = "ambiguous_names.json"
@@ -85,6 +90,33 @@ def _obs_options() -> argparse.ArgumentParser:
         help="enable tracing and write the span tree + metrics JSON here",
     )
     return common
+
+
+def _add_resilience_options(p: argparse.ArgumentParser) -> None:
+    """Flags shared by the long-running, checkpointable commands."""
+    group = p.add_argument_group("resilience")
+    group.add_argument(
+        "--on-error",
+        choices=tuple(policy.value for policy in Policy),
+        default="raise",
+        help="per-item error policy: raise (default), skip, or collect "
+             "(skip + report every failed item at the end)",
+    )
+    group.add_argument(
+        "--resume",
+        default=None,
+        metavar="PATH",
+        help="checkpoint file: progress is written here after every item, "
+             "and an existing compatible checkpoint is resumed from",
+    )
+    group.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop gracefully after this wall-clock budget "
+             f"(exit code {EXIT_DEADLINE}; combine with --resume to continue later)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -157,6 +189,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--names", type=int, default=15, help="synthetic names to build")
     p.add_argument("--members", type=int, default=2, help="rare names pooled per synthetic name")
     p.add_argument("--seed", type=int, default=0)
+    _add_resilience_options(p)
     p.set_defaults(func=cmd_calibrate)
 
     p = sub.add_parser("experiment", help="evaluate over the ambiguous names")
@@ -167,6 +200,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated names (default: saved ambiguous names)")
     p.add_argument("--variants", choices=("distinct", "all"), default="distinct")
     p.add_argument("--min-sim", type=float, default=None)
+    _add_resilience_options(p)
     p.set_defaults(func=cmd_experiment)
 
     return parser
@@ -319,12 +353,54 @@ def cmd_candidates(args) -> int:
     return 0
 
 
+def _resilience_kwargs(args, make_checkpoint) -> tuple[dict, ErrorCollector]:
+    """Shared --on-error/--resume/--deadline plumbing for long commands."""
+    collector = ErrorCollector()
+    kwargs = {
+        "policy": Policy.coerce(args.on_error),
+        "collector": collector,
+        "checkpoint": make_checkpoint(args.resume) if args.resume else None,
+        "deadline": Deadline.after(args.deadline) if args.deadline else None,
+    }
+    return kwargs, collector
+
+
+def _report_degradation(collector: ErrorCollector, interrupted: bool,
+                        resume_path: str | None) -> int:
+    """Print the error report / resume hint; the command's exit code."""
+    if collector:
+        print()
+        print(collector.summary())
+    if interrupted:
+        print()
+        hint = (
+            f"re-run with --resume {resume_path} to continue"
+            if resume_path
+            else "re-run with --resume PATH to make interruptions resumable"
+        )
+        print(f"deadline exceeded before all work completed; {hint}")
+        return EXIT_DEADLINE
+    return 0
+
+
 def cmd_calibrate(args) -> int:
-    from repro.ml.calibration import calibrate_min_sim
+    from repro.ml.calibration import (
+        DEFAULT_GRID,
+        calibrate_min_sim,
+        calibration_checkpoint,
+    )
 
     distinct = _load_pipeline(args.db, args.models, None)
+    kwargs, collector = _resilience_kwargs(
+        args,
+        lambda path: calibration_checkpoint(
+            path, grid=DEFAULT_GRID, n_names=args.names,
+            members=args.members, seed=args.seed,
+        ),
+    )
     result = calibrate_min_sim(
-        distinct, n_names=args.names, members=args.members, seed=args.seed
+        distinct, n_names=args.names, members=args.members, seed=args.seed,
+        **kwargs,
     )
     rows = [
         [min_sim, f1] for min_sim, f1 in sorted(result.f1_by_min_sim.items())
@@ -338,8 +414,13 @@ def cmd_calibrate(args) -> int:
         ),
         float_format="{:.4f}",
     ))
+    if result.n_scored < result.n_synthetic_names:
+        print(
+            f"\n(scored {result.n_scored} of {result.n_synthetic_names} "
+            f"synthetic names)"
+        )
     print(f"\nbest min-sim: {result.best_min_sim}")
-    return 0
+    return _report_degradation(collector, result.interrupted, args.resume)
 
 
 def _ambiguous_names(db_dir: str, names_arg: str | None) -> list[str]:
@@ -356,14 +437,20 @@ def cmd_experiment(args) -> int:
     truth = load_ground_truth(args.truth)
     names = _ambiguous_names(args.db, args.names)
 
-    preparations = prepare_names(distinct, names)
-    result = run_variant(
-        distinct,
-        preparations,
-        truth,
-        variant_by_key("distinct"),
-        distinct.config.min_sim,
+    min_sim = distinct.config.min_sim
+    kwargs, collector = _resilience_kwargs(
+        args,
+        lambda path: experiment_checkpoint(path, names, "distinct", min_sim),
     )
+    outcome = run_resilient(
+        distinct,
+        truth,
+        names,
+        variant_by_key("distinct"),
+        min_sim,
+        **kwargs,
+    )
+    result = outcome.result
     rows = [
         [r.name, r.n_entities, r.n_refs, r.n_clusters,
          r.scores.precision, r.scores.recall, r.scores.f1]
@@ -375,8 +462,12 @@ def cmd_experiment(args) -> int:
         ["name", "#entities", "#refs", "#clusters", "precision", "recall", "f1"],
         rows, title="DISTINCT accuracy"))
 
-    if args.variants == "all":
-        results = run_experiment(distinct, truth, names, FIG4_VARIANTS)
+    if args.variants == "all" and not outcome.interrupted:
+        # The Fig-4 comparison re-scores every name per variant; it is not
+        # checkpointed (see docs/robustness.md) and only runs on the names
+        # that survived the DISTINCT pass.
+        scored = [r.name for r in result.names]
+        results = run_experiment(distinct, truth, scored, FIG4_VARIANTS)
         labels = {v.key: v.label for v in FIG4_VARIANTS}
         rows = [
             [labels[key], r.min_sim, r.avg_accuracy, r.avg_f1]
@@ -385,7 +476,7 @@ def cmd_experiment(args) -> int:
         print()
         print(format_table(["variant", "min-sim", "accuracy", "f1"], rows,
                            title="variant comparison", float_format="{:.4f}"))
-    return 0
+    return _report_degradation(collector, outcome.interrupted, args.resume)
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -16,15 +16,29 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import ConvergenceError
+from repro.resilience.retry import retry
+
 
 def kmedoids(
-    similarity: np.ndarray, k: int, max_swaps: int = 200
+    similarity: np.ndarray,
+    k: int,
+    max_swaps: int = 200,
+    strict: bool = True,
+    retries: int = 0,
 ) -> list[set[int]]:
     """Cluster items 0..n-1 into k groups by PAM on 1 - similarity.
 
     ``similarity`` must be square and symmetric with values in [0, 1]-ish
     scale; the algorithm minimizes total dissimilarity to the medoid.
     Returns clusters sorted by (-size, min index), like the other engines.
+
+    The SWAP phase must reach a local optimum within ``max_swaps`` passes;
+    exhausting the budget while still improving raises
+    :class:`~repro.errors.ConvergenceError` under ``strict`` (otherwise the
+    best-so-far medoids are kept). ``retries`` re-runs SWAP with a doubled
+    budget per attempt (via :func:`repro.resilience.retry`), so the error
+    is a bounded, reported condition rather than a hard stop.
     """
     similarity = np.asarray(similarity, dtype=float)
     if similarity.ndim != 2 or similarity.shape[0] != similarity.shape[1]:
@@ -32,46 +46,60 @@ def kmedoids(
     n = similarity.shape[0]
     if not 1 <= k <= n:
         raise ValueError(f"k must be in [1, {n}]")
+    if retries < 0:
+        raise ValueError("retries must be non-negative")
 
     dissim = 1.0 - similarity
     np.fill_diagonal(dissim, 0.0)
 
     # BUILD: first medoid minimizes total dissimilarity; each next medoid
     # maximizes the cost reduction.
-    medoids: list[int] = [int(np.argmin(dissim.sum(axis=1)))]
-    while len(medoids) < k:
-        current = dissim[:, medoids].min(axis=1)
+    build: list[int] = [int(np.argmin(dissim.sum(axis=1)))]
+    while len(build) < k:
+        current = dissim[:, build].min(axis=1)
         best_gain = -1.0
         best_item = -1
         for candidate in range(n):
-            if candidate in medoids:
+            if candidate in build:
                 continue
             gain = float(np.maximum(current - dissim[:, candidate], 0.0).sum())
             if gain > best_gain:
                 best_gain = gain
                 best_item = candidate
-        medoids.append(best_item)
+        build.append(best_item)
 
     def total_cost(meds: list[int]) -> float:
         return float(dissim[:, meds].min(axis=1).sum())
 
-    # SWAP: hill-climb over single medoid replacements.
-    cost = total_cost(medoids)
-    for _ in range(max_swaps):
-        improved = False
-        for mi, medoid in enumerate(list(medoids)):
-            for candidate in range(n):
-                if candidate in medoids:
-                    continue
-                trial = list(medoids)
-                trial[mi] = candidate
-                trial_cost = total_cost(trial)
-                if trial_cost + 1e-12 < cost:
-                    medoids = trial
-                    cost = trial_cost
-                    improved = True
-        if not improved:
-            break
+    def swap(attempt: int) -> list[int]:
+        """SWAP: hill-climb over single medoid replacements."""
+        budget = max_swaps * 2**attempt
+        medoids = list(build)
+        cost = total_cost(medoids)
+        improved = True
+        for _ in range(budget):
+            improved = False
+            for mi, medoid in enumerate(list(medoids)):
+                for candidate in range(n):
+                    if candidate in medoids:
+                        continue
+                    trial = list(medoids)
+                    trial[mi] = candidate
+                    trial_cost = total_cost(trial)
+                    if trial_cost + 1e-12 < cost:
+                        medoids = trial
+                        cost = trial_cost
+                        improved = True
+            if not improved:
+                return medoids
+        if improved and strict:
+            raise ConvergenceError(
+                f"k-medoids SWAP did not reach a local optimum in "
+                f"{budget} passes (k={k}, n={n})"
+            )
+        return medoids
+
+    medoids = retry(swap, budget=retries + 1, retry_on=ConvergenceError)
 
     assignment = np.array(medoids)[np.argmin(dissim[:, medoids], axis=1)]
     # Under ties (duplicate items, zero dissimilarity) argmin may route a

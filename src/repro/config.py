@@ -84,6 +84,9 @@ class DistinctConfig:
     svm_class_weight: str | None = None
     svm_tol: float = 1e-3
     svm_max_epochs: int = 600
+    # Extra strict-fit attempts with a doubled epoch budget before a
+    # ConvergenceError propagates (0 keeps best-so-far, non-strict fits).
+    svm_retries: int = 0
     clamp_negative_weights: bool = True
     # Rescale each measure's clamped weights to sum to 1 before combining.
     # A positive global rescale of one measure rescales every composite

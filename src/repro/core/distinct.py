@@ -38,6 +38,7 @@ from repro.paths.enumerate import enumerate_paths
 from repro.paths.joinpath import JoinPath
 from repro.paths.profiles import ProfileBuilder
 from repro.reldb.database import Database
+from repro.resilience.faults import fault_check
 from repro.similarity.combine import PathWeights, uniform_weights
 
 MEASURES = ("combined", "resemblance", "walk")
@@ -254,8 +255,9 @@ class Distinct:
             tol=self.config.svm_tol,
             max_epochs=self.config.svm_max_epochs,
             seed=self.config.seed,
-            strict=False,
+            strict=self.config.svm_retries > 0,
             class_weight=self.config.svm_class_weight,
+            retries=self.config.svm_retries,
         )
 
     def _select_cost(self, X: np.ndarray, labels: np.ndarray) -> float:
@@ -307,6 +309,7 @@ class Distinct:
         if self.db is None or self.paths_ is None:
             raise NotFittedError("call fit(db) before prepare()")
         with span("resolve.prepare", name=name) as prep_span:
+            fault_check("profile", name)
             refs = extract_references(self.db, name, self.config)
             if len(refs.rows) <= 1:
                 prep_span.annotate(n_refs=len(refs.rows))
@@ -336,6 +339,7 @@ class Distinct:
         """Cluster an already prepared name (see :meth:`prepare`)."""
         if measure not in MEASURES:
             raise ValueError(f"measure must be one of {MEASURES}")
+        fault_check("cluster", prep.name)
         if supervised and (self.resem_model_ is None or self.walk_model_ is None):
             raise NotFittedError("supervised resolution requires a fitted model")
         min_sim = self.config.min_sim if min_sim is None else min_sim

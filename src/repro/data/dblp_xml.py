@@ -13,6 +13,15 @@ Relevant child elements: ``author`` (repeated), ``title``, ``booktitle`` /
 per (venue, year). Entity resolution ground truth obviously does not exist
 in the dump; the loader also supports the paper's preprocessing step of
 dropping authors with fewer than ``min_papers`` papers.
+
+Real dumps are messy (see the author-disambiguation survey literature):
+records with a non-integer ``year``, no venue, or only empty author names
+are *skipped and counted* (``dblp.records_skipped`` in the ``obs``
+registry) rather than killing the stream; whitespace-only author names are
+dropped from otherwise valid records (``dblp.authors_dropped``).
+Unexpected per-record failures go through the ``on_error`` policy
+(:class:`~repro.resilience.Policy`), so one poisoned record can be
+skipped or collected instead of aborting hours of ingestion.
 """
 
 from __future__ import annotations
@@ -32,7 +41,15 @@ from repro.data.dblp_schema import (
     new_dblp_database,
     prepare_dblp_database,
 )
+from repro.obs import counter, get_logger
 from repro.reldb.database import Database
+from repro.resilience import ErrorCollector, Policy, fault_check, guard
+
+log = get_logger("data.dblp_xml")
+
+_RECORDS_PARSED = counter("dblp.records_parsed")
+_RECORDS_SKIPPED = counter("dblp.records_skipped")
+_AUTHORS_DROPPED = counter("dblp.authors_dropped")
 
 
 @dataclass
@@ -48,13 +65,21 @@ class DblpRecord:
 
 
 def iter_dblp_records(
-    source: str | Path, record_tags: tuple[str, ...] = ("inproceedings",)
+    source: str | Path,
+    record_tags: tuple[str, ...] = ("inproceedings",),
+    on_error: Policy | str = Policy.SKIP,
+    collector: ErrorCollector | None = None,
 ):
     """Stream :class:`DblpRecord` objects from a DBLP XML file or string.
 
     Uses ``iterparse`` with element eviction, so arbitrarily large dumps
-    stream in constant memory. Records without authors, venue, or year are
-    skipped (they cannot participate in any join path we use).
+    stream in constant memory. Structurally unusable records — no valid
+    (non-empty) author names, no venue, or a non-integer year — cannot
+    participate in any join path we use; they are skipped and counted
+    under ``dblp.records_skipped``. Unexpected per-record exceptions
+    (including injected faults at the ``ingest.record`` site) are handled
+    per ``on_error``; note that XML *syntax* errors are fatal to the
+    stream regardless, because the underlying parser cannot recover.
     """
     if isinstance(source, Path) or (
         isinstance(source, str) and not source.lstrip().startswith("<")
@@ -69,24 +94,49 @@ def iter_dblp_records(
         for _, elem in context:
             if elem.tag not in record_tags:
                 continue
-            authors = [a.text.strip() for a in elem.findall("author") if a.text]
-            title = _first_text(elem, "title")
-            venue = _first_text(elem, "booktitle") or _first_text(elem, "journal")
-            year_text = _first_text(elem, "year")
-            publisher = _first_text(elem, "publisher") or None
-            if authors and venue and year_text and year_text.isdigit():
-                yield DblpRecord(
-                    key=elem.get("key", ""),
-                    title=title or "",
-                    venue=venue,
-                    year=int(year_text),
-                    authors=authors,
-                    publisher=publisher,
-                )
+            key = elem.get("key", "")
+            record = None
+            with guard("ingest.record", key, on_error, collector):
+                fault_check("ingest.record", key or None)
+                record = _build_record(elem, key)
+            if record is not None:
+                _RECORDS_PARSED.inc()
+                yield record
             elem.clear()
     finally:
         if close:
             stream.close()
+
+
+def _build_record(elem, key: str) -> DblpRecord | None:
+    """One element -> record, or ``None`` (counted) if unusable."""
+    raw_authors = [(a.text or "") for a in elem.findall("author")]
+    authors = [a.strip() for a in raw_authors if a.strip()]
+    if len(authors) < len(raw_authors):
+        _AUTHORS_DROPPED.inc(len(raw_authors) - len(authors))
+    title = _first_text(elem, "title")
+    venue = _first_text(elem, "booktitle") or _first_text(elem, "journal")
+    year_text = _first_text(elem, "year")
+    publisher = _first_text(elem, "publisher") or None
+    try:
+        year = int(year_text)
+    except ValueError:
+        year = None
+    if not authors or not venue or year is None:
+        _RECORDS_SKIPPED.inc()
+        log.debug(
+            "skipping record %r: authors=%d venue=%r year=%r",
+            key, len(authors), venue, year_text,
+        )
+        return None
+    return DblpRecord(
+        key=key,
+        title=title or "",
+        venue=venue,
+        year=year,
+        authors=authors,
+        publisher=publisher,
+    )
 
 
 def _first_text(elem, tag: str) -> str:
@@ -101,14 +151,18 @@ def load_dblp_xml(
     min_papers: int = 1,
     record_tags: tuple[str, ...] = ("inproceedings",),
     prepared: bool = True,
+    on_error: Policy | str = Policy.SKIP,
+    collector: ErrorCollector | None = None,
 ) -> Database:
     """Load DBLP XML into the Fig-2 schema.
 
     ``min_papers`` reproduces the paper's preprocessing ("authors with no
     more than 2 papers are removed" corresponds to ``min_papers=3``):
     authorship rows of authors below the cutoff are dropped (papers stay).
+    ``on_error``/``collector`` control what happens to records that fail
+    unexpectedly mid-parse (see :func:`iter_dblp_records`).
     """
-    records = list(iter_dblp_records(source, record_tags))
+    records = list(iter_dblp_records(source, record_tags, on_error, collector))
     paper_counts: Counter[str] = Counter()
     for record in records:
         for author in record.authors:

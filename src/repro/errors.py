@@ -50,3 +50,28 @@ class NotFittedError(ReproError):
 
 class ConvergenceError(ReproError):
     """An iterative solver failed to converge within its iteration budget."""
+
+
+class PersistenceError(ReproError):
+    """A saved artifact (results, models, checkpoints) is missing required
+    keys, has an unknown format version, or cannot be decoded."""
+
+
+class CheckpointError(PersistenceError):
+    """A checkpoint file is corrupt, has an unknown version, or does not
+    match the run it is being resumed into."""
+
+    def __init__(self, message: str, path: object = None) -> None:
+        if path is not None:
+            message = f"{message} (checkpoint: {path})"
+        super().__init__(message)
+        self.path = path
+
+
+class DeadlineExceeded(ReproError):
+    """A run hit its wall-clock deadline before completing.
+
+    Raised by :meth:`repro.resilience.Deadline.check`; long loops catch it
+    (or poll :meth:`~repro.resilience.Deadline.expired`) to stop gracefully
+    after writing a checkpoint. Error policies never swallow it.
+    """

@@ -24,6 +24,11 @@ from repro.eval.persistence import (
     load_experiment_results,
     save_experiment_results,
 )
+from repro.eval.runner import (
+    ExperimentRunOutcome,
+    experiment_checkpoint,
+    run_resilient,
+)
 
 __all__ = [
     "ClusterScores",
@@ -42,4 +47,7 @@ __all__ = [
     "cluster_context",
     "save_experiment_results",
     "load_experiment_results",
+    "ExperimentRunOutcome",
+    "experiment_checkpoint",
+    "run_resilient",
 ]

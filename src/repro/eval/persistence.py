@@ -2,7 +2,11 @@
 
 Benches and CI runs archive their :class:`ExperimentResult` objects so runs
 can be diffed across commits; the CLI's ``experiment`` command consumes the
-same format.
+same format. Payloads carry a ``format_version`` so future layout changes
+fail loudly: :func:`experiment_result_from_dict` raises
+:class:`~repro.errors.PersistenceError` on missing keys or an unknown
+version instead of a bare ``KeyError``. Files are written atomically
+(tmp + rename), so a crash mid-save never leaves a torn archive.
 """
 
 from __future__ import annotations
@@ -10,30 +14,64 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.errors import PersistenceError
 from repro.eval.experiment import ExperimentResult, NameResult
 from repro.eval.metrics import ClusterScores
+from repro.resilience.checkpoint import write_json_atomic
+
+#: Version of the serialized payload layout. Bump when keys change shape.
+FORMAT_VERSION = 1
+
+#: Versions this build knows how to read. Version-less payloads (written
+#: before versioning existed) are read as version 1 — the layout is the same.
+_READABLE_VERSIONS = (1,)
+
+
+def name_result_to_dict(r: NameResult) -> dict:
+    return {
+        "name": r.name,
+        "n_refs": r.n_refs,
+        "n_entities": r.n_entities,
+        "n_clusters": r.n_clusters,
+        "precision": r.scores.precision,
+        "recall": r.scores.recall,
+        "f1": r.scores.f1,
+        "accuracy": r.scores.accuracy,
+        "tp": r.scores.tp,
+        "fp": r.scores.fp,
+        "fn": r.scores.fn,
+    }
+
+
+def name_result_from_dict(entry: dict) -> NameResult:
+    try:
+        return NameResult(
+            name=entry["name"],
+            n_refs=entry["n_refs"],
+            n_entities=entry["n_entities"],
+            n_clusters=entry["n_clusters"],
+            scores=ClusterScores(
+                precision=entry["precision"],
+                recall=entry["recall"],
+                f1=entry["f1"],
+                accuracy=entry.get("accuracy", 0.0),
+                tp=entry.get("tp", 0),
+                fp=entry.get("fp", 0),
+                fn=entry.get("fn", 0),
+            ),
+        )
+    except KeyError as exc:
+        raise PersistenceError(
+            f"name-result entry is missing required key {exc.args[0]!r}"
+        ) from exc
 
 
 def experiment_result_to_dict(result: ExperimentResult) -> dict:
     return {
+        "format_version": FORMAT_VERSION,
         "variant_key": result.variant_key,
         "min_sim": result.min_sim,
-        "names": [
-            {
-                "name": r.name,
-                "n_refs": r.n_refs,
-                "n_entities": r.n_entities,
-                "n_clusters": r.n_clusters,
-                "precision": r.scores.precision,
-                "recall": r.scores.recall,
-                "f1": r.scores.f1,
-                "accuracy": r.scores.accuracy,
-                "tp": r.scores.tp,
-                "fp": r.scores.fp,
-                "fn": r.scores.fn,
-            }
-            for r in result.names
-        ],
+        "names": [name_result_to_dict(r) for r in result.names],
         "avg_precision": result.avg_precision,
         "avg_recall": result.avg_recall,
         "avg_f1": result.avg_f1,
@@ -42,27 +80,23 @@ def experiment_result_to_dict(result: ExperimentResult) -> dict:
 
 
 def experiment_result_from_dict(payload: dict) -> ExperimentResult:
-    result = ExperimentResult(
-        variant_key=payload["variant_key"], min_sim=payload["min_sim"]
-    )
-    for entry in payload["names"]:
-        result.names.append(
-            NameResult(
-                name=entry["name"],
-                n_refs=entry["n_refs"],
-                n_entities=entry["n_entities"],
-                n_clusters=entry["n_clusters"],
-                scores=ClusterScores(
-                    precision=entry["precision"],
-                    recall=entry["recall"],
-                    f1=entry["f1"],
-                    accuracy=entry.get("accuracy", 0.0),
-                    tp=entry.get("tp", 0),
-                    fp=entry.get("fp", 0),
-                    fn=entry.get("fn", 0),
-                ),
-            )
+    version = payload.get("format_version", 1)
+    if version not in _READABLE_VERSIONS:
+        raise PersistenceError(
+            f"unknown experiment-result format_version {version!r} "
+            f"(this build reads: {', '.join(map(str, _READABLE_VERSIONS))})"
         )
+    try:
+        result = ExperimentResult(
+            variant_key=payload["variant_key"], min_sim=payload["min_sim"]
+        )
+        entries = payload["names"]
+    except KeyError as exc:
+        raise PersistenceError(
+            f"experiment-result payload is missing required key {exc.args[0]!r}"
+        ) from exc
+    for entry in entries:
+        result.names.append(name_result_from_dict(entry))
     return result
 
 
@@ -70,7 +104,7 @@ def save_experiment_results(
     results: dict[str, ExperimentResult], path: str | Path
 ) -> None:
     payload = {key: experiment_result_to_dict(r) for key, r in results.items()}
-    Path(path).write_text(json.dumps(payload, indent=2))
+    write_json_atomic(path, payload)
 
 
 def load_experiment_results(path: str | Path) -> dict[str, ExperimentResult]:

@@ -1,0 +1,176 @@
+"""Resilient per-name experiment runner: policies, checkpoints, deadlines.
+
+:func:`repro.eval.experiment.run_variant` assumes every name prepares and
+scores cleanly; this module wraps the same per-name loop with the
+:mod:`repro.resilience` machinery so a long evaluation can
+
+- survive a poisoned name (``policy="skip"``/``"collect"``),
+- stop gracefully at a wall-clock :class:`~repro.resilience.Deadline`, and
+- checkpoint per-name progress atomically and resume after a crash,
+  reproducing the uninterrupted run byte-for-byte (completed names are
+  reloaded from the checkpoint; remaining names are prepared and scored
+  exactly as a fresh run would).
+
+Checkpoints store serialized :class:`~repro.eval.experiment.NameResult`
+payloads — name-preparation-level progress — not the (large, numpy-backed)
+pair features, so saving after every name is cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.distinct import Distinct
+from repro.core.variants import VariantSpec
+from repro.data.world import GroundTruth
+from repro.eval.experiment import ExperimentResult, NameResult, score_resolution
+from repro.eval.persistence import name_result_from_dict, name_result_to_dict
+from repro.obs import counter, get_logger, span
+from repro.resilience import (
+    CheckpointStore,
+    Deadline,
+    ErrorCollector,
+    Policy,
+    guard,
+)
+
+__all__ = ["ExperimentRunOutcome", "experiment_checkpoint", "run_resilient"]
+
+log = get_logger("eval.runner")
+
+_NAMES_SCORED = counter("experiment.names_scored")
+_NAMES_FAILED = counter("experiment.names_failed")
+
+
+@dataclass
+class ExperimentRunOutcome:
+    """What a resilient run produced, and how it ended.
+
+    ``result`` holds the names that completed (all of them on a clean
+    run); ``errors`` the collected failures (empty unless
+    ``policy="collect"``); ``interrupted`` is True when the deadline
+    expired before every name was attempted.
+    """
+
+    result: ExperimentResult
+    errors: ErrorCollector = field(default_factory=ErrorCollector)
+    interrupted: bool = False
+    n_total: int = 0
+
+    @property
+    def n_completed(self) -> int:
+        return len(self.result.names)
+
+    @property
+    def complete(self) -> bool:
+        return not self.interrupted and self.n_completed + len(self.errors) >= self.n_total
+
+
+def experiment_checkpoint(
+    path, names: list[str], variant_key: str, min_sim: float
+) -> CheckpointStore:
+    """The checkpoint store for one ``experiment`` run's parameters."""
+    return CheckpointStore(
+        path,
+        kind="experiment",
+        signature={
+            "names": list(names),
+            "variant_key": variant_key,
+            "min_sim": min_sim,
+        },
+    )
+
+
+def run_resilient(
+    distinct: Distinct,
+    truth: GroundTruth,
+    names: list[str],
+    variant: VariantSpec,
+    min_sim: float,
+    policy: Policy | str = Policy.RAISE,
+    collector: ErrorCollector | None = None,
+    checkpoint: CheckpointStore | None = None,
+    deadline: Deadline | None = None,
+) -> ExperimentRunOutcome:
+    """Score ``names`` under ``variant``, one name at a time.
+
+    Unlike :func:`~repro.eval.experiment.run_variant` (which requires all
+    preparations upfront), each name is prepared, clustered, and scored
+    individually so progress can be checkpointed after every name and a
+    failure loses at most one name. Results are deterministic and ordered
+    by ``names``, so a resumed run's :class:`ExperimentResult` matches an
+    uninterrupted one exactly.
+    """
+    policy = Policy.coerce(policy)
+    collector = collector if collector is not None else ErrorCollector()
+    result = ExperimentResult(variant_key=variant.key, min_sim=min_sim)
+    outcome = ExperimentRunOutcome(
+        result=result, errors=collector, n_total=len(names)
+    )
+
+    done: dict[str, NameResult] = {}
+    if checkpoint is not None and checkpoint.exists():
+        payload = checkpoint.load()
+        done = {
+            entry["name"]: name_result_from_dict(entry)
+            for entry in payload["completed"]
+        }
+        for entry in payload.get("errors", ()):
+            log.info(
+                "checkpointed failure carried over: [%s] %s: %s",
+                entry.get("stage"), entry.get("item"), entry.get("message"),
+            )
+
+    def save_progress(complete: bool = False) -> None:
+        if checkpoint is not None:
+            checkpoint.save(
+                [name_result_to_dict(r) for r in result.names],
+                errors=collector.to_dicts(),
+                complete=complete,
+            )
+
+    with span(
+        "experiment.resilient",
+        variant=variant.key,
+        min_sim=min_sim,
+        n_names=len(names),
+    ) as sp:
+        for name in names:
+            if deadline is not None and deadline.expired():
+                outcome.interrupted = True
+                log.warning(
+                    "deadline expired after %d/%d names; progress %s",
+                    outcome.n_completed, outcome.n_total,
+                    "checkpointed" if checkpoint is not None else "not checkpointed",
+                )
+                break
+            if name in done:
+                result.names.append(done[name])
+                continue
+            scored = None
+            with guard("experiment.score", name, policy, collector):
+                try:
+                    prep = distinct.prepare(name)
+                    resolution = distinct.cluster_prepared(
+                        prep,
+                        min_sim=min_sim,
+                        measure=variant.measure,
+                        supervised=variant.supervised,
+                    )
+                    scored = score_resolution(resolution, truth)
+                except Exception:
+                    _NAMES_FAILED.inc()
+                    raise
+            if scored is None:  # failed and policy skipped/collected it
+                save_progress()
+                continue
+            result.names.append(scored)
+            _NAMES_SCORED.inc()
+            save_progress()
+        sp.annotate(
+            n_completed=outcome.n_completed,
+            n_failed=len(collector),
+            interrupted=outcome.interrupted,
+        )
+    save_progress(complete=outcome.complete)
+    return outcome

@@ -23,11 +23,19 @@ import numpy as np
 from repro.core.distinct import Distinct, NamePreparation
 from repro.core.features import all_pairs, compute_pair_features
 from repro.core.references import extract_references
-from repro.errors import NotFittedError, TrainingError
+from repro.errors import DeadlineExceeded, NotFittedError, TrainingError
 from repro.eval.metrics import pairwise_scores
 from repro.ml.trainingset import build_training_set
 from repro.obs import get_logger, span
 from repro.paths.profiles import ProfileBuilder
+from repro.resilience import (
+    CheckpointStore,
+    Deadline,
+    ErrorCollector,
+    Policy,
+    fault_check,
+    guard,
+)
 
 log = get_logger("ml.calibration")
 
@@ -61,6 +69,10 @@ class CalibrationResult:
     details: list[SyntheticName] = field(default_factory=list, repr=False)
     seconds_prepare: float = 0.0
     seconds_sweep: float = 0.0
+    #: Synthetic names actually scored (— < n_synthetic_names when some were
+    #: skipped/collected by the error policy or cut off by the deadline).
+    n_scored: int = 0
+    interrupted: bool = False
 
     @property
     def seconds_total(self) -> float:
@@ -115,6 +127,7 @@ def make_synthetic_names(
 def prepare_synthetic(distinct: Distinct, synthetic: SyntheticName) -> NamePreparation:
     """Profile a pooled pseudo-name with the union of member exclusions."""
     assert distinct.db is not None and distinct.paths_ is not None
+    fault_check("profile", "+".join(synthetic.member_names))
     config = distinct.config
     excluded_rows: set[int] = set()
     for name in synthetic.member_names:
@@ -131,40 +144,129 @@ def prepare_synthetic(distinct: Distinct, synthetic: SyntheticName) -> NamePrepa
     )
 
 
+def calibration_checkpoint(
+    path,
+    grid: tuple[float, ...] = DEFAULT_GRID,
+    n_names: int = 20,
+    members: int = 3,
+    seed: int = 0,
+) -> CheckpointStore:
+    """The checkpoint store for one ``calibrate`` run's parameters."""
+    return CheckpointStore(
+        path,
+        kind="calibrate",
+        signature={
+            "grid": list(grid),
+            "n_names": n_names,
+            "members": members,
+            "seed": seed,
+        },
+    )
+
+
 def calibrate_min_sim(
     distinct: Distinct,
     grid: tuple[float, ...] = DEFAULT_GRID,
     n_names: int = 20,
     members: int = 3,
     seed: int = 0,
+    policy: Policy | str = Policy.RAISE,
+    collector: ErrorCollector | None = None,
+    checkpoint: CheckpointStore | None = None,
+    deadline: Deadline | None = None,
 ) -> CalibrationResult:
     """Pick the f-maximizing min-sim over synthetic ambiguous names.
 
     Uses the already-fitted supervised models and the composite measure —
     the exact configuration that will run at resolve time.
+
+    The expensive per-synthetic-name work (profiling the pooled references,
+    then sweeping the grid) runs one name at a time so failures follow
+    ``policy``, progress can be ``checkpoint``-ed after every name and
+    resumed, and an expired ``deadline`` stops the run gracefully
+    (``interrupted=True``; the partial result covers the scored names).
+    Raises :class:`DeadlineExceeded` if the deadline expires before any
+    synthetic name was scored.
     """
+    policy = Policy.coerce(policy)
+    collector = collector if collector is not None else ErrorCollector()
     t0 = time.perf_counter()
-    with span("calibration.prepare", n_names=n_names, members=members):
+    with span("calibration.make_names", n_names=n_names, members=members):
         synthetic = make_synthetic_names(
             distinct, n_names=n_names, members=members, seed=seed
         )
-        preparations = [(s, prepare_synthetic(distinct, s)) for s in synthetic]
-    t1 = time.perf_counter()
 
-    f1_by_min_sim: dict[float, float] = {}
-    with span("calibration.sweep", grid_size=len(grid)):
-        for min_sim in grid:
-            scores = []
-            for syn, prep in preparations:
-                resolution = distinct.cluster_prepared(prep, min_sim=min_sim)
-                scores.append(pairwise_scores(resolution.clusters, syn.gold).f1)
-            f1_by_min_sim[min_sim] = float(np.mean(scores))
-    t2 = time.perf_counter()
+    done: dict[str, list[float]] = {}
+    if checkpoint is not None and checkpoint.exists():
+        payload = checkpoint.load()
+        done = {entry["key"]: entry["f1"] for entry in payload["completed"]}
+
+    completed: list[dict] = []
+    per_name_f1: list[list[float]] = []
+    interrupted = False
+    seconds_prepare = time.perf_counter() - t0  # synthetic-name construction
+    seconds_sweep = 0.0
+
+    def save_progress(complete: bool = False) -> None:
+        if checkpoint is not None:
+            checkpoint.save(completed, errors=collector.to_dicts(), complete=complete)
+
+    with span("calibration.names", n_names=len(synthetic), grid_size=len(grid)):
+        for syn in synthetic:
+            key = "+".join(syn.member_names)
+            if deadline is not None and deadline.expired():
+                interrupted = True
+                log.warning(
+                    "calibration deadline expired after %d/%d synthetic names",
+                    len(per_name_f1), len(synthetic),
+                )
+                break
+            if key in done:
+                per_name_f1.append(done[key])
+                completed.append({"key": key, "f1": done[key]})
+                continue
+            f1s: list[float] | None = None
+            with guard("calibration.name", key, policy, collector):
+                tp = time.perf_counter()
+                prep = prepare_synthetic(distinct, syn)
+                seconds_prepare += time.perf_counter() - tp
+                ts = time.perf_counter()
+                f1s = [
+                    pairwise_scores(
+                        distinct.cluster_prepared(prep, min_sim=min_sim).clusters,
+                        syn.gold,
+                    ).f1
+                    for min_sim in grid
+                ]
+                seconds_sweep += time.perf_counter() - ts
+            if f1s is None:  # failed; policy skipped/collected it
+                save_progress()
+                continue
+            per_name_f1.append(f1s)
+            completed.append({"key": key, "f1": f1s})
+            save_progress()
+
+    if not per_name_f1:
+        if interrupted:
+            raise DeadlineExceeded(
+                "calibration deadline expired before any synthetic name was scored"
+            )
+        raise TrainingError(
+            "no synthetic name could be scored "
+            f"({len(collector)} failure(s) collected)"
+        )
+
+    f1_by_min_sim = {
+        min_sim: float(np.mean([f1s[i] for f1s in per_name_f1]))
+        for i, min_sim in enumerate(grid)
+    }
+    save_progress(complete=not interrupted)
 
     best = max(f1_by_min_sim, key=f1_by_min_sim.get)
     log.info(
-        "calibrated min_sim=%g over %d synthetic names (prepare %.2fs, sweep %.2fs)",
-        best, n_names, t1 - t0, t2 - t1,
+        "calibrated min_sim=%g over %d/%d synthetic names "
+        "(prepare %.2fs, sweep %.2fs)",
+        best, len(per_name_f1), len(synthetic), seconds_prepare, seconds_sweep,
     )
     return CalibrationResult(
         best_min_sim=best,
@@ -172,6 +274,8 @@ def calibrate_min_sim(
         n_synthetic_names=n_names,
         members_per_name=members,
         details=synthetic,
-        seconds_prepare=t1 - t0,
-        seconds_sweep=t2 - t1,
+        seconds_prepare=seconds_prepare,
+        seconds_sweep=seconds_sweep,
+        n_scored=len(per_name_f1),
+        interrupted=interrupted,
     )

@@ -25,9 +25,11 @@ import numpy as np
 
 from repro.errors import ConvergenceError, NotFittedError
 from repro.obs import counter, span
+from repro.resilience.retry import retry
 
 _FITS = counter("svm.fits")
 _ITERATIONS = counter("svm.iterations")
+_RETRIES = counter("svm.convergence_retries")
 
 
 class LinearSVM:
@@ -45,6 +47,13 @@ class LinearSVM:
     max_epochs:
         Epoch budget; exceeding it raises :class:`ConvergenceError` unless
         ``strict=False`` (then the best-so-far model is kept).
+    retries:
+        Extra fit attempts after a non-converged strict fit. Each retry
+        doubles the epoch budget and shifts the shuffle seed (via
+        :func:`repro.resilience.retry`), so ``ConvergenceError`` becomes a
+        bounded, reported condition: it is raised only once
+        ``1 + retries`` attempts have failed. ``0`` (the default)
+        preserves the single-attempt behaviour exactly.
     fit_bias:
         Learn an intercept via feature augmentation.
     seed:
@@ -61,6 +70,7 @@ class LinearSVM:
         seed: int = 0,
         strict: bool = True,
         class_weight: str | dict | None = None,
+        retries: int = 0,
     ) -> None:
         if C <= 0:
             raise ValueError("C must be positive")
@@ -70,6 +80,8 @@ class LinearSVM:
             class_weight, dict
         ):
             raise ValueError('class_weight must be None, "balanced", or a dict')
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
         self.C = C
         self.loss = loss
         self.tol = tol
@@ -78,6 +90,8 @@ class LinearSVM:
         self.seed = seed
         self.strict = strict
         self.class_weight = class_weight
+        self.retries = retries
+        self.n_fit_attempts_: int = 0
         self.weights_: np.ndarray | None = None
         self.bias_: float = 0.0
         self.n_epochs_: int | None = None
@@ -120,13 +134,34 @@ class LinearSVM:
             raise ValueError("training set needs both classes")
 
         with span("svm.fit", n=int(X.shape[0]), d=int(X.shape[1]), C=self.C) as sp:
-            self._fit_dual(X, y)
-            sp.annotate(epochs=self.n_epochs_)
+
+            def attempt(k: int) -> None:
+                # Widen the epoch budget and reshuffle on every retry so a
+                # repeat attempt is not a verbatim replay of the failed one.
+                if k:
+                    _RETRIES.inc()
+                self.n_fit_attempts_ = k + 1
+                self._fit_dual(
+                    X, y,
+                    max_epochs=self.max_epochs * 2**k,
+                    seed=self.seed + k,
+                )
+
+            retry(attempt, budget=self.retries + 1, retry_on=ConvergenceError)
+            sp.annotate(epochs=self.n_epochs_, attempts=self.n_fit_attempts_)
         _FITS.inc()
         _ITERATIONS.inc(self.n_epochs_ or 0)
         return self
 
-    def _fit_dual(self, X: np.ndarray, y: np.ndarray) -> None:
+    def _fit_dual(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        max_epochs: int | None = None,
+        seed: int | None = None,
+    ) -> None:
+        max_epochs = self.max_epochs if max_epochs is None else max_epochs
+        seed = self.seed if seed is None else seed
         n, d = X.shape
         if self.fit_bias:
             X = np.hstack([X, np.ones((n, 1))])
@@ -142,12 +177,12 @@ class LinearSVM:
         q_diag = np.einsum("ij,ij->i", X, X) + diag
         alpha = np.zeros(n)
         w = np.zeros(X.shape[1])
-        rng = random.Random(self.seed)
+        rng = random.Random(seed)
         order = list(range(n))
 
         epoch = 0
         converged = False
-        for epoch in range(1, self.max_epochs + 1):
+        for epoch in range(1, max_epochs + 1):
             rng.shuffle(order)
             max_violation = 0.0
             for i in order:
@@ -176,7 +211,7 @@ class LinearSVM:
         if not converged and self.strict:
             raise ConvergenceError(
                 f"dual coordinate descent did not converge in "
-                f"{self.max_epochs} epochs (last violation above {self.tol})"
+                f"{max_epochs} epochs (last violation above {self.tol})"
             )
 
         if self.fit_bias:

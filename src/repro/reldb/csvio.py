@@ -11,6 +11,14 @@ load, values that look like integers are parsed back to ``int`` (the only
 non-string type the generators produce). ``None`` is written as the
 sentinel ``\\N`` (MySQL-dump convention) so that empty strings survive the
 round trip unchanged.
+
+Loading validates before it trusts: a missing or corrupt ``schema.json``
+raises :class:`~repro.errors.SchemaError` naming the offending path; a
+missing CSV, or a CSV whose header disagrees with the manifest, raises
+:class:`~repro.errors.IntegrityError` — never a bare ``KeyError`` or
+``FileNotFoundError``. Malformed *rows* go through the ``on_error``
+policy (:class:`~repro.resilience.Policy`), so a handful of corrupt lines
+can be skipped or collected instead of aborting the load.
 """
 
 from __future__ import annotations
@@ -19,11 +27,16 @@ import csv
 import json
 from pathlib import Path
 
+from repro.errors import IntegrityError, SchemaError
+from repro.obs import counter
 from repro.reldb.database import Database
 from repro.reldb.schema import Attribute, ForeignKey, RelationSchema, Schema
 from repro.reldb.virtual import is_virtual_relation
+from repro.resilience import ErrorCollector, Policy, fault_check, guard
 
 _SCHEMA_FILE = "schema.json"
+
+_ROWS_SKIPPED = counter("csvio.rows_skipped")
 
 
 def save_database(db: Database, directory: str | Path) -> None:
@@ -67,30 +80,89 @@ def save_database(db: Database, directory: str | Path) -> None:
                 writer.writerow([_NULL if v is None else v for v in row])
 
 
-def load_database(directory: str | Path) -> Database:
-    """Rebuild a database saved by :func:`save_database`."""
-    directory = Path(directory)
-    manifest = json.loads((directory / _SCHEMA_FILE).read_text())
-
-    schema = Schema()
-    for rel in manifest["relations"]:
-        schema.add_relation(
-            RelationSchema(
-                rel["name"],
-                [Attribute(a["name"], kind=a["kind"]) for a in rel["attributes"]],
-            )
+def _load_manifest(directory: Path) -> dict:
+    schema_path = directory / _SCHEMA_FILE
+    if not schema_path.exists():
+        raise SchemaError(
+            f"not a saved database: missing schema file {schema_path}"
         )
-    for fk in manifest["foreign_keys"]:
-        schema.add_foreign_key(ForeignKey(**fk))
+    try:
+        manifest = json.loads(schema_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SchemaError(f"corrupt schema file {schema_path}: {exc}") from exc
+    if not isinstance(manifest, dict):
+        raise SchemaError(f"corrupt schema file {schema_path}: not a JSON object")
+    for key in ("relations", "foreign_keys"):
+        if key not in manifest:
+            raise SchemaError(f"schema file {schema_path} is missing {key!r}")
+    return manifest
+
+
+def _build_schema(manifest: dict, schema_path: Path) -> Schema:
+    schema = Schema()
+    try:
+        for rel in manifest["relations"]:
+            schema.add_relation(
+                RelationSchema(
+                    rel["name"],
+                    [Attribute(a["name"], kind=a["kind"]) for a in rel["attributes"]],
+                )
+            )
+        for fk in manifest["foreign_keys"]:
+            schema.add_foreign_key(ForeignKey(**fk))
+    except (KeyError, TypeError) as exc:
+        raise SchemaError(
+            f"schema file {schema_path} has a malformed entry: {exc!r}"
+        ) from exc
+    return schema
+
+
+def load_database(
+    directory: str | Path,
+    on_error: Policy | str = Policy.RAISE,
+    collector: ErrorCollector | None = None,
+) -> Database:
+    """Rebuild a database saved by :func:`save_database`.
+
+    Raises :class:`SchemaError` for a missing/corrupt manifest and
+    :class:`IntegrityError` for a missing CSV or a header that disagrees
+    with the manifest (always naming the offending path). Row-level
+    problems (wrong arity) follow ``on_error``.
+    """
+    directory = Path(directory)
+    on_error = Policy.coerce(on_error)
+    manifest = _load_manifest(directory)
+    schema = _build_schema(manifest, directory / _SCHEMA_FILE)
 
     db = Database(schema)
     for rel in manifest["relations"]:
         name = rel["name"]
-        with open(directory / f"{name}.csv", newline="") as handle:
+        csv_path = directory / f"{name}.csv"
+        if not csv_path.exists():
+            raise IntegrityError(
+                f"relation {name!r} is in the manifest but its file is "
+                f"missing: {csv_path}"
+            )
+        fault_check("csv.load", name)
+        expected_header = [a["name"] for a in rel["attributes"]]
+        with open(csv_path, newline="") as handle:
             reader = csv.reader(handle)
-            next(reader)  # header
-            for row in reader:
-                db.insert(name, [_parse_value(v) for v in row])
+            header = next(reader, None)
+            if header != expected_header:
+                raise IntegrityError(
+                    f"header of {csv_path} disagrees with the manifest: "
+                    f"expected {expected_header}, found {header}"
+                )
+            for lineno, row in enumerate(reader, start=2):
+                with guard("csv.row", f"{csv_path}:{lineno}", on_error, collector):
+                    if len(row) != len(expected_header):
+                        if on_error is not Policy.RAISE:
+                            _ROWS_SKIPPED.inc()
+                        raise IntegrityError(
+                            f"{csv_path}:{lineno}: expected "
+                            f"{len(expected_header)} values, found {len(row)}"
+                        )
+                    db.insert(name, [_parse_value(v) for v in row])
     return db
 
 

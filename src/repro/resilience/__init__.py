@@ -1,0 +1,53 @@
+"""Resilience for long pipeline runs: policies, retries, checkpoints, faults.
+
+The DISTINCT evaluation is a multi-stage run over messy inputs; this
+package keeps one bad record or one mid-run crash from discarding all
+work:
+
+- :mod:`repro.resilience.policy` — the ``raise`` / ``skip`` / ``collect``
+  error policies and the :class:`ErrorCollector` report;
+- :mod:`repro.resilience.retry` — :func:`retry` with jittered exponential
+  backoff and the :class:`Deadline` wall-clock budget;
+- :mod:`repro.resilience.checkpoint` — versioned JSON checkpoints written
+  atomically (tmp + rename) and validated on resume;
+- :mod:`repro.resilience.faults` — test-only injection points that the
+  ``tests/resilience`` suite uses to prove skip/collect/resume semantics.
+
+Degradation is observable: skipped items, collected errors, retry
+attempts, and checkpoint writes all flow into the :mod:`repro.obs`
+metrics registry (see ``docs/robustness.md``).
+"""
+
+from repro.resilience.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointStore,
+    write_json_atomic,
+)
+from repro.resilience.faults import (
+    FaultInjected,
+    FaultPlan,
+    clear_fault_plan,
+    fault_check,
+    fault_plan,
+    install_fault_plan,
+)
+from repro.resilience.policy import ErrorCollector, ErrorRecord, Policy, guard
+from repro.resilience.retry import Deadline, retry
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointStore",
+    "Deadline",
+    "ErrorCollector",
+    "ErrorRecord",
+    "FaultInjected",
+    "FaultPlan",
+    "Policy",
+    "clear_fault_plan",
+    "fault_check",
+    "fault_plan",
+    "guard",
+    "install_fault_plan",
+    "retry",
+    "write_json_atomic",
+]

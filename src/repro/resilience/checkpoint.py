@@ -1,0 +1,142 @@
+"""Versioned, atomically written JSON checkpoints of per-item progress.
+
+A checkpoint records which items of a long run (the per-name loop of
+``experiment``, the per-synthetic-name loop of ``calibrate``) are already
+done, plus any collected errors. Writes go through tmp-file + ``os.replace``
+so a crash mid-write leaves either the previous complete checkpoint or the
+new one — never a torn file. Each file carries a ``format_version``, a
+``kind``, and the *signature* of the run that produced it (names, grid,
+thresholds …); resuming validates all three so a checkpoint from a
+different run, or a corrupt file, fails fast with
+:class:`~repro.errors.CheckpointError` instead of silently mixing results.
+
+File layout::
+
+    {
+      "format_version": 1,
+      "kind": "experiment",
+      "signature": {...},          # run parameters, compared on resume
+      "completed": [...],          # per-item payloads, insertion order
+      "errors": [...],             # ErrorCollector.to_dicts()
+      "complete": false            # true once the run finished all items
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.errors import CheckpointError
+from repro.obs import counter, get_logger
+
+__all__ = ["CHECKPOINT_VERSION", "CheckpointStore", "write_json_atomic"]
+
+log = get_logger("resilience.checkpoint")
+
+CHECKPOINT_VERSION = 1
+
+_WRITES = counter("checkpoint.writes")
+_RESUMED = counter("checkpoint.items_resumed")
+
+
+def write_json_atomic(path: str | Path, payload: object) -> Path:
+    """Serialize ``payload`` to ``path`` via tmp file + atomic rename."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2))
+    os.replace(tmp, path)
+    return path
+
+
+class CheckpointStore:
+    """One checkpoint file bound to one run's kind and signature.
+
+    ``save`` is called after every completed item (cheap: the payloads are
+    per-item score dicts, not features); ``load`` returns the completed
+    payloads of a compatible previous run, or raises
+    :class:`CheckpointError` when the file cannot be trusted.
+    """
+
+    def __init__(self, path: str | Path, kind: str, signature: dict) -> None:
+        self.path = Path(path)
+        self.kind = kind
+        self.signature = signature
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def load(self) -> dict:
+        """Validated payload of an existing checkpoint file.
+
+        Raises :class:`CheckpointError` on unreadable/corrupt JSON, an
+        unknown ``format_version``, a different ``kind``, or a signature
+        that does not match this run's parameters.
+        """
+        try:
+            raw = self.path.read_text()
+        except OSError as exc:
+            raise CheckpointError(f"cannot read checkpoint: {exc}", self.path) from exc
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(f"corrupt checkpoint JSON: {exc}", self.path) from exc
+        if not isinstance(payload, dict):
+            raise CheckpointError("checkpoint is not a JSON object", self.path)
+
+        version = payload.get("format_version")
+        if version != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"unknown checkpoint format_version {version!r} "
+                f"(this build reads version {CHECKPOINT_VERSION})",
+                self.path,
+            )
+        kind = payload.get("kind")
+        if kind != self.kind:
+            raise CheckpointError(
+                f"checkpoint kind {kind!r} does not match this run ({self.kind!r})",
+                self.path,
+            )
+        saved = payload.get("signature")
+        if saved != self.signature:
+            mismatched = sorted(
+                k
+                for k in set(saved or {}) | set(self.signature)
+                if (saved or {}).get(k) != self.signature.get(k)
+            )
+            raise CheckpointError(
+                "checkpoint was written by a run with different parameters "
+                f"(mismatched: {', '.join(mismatched) or 'all'})",
+                self.path,
+            )
+        completed = payload.get("completed")
+        if not isinstance(completed, list):
+            raise CheckpointError("checkpoint has no 'completed' list", self.path)
+        _RESUMED.inc(len(completed))
+        log.info(
+            "resuming from %s: %d item(s) already completed",
+            self.path, len(completed),
+        )
+        return payload
+
+    def save(
+        self,
+        completed: list[dict],
+        errors: list[dict] | None = None,
+        complete: bool = False,
+    ) -> None:
+        """Atomically persist the current progress."""
+        write_json_atomic(
+            self.path,
+            {
+                "format_version": CHECKPOINT_VERSION,
+                "kind": self.kind,
+                "signature": self.signature,
+                "completed": completed,
+                "errors": errors or [],
+                "complete": complete,
+            },
+        )
+        _WRITES.inc()

@@ -1,0 +1,151 @@
+"""Test-only fault injection for the pipeline's failure paths.
+
+Error policies and checkpoint/resume are only trustworthy if they are
+exercised against real failures. The pipeline exposes named *injection
+points* at its ingestion, profiling, and clustering stages — each is a
+single call to :func:`fault_check`, a no-op (one global read) unless a
+:class:`FaultPlan` is installed. Tests install a plan describing *where*
+and *when* to fail::
+
+    plan = FaultPlan()
+    plan.fail_at("profile", item="Wei Wang")               # poison one name
+    plan.fail_at("ingest.record", after=100, times=3)      # 3 bad records
+    with fault_plan(plan):
+        run_experiment(...)
+
+The default injected exception is :class:`FaultInjected` (an ordinary
+``Exception``, so policies can skip/collect it); pass ``exc=KeyboardInterrupt()``
+to simulate a hard mid-run crash that no policy swallows.
+
+Injection sites currently wired:
+
+========================  ====================================================
+site                      where
+========================  ====================================================
+``ingest.record``         per record in :func:`repro.data.dblp_xml.iter_dblp_records`
+``csv.load``              per relation in :func:`repro.reldb.csvio.load_database`
+``profile``               per name in :meth:`repro.core.distinct.Distinct.prepare`
+``cluster``               per name in :meth:`repro.core.distinct.Distinct.cluster_prepared`
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = [
+    "FaultInjected",
+    "FaultPlan",
+    "clear_fault_plan",
+    "fault_check",
+    "fault_plan",
+    "install_fault_plan",
+]
+
+
+class FaultInjected(Exception):
+    """The default exception raised at a triggered injection point."""
+
+
+@dataclass
+class _Fault:
+    site: str
+    item: str | None = None  # None matches any item
+    exc: BaseException | None = None
+    times: int = 1  # how many triggers remain (<0 = unlimited)
+    after: int = 0  # skip this many matching calls first
+    seen: int = 0
+
+    def matches(self, site: str, item: str | None) -> bool:
+        if self.site != site or self.times == 0:
+            return False
+        return self.item is None or (item is not None and self.item == str(item))
+
+
+@dataclass
+class _Trigger:
+    """One fired fault, recorded for assertions."""
+
+    site: str
+    item: str | None
+
+
+class FaultPlan:
+    """A declarative schedule of failures keyed by injection site."""
+
+    def __init__(self) -> None:
+        self._faults: list[_Fault] = []
+        self.triggered: list[_Trigger] = []
+        self._lock = threading.Lock()
+
+    def fail_at(
+        self,
+        site: str,
+        item: str | None = None,
+        exc: BaseException | None = None,
+        times: int = 1,
+        after: int = 0,
+    ) -> "FaultPlan":
+        """Arrange for ``site`` to fail.
+
+        ``item`` restricts the fault to one item (name, record key,
+        relation); ``after`` skips that many matching calls first (crash
+        "after K names"); ``times`` bounds how often it fires (-1 =
+        every matching call). Returns ``self`` for chaining.
+        """
+        self._faults.append(
+            _Fault(site=site, item=item, exc=exc, times=times, after=after)
+        )
+        return self
+
+    def check(self, site: str, item: str | None = None) -> None:
+        with self._lock:
+            for fault in self._faults:
+                if not fault.matches(site, item):
+                    continue
+                fault.seen += 1
+                if fault.seen <= fault.after:
+                    continue
+                if fault.times > 0:
+                    fault.times -= 1
+                self.triggered.append(_Trigger(site=site, item=item))
+                error = fault.exc if fault.exc is not None else FaultInjected(
+                    f"injected fault at {site!r}"
+                    + (f" (item {item!r})" if item is not None else "")
+                )
+                raise error
+
+
+_ACTIVE: FaultPlan | None = None
+
+
+def install_fault_plan(plan: FaultPlan) -> None:
+    global _ACTIVE
+    _ACTIVE = plan
+
+
+def clear_fault_plan() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active_fault_plan() -> FaultPlan | None:
+    return _ACTIVE
+
+
+def fault_check(site: str, item: str | None = None) -> None:
+    """The injection point: no-op unless a plan is installed."""
+    if _ACTIVE is not None:
+        _ACTIVE.check(site, item)
+
+
+@contextmanager
+def fault_plan(plan: FaultPlan):
+    """Install ``plan`` for the duration of a ``with`` block."""
+    install_fault_plan(plan)
+    try:
+        yield plan
+    finally:
+        clear_fault_plan()

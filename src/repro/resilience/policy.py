@@ -1,0 +1,153 @@
+"""Error policies: what a long loop does when one item fails.
+
+A multi-stage run (ingest thousands of records, score dozens of names)
+should not lose hours of work to one malformed row. The :class:`Policy`
+enum names the three behaviours every resilient loop supports:
+
+- ``RAISE``   — propagate immediately (the default; identical to a loop
+  with no error handling);
+- ``SKIP``    — drop the failing item, log a warning, keep going;
+- ``COLLECT`` — like skip, but also record a (stage, item, exception)
+  triple in an :class:`ErrorCollector` so the run can report exactly what
+  was lost and why.
+
+The :func:`guard` context manager applies a policy around one item of
+work; skipped and collected failures flow into the ``obs`` metrics
+registry (``resilience.items_skipped``, ``resilience.errors_collected``)
+so degradation is visible in traces.
+
+:class:`~repro.errors.DeadlineExceeded` is a control-flow signal, not an
+item failure — no policy ever swallows it.
+"""
+
+from __future__ import annotations
+
+import enum
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.errors import DeadlineExceeded
+from repro.obs import counter, get_logger
+
+__all__ = ["ErrorCollector", "ErrorRecord", "Policy", "guard"]
+
+log = get_logger("resilience.policy")
+
+_SKIPPED = counter("resilience.items_skipped")
+_COLLECTED = counter("resilience.errors_collected")
+
+
+class Policy(enum.Enum):
+    """What to do when one item of a batch fails."""
+
+    RAISE = "raise"
+    SKIP = "skip"
+    COLLECT = "collect"
+
+    @classmethod
+    def coerce(cls, value: "Policy | str") -> "Policy":
+        """Accept a member or its string value (CLI flags arrive as strings)."""
+        if isinstance(value, Policy):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError:
+            choices = ", ".join(p.value for p in cls)
+            raise ValueError(
+                f"unknown error policy {value!r}; expected one of: {choices}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class ErrorRecord:
+    """One collected failure: where, on what, and why."""
+
+    stage: str
+    item: str
+    error: BaseException
+
+    def to_dict(self) -> dict:
+        return {
+            "stage": self.stage,
+            "item": self.item,
+            "error_type": type(self.error).__name__,
+            "message": str(self.error),
+        }
+
+
+class ErrorCollector:
+    """Accumulates :class:`ErrorRecord` triples across a run.
+
+    One collector can span several stages (ingestion, profiling, scoring);
+    :meth:`items` filters by stage and :meth:`summary` renders the report
+    the CLI prints at the end of a degraded run.
+    """
+
+    def __init__(self) -> None:
+        self.records: list[ErrorRecord] = []
+
+    def record(self, stage: str, item: str, error: BaseException) -> ErrorRecord:
+        rec = ErrorRecord(stage=stage, item=str(item), error=error)
+        self.records.append(rec)
+        return rec
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __bool__(self) -> bool:
+        return bool(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def items(self, stage: str | None = None) -> list[str]:
+        """The failed items (optionally only those of one stage)."""
+        return [r.item for r in self.records if stage is None or r.stage == stage]
+
+    def to_dicts(self) -> list[dict]:
+        return [r.to_dict() for r in self.records]
+
+    def summary(self) -> str:
+        """Human-readable error report, one line per failure."""
+        if not self.records:
+            return "no errors collected"
+        lines = [f"{len(self.records)} error(s) collected:"]
+        for r in self.records:
+            lines.append(
+                f"  [{r.stage}] {r.item}: {type(r.error).__name__}: {r.error}"
+            )
+        return "\n".join(lines)
+
+
+@contextmanager
+def guard(
+    stage: str,
+    item: str,
+    policy: Policy | str = Policy.RAISE,
+    collector: ErrorCollector | None = None,
+):
+    """Apply an error policy around one item of work.
+
+    Under ``SKIP``/``COLLECT`` any :class:`Exception` from the body is
+    logged and suppressed (``COLLECT`` additionally records it in
+    ``collector``); the caller continues with the next item.
+    ``DeadlineExceeded`` and non-``Exception`` interrupts always propagate.
+    """
+    policy = Policy.coerce(policy)
+    try:
+        yield
+    except DeadlineExceeded:
+        raise
+    except Exception as exc:
+        if policy is Policy.RAISE:
+            raise
+        _SKIPPED.inc()
+        if policy is Policy.COLLECT:
+            _COLLECTED.inc()
+            if collector is not None:
+                collector.record(stage, item, exc)
+        log.warning(
+            "[%s] %s failed (%s: %s) — %s",
+            stage, item, type(exc).__name__, exc,
+            "collected" if policy is Policy.COLLECT else "skipped",
+        )

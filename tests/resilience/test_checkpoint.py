@@ -1,0 +1,98 @@
+"""Checkpoint files: atomic writes, versioning, and resume validation."""
+
+import json
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.resilience import CHECKPOINT_VERSION, CheckpointStore, write_json_atomic
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return CheckpointStore(
+        tmp_path / "ckpt.json",
+        kind="experiment",
+        signature={"names": ["a", "b"], "min_sim": 0.006},
+    )
+
+
+class TestWriteJsonAtomic:
+    def test_writes_and_returns_path(self, tmp_path):
+        path = write_json_atomic(tmp_path / "out.json", {"x": 1})
+        assert json.loads(path.read_text()) == {"x": 1}
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        write_json_atomic(tmp_path / "out.json", {"x": 1})
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = write_json_atomic(tmp_path / "deep" / "out.json", [1, 2])
+        assert path.exists()
+
+    def test_replaces_existing_content_atomically(self, tmp_path):
+        target = tmp_path / "out.json"
+        write_json_atomic(target, {"v": 1})
+        write_json_atomic(target, {"v": 2})
+        assert json.loads(target.read_text()) == {"v": 2}
+
+
+class TestCheckpointStore:
+    def test_save_load_round_trip(self, store):
+        assert not store.exists()
+        store.save([{"name": "a", "f1": 0.5}], errors=[], complete=False)
+        assert store.exists()
+        payload = store.load()
+        assert payload["format_version"] == CHECKPOINT_VERSION
+        assert payload["completed"] == [{"name": "a", "f1": 0.5}]
+        assert payload["complete"] is False
+
+    def test_complete_flag_persisted(self, store):
+        store.save([], complete=True)
+        assert store.load()["complete"] is True
+
+    def test_corrupt_json_raises_checkpoint_error_with_path(self, store):
+        store.path.write_text("{not json")
+        with pytest.raises(CheckpointError) as excinfo:
+            store.load()
+        assert "ckpt.json" in str(excinfo.value)
+
+    def test_unknown_version_rejected(self, store):
+        store.save([])
+        payload = json.loads(store.path.read_text())
+        payload["format_version"] = 99
+        store.path.write_text(json.dumps(payload))
+        with pytest.raises(CheckpointError, match="format_version"):
+            store.load()
+
+    def test_kind_mismatch_rejected(self, store, tmp_path):
+        store.save([])
+        other = CheckpointStore(
+            store.path, kind="calibrate", signature=store.signature
+        )
+        with pytest.raises(CheckpointError, match="kind"):
+            other.load()
+
+    def test_signature_mismatch_names_the_differing_keys(self, store):
+        store.save([])
+        other = CheckpointStore(
+            store.path,
+            kind="experiment",
+            signature={"names": ["a", "b"], "min_sim": 0.5},
+        )
+        with pytest.raises(CheckpointError, match="min_sim"):
+            other.load()
+
+    def test_non_object_payload_rejected(self, store):
+        store.path.write_text("[1, 2, 3]")
+        with pytest.raises(CheckpointError, match="JSON object"):
+            store.load()
+
+    def test_missing_completed_list_rejected(self, store):
+        write_json_atomic(store.path, {
+            "format_version": CHECKPOINT_VERSION,
+            "kind": "experiment",
+            "signature": store.signature,
+        })
+        with pytest.raises(CheckpointError, match="completed"):
+            store.load()

@@ -1,0 +1,83 @@
+"""The FaultPlan injection machinery itself."""
+
+import pytest
+
+from repro.resilience import (
+    FaultInjected,
+    FaultPlan,
+    clear_fault_plan,
+    fault_check,
+    fault_plan,
+    install_fault_plan,
+)
+from repro.resilience.faults import active_fault_plan
+
+
+class TestFaultPlan:
+    def test_site_and_item_matching(self):
+        plan = FaultPlan().fail_at("profile", item="Wei Wang")
+        plan.check("profile", "Rakesh Kumar")  # different item: no fault
+        plan.check("cluster", "Wei Wang")  # different site: no fault
+        with pytest.raises(FaultInjected, match="profile"):
+            plan.check("profile", "Wei Wang")
+
+    def test_item_none_matches_any(self):
+        plan = FaultPlan().fail_at("ingest.record")
+        with pytest.raises(FaultInjected):
+            plan.check("ingest.record", "anything")
+
+    def test_times_bounds_triggers(self):
+        plan = FaultPlan().fail_at("site", times=2)
+        for _ in range(2):
+            with pytest.raises(FaultInjected):
+                plan.check("site")
+        plan.check("site")  # exhausted
+        assert len(plan.triggered) == 2
+
+    def test_unlimited_times(self):
+        plan = FaultPlan().fail_at("site", times=-1)
+        for _ in range(5):
+            with pytest.raises(FaultInjected):
+                plan.check("site")
+
+    def test_after_skips_matching_calls(self):
+        plan = FaultPlan().fail_at("site", after=2)
+        plan.check("site")
+        plan.check("site")
+        with pytest.raises(FaultInjected):
+            plan.check("site")
+
+    def test_custom_exception_instance(self):
+        plan = FaultPlan().fail_at("site", exc=KeyboardInterrupt())
+        with pytest.raises(KeyboardInterrupt):
+            plan.check("site")
+
+    def test_triggered_records_site_and_item(self):
+        plan = FaultPlan().fail_at("profile", item="X")
+        with pytest.raises(FaultInjected):
+            plan.check("profile", "X")
+        (trigger,) = plan.triggered
+        assert (trigger.site, trigger.item) == ("profile", "X")
+
+
+class TestGlobalHook:
+    def test_fault_check_is_noop_without_plan(self):
+        clear_fault_plan()
+        fault_check("profile", "anything")  # no raise
+
+    def test_install_and_clear(self):
+        plan = FaultPlan().fail_at("site")
+        install_fault_plan(plan)
+        assert active_fault_plan() is plan
+        with pytest.raises(FaultInjected):
+            fault_check("site")
+        clear_fault_plan()
+        assert active_fault_plan() is None
+        fault_check("site")
+
+    def test_context_manager_clears_on_exit(self):
+        with fault_plan(FaultPlan().fail_at("site")) as plan:
+            with pytest.raises(FaultInjected):
+                fault_check("site")
+            assert active_fault_plan() is plan
+        assert active_fault_plan() is None

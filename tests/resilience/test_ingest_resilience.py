@@ -1,0 +1,117 @@
+"""Error policies at the ingestion layer: DBLP XML records and CSV rows."""
+
+import json
+
+import pytest
+
+from repro.data.dblp_xml import iter_dblp_records, load_dblp_xml
+from repro.errors import IntegrityError
+from repro.obs import get_metrics
+from repro.reldb.csvio import load_database, save_database
+from repro.resilience import ErrorCollector, FaultPlan, Policy, fault_plan
+
+MESSY_XML = """<dblp>
+<inproceedings key="ok/1">
+  <author>Wei Wang</author><author>Jiong Yang</author>
+  <title>Good paper.</title><booktitle>VLDB</booktitle><year>1997</year>
+</inproceedings>
+<inproceedings key="bad/year">
+  <author>A B</author><title>Year is not an integer.</title>
+  <booktitle>ICDE</booktitle><year>199x</year>
+</inproceedings>
+<inproceedings key="bad/authors">
+  <author>   </author><author></author>
+  <title>Only whitespace authors.</title>
+  <booktitle>ICDE</booktitle><year>2001</year>
+</inproceedings>
+<inproceedings key="ok/2">
+  <author>Hui Fang</author><author>  Wei Wang </author><author> </author>
+  <title>One empty author dropped, record kept.</title>
+  <booktitle>SIGMOD</booktitle><year>2002</year>
+</inproceedings>
+</dblp>"""
+
+
+class TestDblpRecordSkipping:
+    def test_bad_year_and_empty_authors_skipped_and_counted(self):
+        skipped = get_metrics().counter("dblp.records_skipped")
+        dropped = get_metrics().counter("dblp.authors_dropped")
+        s0, d0 = skipped.value, dropped.value
+        records = list(iter_dblp_records(MESSY_XML))
+        assert [r.key for r in records] == ["ok/1", "ok/2"]
+        assert skipped.value == s0 + 2  # bad/year and bad/authors
+        assert dropped.value == d0 + 3  # two whitespace + one trailing empty
+        # The valid record keeps its real authors, stripped.
+        assert records[1].authors == ["Hui Fang", "Wei Wang"]
+
+    def test_load_survives_messy_records(self):
+        db = load_dblp_xml(MESSY_XML, prepared=False)
+        names = {row[1] for row in db.table("Authors").rows}
+        assert names == {"Wei Wang", "Jiong Yang", "Hui Fang"}
+
+    def test_injected_record_fault_collected(self):
+        plan = FaultPlan().fail_at("ingest.record", item="ok/1")
+        collector = ErrorCollector()
+        with fault_plan(plan):
+            records = list(
+                iter_dblp_records(
+                    MESSY_XML, on_error=Policy.COLLECT, collector=collector
+                )
+            )
+        assert [r.key for r in records] == ["ok/2"]
+        assert collector.items(stage="ingest.record") == ["ok/1"]
+
+    def test_injected_record_fault_raises_under_raise_policy(self):
+        from repro.resilience import FaultInjected
+
+        with fault_plan(FaultPlan().fail_at("ingest.record", item="ok/1")):
+            with pytest.raises(FaultInjected):
+                list(iter_dblp_records(MESSY_XML, on_error=Policy.RAISE))
+
+
+class TestCsvRowPolicies:
+    @pytest.fixture()
+    def saved_world(self, small_db, tmp_path):
+        db, _ = small_db
+        save_database(db, tmp_path)
+        return tmp_path
+
+    def test_corrupt_row_raises_by_default(self, saved_world):
+        path = saved_world / "Authors.csv"
+        path.write_text(path.read_text() + "999\n")  # wrong arity
+        with pytest.raises(IntegrityError, match="Authors.csv"):
+            load_database(saved_world)
+
+    def test_corrupt_row_collected_names_the_line(self, saved_world):
+        path = saved_world / "Authors.csv"
+        n_rows = len(path.read_text().splitlines()) - 1
+        path.write_text(path.read_text() + "999\n")
+        collector = ErrorCollector()
+        db = load_database(saved_world, on_error="collect", collector=collector)
+        assert len(db.table("Authors").rows) == n_rows
+        (item,) = collector.items(stage="csv.row")
+        assert item.endswith(f"Authors.csv:{n_rows + 2}")
+
+    def test_missing_csv_file_raises_integrity_error(self, saved_world):
+        (saved_world / "Conferences.csv").unlink()
+        with pytest.raises(IntegrityError, match="Conferences.csv"):
+            load_database(saved_world)
+
+    def test_corrupt_schema_json_raises_schema_error(self, saved_world):
+        from repro.errors import SchemaError
+
+        (saved_world / "schema.json").write_text("{broken")
+        with pytest.raises(SchemaError, match="schema.json"):
+            load_database(saved_world)
+
+    def test_schema_missing_keys_raises_schema_error(self, saved_world):
+        from repro.errors import SchemaError
+
+        (saved_world / "schema.json").write_text(json.dumps({"relations": []}))
+        with pytest.raises(SchemaError, match="foreign_keys"):
+            load_database(saved_world)
+
+    def test_round_trip_still_works(self, saved_world, small_db):
+        db, _ = small_db
+        loaded = load_database(saved_world)
+        assert len(loaded.table("Publish").rows) == len(db.table("Publish").rows)

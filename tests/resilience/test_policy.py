@@ -1,0 +1,86 @@
+"""Error policies: Policy, ErrorCollector, and the guard context manager."""
+
+import pytest
+
+from repro.errors import DeadlineExceeded
+from repro.obs import get_metrics
+from repro.resilience import ErrorCollector, Policy, guard
+
+
+class TestPolicy:
+    def test_coerce_accepts_members_and_strings(self):
+        assert Policy.coerce(Policy.SKIP) is Policy.SKIP
+        assert Policy.coerce("skip") is Policy.SKIP
+        assert Policy.coerce("COLLECT") is Policy.COLLECT
+        assert Policy.coerce("raise") is Policy.RAISE
+
+    def test_coerce_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown error policy"):
+            Policy.coerce("explode")
+
+
+class TestErrorCollector:
+    def test_records_triples_in_order(self):
+        collector = ErrorCollector()
+        collector.record("ingest", "rec-1", ValueError("bad year"))
+        collector.record("score", "Wei Wang", RuntimeError("boom"))
+        assert len(collector) == 2
+        assert collector.items() == ["rec-1", "Wei Wang"]
+        assert collector.items(stage="score") == ["Wei Wang"]
+        first = collector.records[0]
+        assert (first.stage, first.item) == ("ingest", "rec-1")
+        assert isinstance(first.error, ValueError)
+
+    def test_to_dicts_and_summary(self):
+        collector = ErrorCollector()
+        assert not collector
+        assert collector.summary() == "no errors collected"
+        collector.record("score", "X", KeyError("k"))
+        (entry,) = collector.to_dicts()
+        assert entry == {
+            "stage": "score", "item": "X",
+            "error_type": "KeyError", "message": "'k'",
+        }
+        assert "1 error(s) collected" in collector.summary()
+        assert "[score] X: KeyError" in collector.summary()
+
+
+class TestGuard:
+    def test_raise_policy_propagates(self):
+        with pytest.raises(ValueError):
+            with guard("stage", "item", Policy.RAISE):
+                raise ValueError("x")
+
+    def test_skip_policy_suppresses_without_recording(self):
+        collector = ErrorCollector()
+        with guard("stage", "item", Policy.SKIP, collector):
+            raise ValueError("x")
+        assert not collector
+
+    def test_collect_policy_records(self):
+        collector = ErrorCollector()
+        with guard("stage", "item", "collect", collector):
+            raise ValueError("x")
+        assert collector.items() == ["item"]
+
+    def test_deadline_exceeded_never_swallowed(self):
+        for policy in Policy:
+            with pytest.raises(DeadlineExceeded):
+                with guard("stage", "item", policy):
+                    raise DeadlineExceeded("out of time")
+
+    def test_keyboard_interrupt_never_swallowed(self):
+        with pytest.raises(KeyboardInterrupt):
+            with guard("stage", "item", Policy.COLLECT, ErrorCollector()):
+                raise KeyboardInterrupt()
+
+    def test_metrics_flow_into_obs_registry(self):
+        skipped = get_metrics().counter("resilience.items_skipped")
+        collected = get_metrics().counter("resilience.errors_collected")
+        s0, c0 = skipped.value, collected.value
+        with guard("stage", "a", Policy.SKIP):
+            raise ValueError("x")
+        with guard("stage", "b", Policy.COLLECT, ErrorCollector()):
+            raise ValueError("y")
+        assert skipped.value == s0 + 2
+        assert collected.value == c0 + 1

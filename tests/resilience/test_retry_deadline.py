@@ -1,0 +1,124 @@
+"""The retry helper (budget, backoff, jitter) and the Deadline clock."""
+
+import pytest
+
+from repro.errors import ConvergenceError, DeadlineExceeded
+from repro.obs import get_metrics
+from repro.resilience import Deadline, retry
+
+
+def fake_clock(*ticks):
+    """A monotonic clock yielding the given instants (last one repeats)."""
+    times = list(ticks)
+
+    def clock():
+        return times.pop(0) if len(times) > 1 else times[0]
+
+    return clock
+
+
+class TestRetry:
+    def test_first_attempt_success_calls_once(self):
+        calls = []
+        result = retry(lambda k: calls.append(k) or "ok", budget=3)
+        assert result == "ok"
+        assert calls == [0]
+
+    def test_retries_until_success_with_attempt_index(self):
+        def flaky(attempt):
+            if attempt < 2:
+                raise ConvergenceError("not yet")
+            return attempt
+
+        assert retry(flaky, budget=5, retry_on=ConvergenceError) == 2
+
+    def test_budget_exhaustion_reraises_last_exception(self):
+        def always(attempt):
+            raise ConvergenceError(f"attempt {attempt}")
+
+        with pytest.raises(ConvergenceError, match="attempt 2"):
+            retry(always, budget=3, retry_on=ConvergenceError)
+
+    def test_non_matching_exception_propagates_immediately(self):
+        calls = []
+
+        def wrong(attempt):
+            calls.append(attempt)
+            raise KeyError("not retryable")
+
+        with pytest.raises(KeyError):
+            retry(wrong, budget=5, retry_on=ConvergenceError)
+        assert calls == [0]
+
+    def test_backoff_doubles_with_bounded_jitter(self):
+        delays = []
+
+        def always(attempt):
+            raise ValueError("x")
+
+        with pytest.raises(ValueError):
+            retry(
+                always, budget=4, backoff=0.1, jitter=0.5, seed=42,
+                sleep=delays.append,
+            )
+        assert len(delays) == 3
+        for i, delay in enumerate(delays):
+            base = 0.1 * 2**i
+            assert base <= delay <= base * 1.5
+
+    def test_max_backoff_caps_delay(self):
+        delays = []
+        with pytest.raises(ValueError):
+            retry(
+                lambda k: (_ for _ in ()).throw(ValueError("x")),
+                budget=6, backoff=10.0, max_backoff=15.0, jitter=0.0,
+                sleep=delays.append,
+            )
+        assert max(delays) <= 15.0
+
+    def test_deadline_stops_retry_loop(self):
+        deadline = Deadline(5.0, clock=fake_clock(0.0, 1.0, 100.0))
+
+        def always(attempt):
+            raise ConvergenceError("x")
+
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            retry(always, budget=10, deadline=deadline)
+        # The last real failure is chained for the report.
+        assert isinstance(excinfo.value.__cause__, ConvergenceError)
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError):
+            retry(lambda k: None, budget=0)
+
+    def test_attempts_counted_in_obs_registry(self):
+        attempts = get_metrics().counter("resilience.retry_attempts")
+        before = attempts.value
+
+        def flaky(attempt):
+            if attempt < 2:
+                raise ValueError("x")
+
+        retry(flaky, budget=3, retry_on=ValueError)
+        assert attempts.value == before + 2
+
+
+class TestDeadline:
+    def test_unbounded_deadline_never_expires(self):
+        deadline = Deadline(None)
+        assert deadline.remaining() is None
+        assert not deadline.expired()
+        deadline.check()  # no raise
+
+    def test_expiry_and_remaining(self):
+        deadline = Deadline(10.0, clock=fake_clock(0.0, 4.0, 11.0, 11.0))
+        assert deadline.remaining() == pytest.approx(6.0)
+        assert deadline.expired()
+        with pytest.raises(DeadlineExceeded, match="10.0s deadline"):
+            deadline.check()
+
+    def test_non_positive_seconds_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(0.0)
+        with pytest.raises(ValueError):
+            Deadline(-1.0)

@@ -277,3 +277,80 @@ class TestParser:
     def test_unknown_command_errors(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestResilienceFlags:
+    """--on-error / --resume / --deadline on the long-running commands."""
+
+    def _experiment(self, world_dir, model_dir, *extra):
+        return main(
+            [
+                "experiment",
+                "--db", str(world_dir),
+                "--models", str(model_dir),
+                "--truth", str(world_dir / "truth.json"),
+                "--names", "Rakesh Kumar,Hui Fang",
+                *extra,
+            ]
+        )
+
+    def test_on_error_collect_reports_poisoned_name(
+        self, world_dir, model_dir, capsys
+    ):
+        from repro.resilience import FaultPlan, fault_plan
+
+        with fault_plan(FaultPlan().fail_at("profile", item="Hui Fang", times=-1)):
+            code = self._experiment(
+                world_dir, model_dir, "--on-error", "collect"
+            )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 error(s) collected" in out
+        assert "[experiment.score] Hui Fang" in out
+        assert "Rakesh Kumar" in out  # the healthy name was still scored
+
+    def test_deadline_exit_code_and_resume(
+        self, world_dir, model_dir, tmp_path, capsys
+    ):
+        from repro.cli import EXIT_DEADLINE
+
+        ckpt = tmp_path / "exp.ckpt.json"
+        code = self._experiment(
+            world_dir, model_dir,
+            "--resume", str(ckpt), "--deadline", "0.000001",
+        )
+        assert code == EXIT_DEADLINE
+        out = capsys.readouterr().out
+        assert "deadline exceeded" in out
+        assert str(ckpt) in out
+        assert ckpt.exists()
+
+        code = self._experiment(world_dir, model_dir, "--resume", str(ckpt))
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Rakesh Kumar" in out and "Hui Fang" in out
+
+    def test_on_error_raise_is_default(self, world_dir, model_dir):
+        from repro.resilience import FaultInjected, FaultPlan, fault_plan
+
+        with fault_plan(FaultPlan().fail_at("profile", item="Hui Fang")):
+            with pytest.raises(FaultInjected):
+                self._experiment(world_dir, model_dir)
+
+    def test_calibrate_accepts_resilience_flags(
+        self, world_dir, model_dir, tmp_path, capsys
+    ):
+        ckpt = tmp_path / "cal.ckpt.json"
+        code = main(
+            [
+                "calibrate",
+                "--db", str(world_dir),
+                "--models", str(model_dir),
+                "--names", "3",
+                "--on-error", "skip",
+                "--resume", str(ckpt),
+            ]
+        )
+        assert code == 0
+        assert ckpt.exists()
+        assert "best min-sim:" in capsys.readouterr().out
