@@ -1,0 +1,290 @@
+"""Perf-kernel benchmark: scalar vs vectorized vs parallel.
+
+Standalone script (not a pytest bench — CI runs it directly)::
+
+    PYTHONPATH=src python benchmarks/bench_perf_kernels.py [--tiny] [--out PATH]
+
+It times the three execution strategies this repo offers for the
+similarity stage on a synthetic ambiguous name:
+
+1. **scalar** — the reference per-pair loops
+   (:func:`repro.similarity.resemblance.set_resemblance`,
+   :func:`repro.similarity.randomwalk.walk_probability`);
+2. **vectorized** — the chunked sparse-matrix kernels of
+   :mod:`repro.similarity.vectorized`, both the pair-list and the
+   all-pairs-matrix forms;
+3. **parallel** — the per-name process-pool map of
+   :mod:`repro.perf.parallel` over several such names.
+
+Results land in ``BENCH_perf.json`` (machine-readable: wall times,
+speedup ratios, max kernel deviations). The script exits non-zero if the
+vectorized kernels disagree with the scalar reference beyond ``ATOL`` —
+that equivalence gate is what the CI bench-smoke job enforces; speedups
+are reported for trend tracking, not gated in CI (they are
+hardware-dependent).
+
+Profiles are synthesized with a seeded RNG to the paper's scale (§5: the
+largest evaluated name has 151 references), so the bench needs no world
+generation or SVM fit and runs in seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.paths.joinpath import JoinPath
+from repro.paths.profiles import NeighborProfile
+from repro.perf import ordered_process_map
+from repro.reldb.joins import JoinStep
+from repro.similarity.randomwalk import walk_probability
+from repro.similarity.resemblance import set_resemblance
+from repro.similarity.vectorized import (
+    pair_resemblance_values,
+    pair_walk_values,
+    pairwise_resemblance_matrix,
+    pairwise_walk_matrix,
+    profile_matrices,
+)
+
+#: Kernel-equivalence tolerance (floating-point reassociation only).
+ATOL = 1e-9
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+
+PATHS = [
+    JoinPath([JoinStep("Publish", f"k{i}", f"R{i}", f"k{i}", "n1")])
+    for i in range(4)
+]
+
+
+def synth_profiles(
+    rng: np.ndarray, path: JoinPath, n_refs: int, n_columns: int, support: int
+) -> list[NeighborProfile]:
+    """Random profiles mimicking propagation output: each reference
+    reaches ``support`` of ``n_columns`` end-relation tuples with a
+    sub-distribution of forward mass and per-tuple backward probabilities."""
+    profiles = []
+    for row in range(n_refs):
+        cols = rng.choice(n_columns, size=support, replace=False)
+        fwd = rng.random(support)
+        fwd /= fwd.sum() * rng.uniform(1.0, 1.5)  # forward mass <= 1
+        back = rng.random(support)
+        weights = {
+            int(c): (float(f), float(b)) for c, f, b in zip(cols, fwd, back)
+        }
+        profiles.append(NeighborProfile(path=path, origin_row=row, weights=weights))
+    return profiles
+
+
+def all_pairs(n: int) -> list[tuple[int, int]]:
+    return [(i, j) for i in range(n) for j in range(i + 1, n)]
+
+
+def timed(fn, repeats: int):
+    """Best-of-``repeats`` wall time and the last return value."""
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, value
+
+
+# -- per-strategy feature computation ----------------------------------------
+
+
+def scalar_features(profiles_by_path, pairs):
+    resem = np.zeros((len(pairs), len(profiles_by_path)))
+    walk = np.zeros_like(resem)
+    for p, profiles in enumerate(profiles_by_path):
+        for k, (i, j) in enumerate(pairs):
+            resem[k, p] = set_resemblance(profiles[i], profiles[j])
+            walk[k, p] = walk_probability(profiles[i], profiles[j])
+    return resem, walk
+
+
+def vectorized_features(profiles_by_path, pairs):
+    idx_a = np.fromiter((i for i, _ in pairs), dtype=np.int64, count=len(pairs))
+    idx_b = np.fromiter((j for _, j in pairs), dtype=np.int64, count=len(pairs))
+    resem = np.zeros((len(pairs), len(profiles_by_path)))
+    walk = np.zeros_like(resem)
+    for p, profiles in enumerate(profiles_by_path):
+        forward, backward = profile_matrices(profiles)
+        resem[:, p] = pair_resemblance_values(forward, idx_a, idx_b)
+        walk[:, p] = pair_walk_values(forward, backward, idx_a, idx_b)
+    return resem, walk
+
+
+def scalar_matrices(profiles_by_path):
+    out = []
+    for profiles in profiles_by_path:
+        n = len(profiles)
+        resem = np.zeros((n, n))
+        walk = np.zeros((n, n))
+        for i in range(n):
+            for j in range(i + 1, n):
+                resem[i, j] = resem[j, i] = set_resemblance(profiles[i], profiles[j])
+                walk[i, j] = walk[j, i] = walk_probability(profiles[i], profiles[j])
+        out.append((resem, walk))
+    return out
+
+
+def vectorized_matrices(profiles_by_path):
+    return [
+        (pairwise_resemblance_matrix(p), pairwise_walk_matrix(p))
+        for p in profiles_by_path
+    ]
+
+
+def _name_task(payload, name_idx):
+    """Per-name work unit for the parallel phase (module-level: pickled
+    by reference into the pool)."""
+    profile_sets, pairs = payload
+    resem, walk = vectorized_features(profile_sets[name_idx], pairs)
+    return float(resem.sum() + walk.sum())
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="small corpus for CI smoke (same gates, seconds of runtime)",
+    )
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=1007)
+    args = parser.parse_args(argv)
+
+    if args.tiny:
+        n_refs, n_columns, support, n_names, repeats = 40, 200, 20, 3, 1
+    else:
+        # The paper's largest evaluated name has 151 references (§5).
+        n_refs, n_columns, support, n_names, repeats = 150, 600, 50, 6, 3
+
+    rng = np.random.default_rng(args.seed)
+    profiles_by_path = [
+        synth_profiles(rng, path, n_refs, n_columns, support) for path in PATHS
+    ]
+    pairs = all_pairs(n_refs)
+
+    # -- pair-list kernels (the shape compute_pair_features runs) ------------
+    scalar_s, (resem_s, walk_s) = timed(
+        lambda: scalar_features(profiles_by_path, pairs), repeats
+    )
+    vector_s, (resem_v, walk_v) = timed(
+        lambda: vectorized_features(profiles_by_path, pairs), repeats
+    )
+    diff_resem = float(np.abs(resem_s - resem_v).max())
+    diff_walk = float(np.abs(walk_s - walk_v).max())
+
+    # -- all-pairs matrices ---------------------------------------------------
+    scalar_m, grids_s = timed(lambda: scalar_matrices(profiles_by_path), 1)
+    vector_m, grids_v = timed(lambda: vectorized_matrices(profiles_by_path), repeats)
+    diff_matrix = 0.0
+    for (rs, ws), (rv, wv) in zip(grids_s, grids_v):
+        np.fill_diagonal(rs, 0.0)  # matrix kernels zero the diagonal
+        np.fill_diagonal(ws, 0.0)
+        wv = wv.toarray() if hasattr(wv, "toarray") else wv
+        diff_matrix = max(
+            diff_matrix,
+            float(np.abs(rs - rv).max()),
+            float(np.abs(ws - wv).max()),
+        )
+
+    # -- parallel per-name map ------------------------------------------------
+    name_rng = np.random.default_rng(args.seed + 1)
+    profile_sets = [
+        [synth_profiles(name_rng, path, n_refs, n_columns, support) for path in PATHS]
+        for _ in range(n_names)
+    ]
+    payload = (profile_sets, pairs)
+    serial_p, serial_values = timed(
+        lambda: [_name_task(payload, i) for i in range(n_names)], 1
+    )
+    t0 = time.perf_counter()
+    outcomes = list(
+        ordered_process_map(
+            _name_task, payload, list(range(n_names)), workers=args.workers
+        )
+    )
+    parallel_p = time.perf_counter() - t0
+    parallel_values = [o.value for o in outcomes]
+    parallel_identical = parallel_values == serial_values
+
+    equivalent = max(diff_resem, diff_walk, diff_matrix) <= ATOL
+    report = {
+        "generated_by": "benchmarks/bench_perf_kernels.py",
+        "tiny": args.tiny,
+        "config": {
+            "n_refs": n_refs,
+            "n_columns": n_columns,
+            "support": support,
+            "n_paths": len(PATHS),
+            "n_pairs": len(pairs),
+            "n_names_parallel": n_names,
+            "workers": args.workers,
+            "seed": args.seed,
+            "repeats": repeats,
+        },
+        "pair_kernels": {
+            "scalar_seconds": scalar_s,
+            "vectorized_seconds": vector_s,
+            "speedup": scalar_s / vector_s,
+            "max_abs_diff_resemblance": diff_resem,
+            "max_abs_diff_walk": diff_walk,
+        },
+        "all_pairs_matrices": {
+            "scalar_seconds": scalar_m,
+            "vectorized_seconds": vector_m,
+            "speedup": scalar_m / vector_m,
+            "max_abs_diff": diff_matrix,
+        },
+        "parallel_map": {
+            "serial_seconds": serial_p,
+            "parallel_seconds": parallel_p,
+            "speedup": serial_p / parallel_p,
+            "results_identical": parallel_identical,
+        },
+        "equivalence": {"atol": ATOL, "equivalent": equivalent},
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"perf kernels ({'tiny' if args.tiny else 'full'} corpus) -> {args.out}")
+    print(
+        f"  pair kernels : scalar {scalar_s:.3f}s  vectorized {vector_s:.3f}s  "
+        f"({report['pair_kernels']['speedup']:.1f}x)"
+    )
+    print(
+        f"  all-pairs    : scalar {scalar_m:.3f}s  vectorized {vector_m:.3f}s  "
+        f"({report['all_pairs_matrices']['speedup']:.1f}x)"
+    )
+    print(
+        f"  parallel map : serial {serial_p:.3f}s  workers={args.workers} "
+        f"{parallel_p:.3f}s  ({report['parallel_map']['speedup']:.2f}x, "
+        f"identical={parallel_identical})"
+    )
+    print(
+        f"  equivalence  : max diff {max(diff_resem, diff_walk, diff_matrix):.2e} "
+        f"(atol {ATOL:g}) -> {'OK' if equivalent else 'FAIL'}"
+    )
+    if not equivalent:
+        print("FAIL: vectorized kernels deviate from the scalar reference", file=sys.stderr)
+        return 1
+    if not parallel_identical:
+        print("FAIL: parallel map results differ from serial", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -119,6 +119,27 @@ def _add_resilience_options(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_perf_options(p: argparse.ArgumentParser, workers: bool = False) -> None:
+    """Flags for the performance knobs (similarity backend, process pool)."""
+    group = p.add_argument_group("performance")
+    group.add_argument(
+        "--backend",
+        choices=("scalar", "vectorized"),
+        default=None,
+        help="similarity kernel backend (default: the config's, scalar); "
+             "vectorized computes all pairs with chunked matrix kernels",
+    )
+    if workers:
+        group.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            metavar="N",
+            help="process-pool size for the per-name loop (default 1 = "
+                 "in-process; results are identical for any N)",
+        )
+
+
 def build_parser() -> argparse.ArgumentParser:
     common = _obs_options()
     parser = argparse.ArgumentParser(
@@ -154,6 +175,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--negative", type=int, default=1000)
     p.add_argument("--svm-c", type=float, default=None,
                    help="fixed SVM cost (default: cross-validated search)")
+    _add_perf_options(p)
     p.set_defaults(func=cmd_fit)
 
     p = sub.add_parser("resolve", help="cluster the references of one name")
@@ -162,6 +184,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--name", required=True)
     p.add_argument("--min-sim", type=float, default=None)
     p.add_argument("--truth", default=None, help="ground-truth JSON to score against")
+    _add_perf_options(p)
     p.set_defaults(func=cmd_resolve)
 
     p = sub.add_parser(
@@ -190,6 +213,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--members", type=int, default=2, help="rare names pooled per synthetic name")
     p.add_argument("--seed", type=int, default=0)
     _add_resilience_options(p)
+    _add_perf_options(p, workers=True)
     p.set_defaults(func=cmd_calibrate)
 
     p = sub.add_parser("experiment", help="evaluate over the ambiguous names")
@@ -201,6 +225,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--variants", choices=("distinct", "all"), default="distinct")
     p.add_argument("--min-sim", type=float, default=None)
     _add_resilience_options(p)
+    _add_perf_options(p, workers=True)
     p.set_defaults(func=cmd_experiment)
 
     return parser
@@ -259,6 +284,8 @@ def cmd_fit(args) -> int:
     config = DistinctConfig(
         n_positive=args.positive, n_negative=args.negative, svm_C=args.svm_c
     )
+    if args.backend:
+        config = config.with_options(similarity_backend=args.backend)
     distinct = Distinct(config).fit(db)
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
@@ -287,12 +314,19 @@ def cmd_fit(args) -> int:
     return 0
 
 
-def _load_pipeline(db_dir: str, model_dir: str, min_sim: float | None) -> Distinct:
+def _load_pipeline(
+    db_dir: str,
+    model_dir: str,
+    min_sim: float | None,
+    backend: str | None = None,
+) -> Distinct:
     db = _open_database(db_dir)
     models = Path(model_dir)
     config = DistinctConfig()
     if min_sim is not None:
         config = config.with_options(min_sim=min_sim)
+    if backend:
+        config = config.with_options(similarity_backend=backend)
     return Distinct.from_models(
         db,
         PathWeightModel.load(models / "resem_model.json"),
@@ -302,7 +336,7 @@ def _load_pipeline(db_dir: str, model_dir: str, min_sim: float | None) -> Distin
 
 
 def cmd_resolve(args) -> int:
-    distinct = _load_pipeline(args.db, args.models, args.min_sim)
+    distinct = _load_pipeline(args.db, args.models, args.min_sim, args.backend)
     resolution = distinct.resolve(args.name)
     print(
         f"{args.name!r}: {len(resolution.rows)} references -> "
@@ -390,7 +424,7 @@ def cmd_calibrate(args) -> int:
         calibration_checkpoint,
     )
 
-    distinct = _load_pipeline(args.db, args.models, None)
+    distinct = _load_pipeline(args.db, args.models, None, args.backend)
     kwargs, collector = _resilience_kwargs(
         args,
         lambda path: calibration_checkpoint(
@@ -400,6 +434,7 @@ def cmd_calibrate(args) -> int:
     )
     result = calibrate_min_sim(
         distinct, n_names=args.names, members=args.members, seed=args.seed,
+        workers=args.workers,
         **kwargs,
     )
     rows = [
@@ -433,7 +468,7 @@ def _ambiguous_names(db_dir: str, names_arg: str | None) -> list[str]:
 
 
 def cmd_experiment(args) -> int:
-    distinct = _load_pipeline(args.db, args.models, args.min_sim)
+    distinct = _load_pipeline(args.db, args.models, args.min_sim, args.backend)
     truth = load_ground_truth(args.truth)
     names = _ambiguous_names(args.db, args.names)
 
@@ -448,6 +483,7 @@ def cmd_experiment(args) -> int:
         names,
         variant_by_key("distinct"),
         min_sim,
+        workers=args.workers,
         **kwargs,
     )
     result = outcome.result

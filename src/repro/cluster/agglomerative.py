@@ -8,7 +8,14 @@ from scratch after a merge.
 
 The best pair is tracked with a lazy-deletion max-heap: entries are
 invalidated by a per-cluster version counter instead of being removed, which
-keeps each merge O((#clusters + heap churn) log n).
+keeps each merge O((#clusters + heap churn) log n). Lazy deletion alone
+lets stale entries accumulate (every merge invalidates up to 2(k-1)
+entries but removes none), so the heap is compacted — stale entries
+filtered out and the remainder re-heapified — whenever its size exceeds
+twice the upper bound on live pairs. Compaction only discards entries
+that could never be popped as valid, so the merge sequence is unchanged;
+``cluster.heap.size`` (gauge) and ``cluster.heap.compactions`` /
+``cluster.heap.stale_dropped`` (counters) track the behaviour.
 """
 
 from __future__ import annotations
@@ -18,10 +25,16 @@ from dataclasses import dataclass, field
 from typing import Protocol
 
 from repro.cluster.dendrogram import Dendrogram
-from repro.obs import counter, span
+from repro.obs import counter, gauge, span
 
 _MERGES = counter("cluster.merges")
 _RUNS = counter("cluster.runs")
+_HEAP_SIZE = gauge("cluster.heap.size")
+_COMPACTIONS = counter("cluster.heap.compactions")
+_STALE_DROPPED = counter("cluster.heap.stale_dropped")
+
+#: Heaps smaller than this are never compacted (not worth the pass).
+_COMPACT_MIN = 64
 
 
 class ClusterMeasure(Protocol):
@@ -107,10 +120,36 @@ class AgglomerativeClusterer:
             if sim > 0.0 and sim >= self.min_sim:
                 heapq.heappush(heap, (-sim, a, b, version[a], version[b]))
 
+        def compact() -> list[tuple[float, int, int, int, int]]:
+            """Drop stale entries once they outnumber live pairs 2:1.
+
+            Live entries are at most C(k, 2) for k active clusters; when
+            the heap grows past twice that bound, filter entries whose
+            version stamps are current and re-heapify. Pop order is the
+            total order on the (unique) entry tuples, so removing
+            entries that could never pop as valid preserves the merge
+            sequence exactly.
+            """
+            k = len(members)
+            live_bound = k * (k - 1) // 2
+            if len(heap) <= max(_COMPACT_MIN, 2 * live_bound):
+                return heap
+            kept = [
+                entry
+                for entry in heap
+                if version.get(entry[1]) == entry[3]
+                and version.get(entry[2]) == entry[4]
+            ]
+            heapq.heapify(kept)
+            _COMPACTIONS.inc()
+            _STALE_DROPPED.inc(len(heap) - len(kept))
+            return kept
+
         active = list(members)
         for i, a in enumerate(active):
             for b in active[i + 1 :]:
                 push(a, b)
+        _HEAP_SIZE.set(len(heap))
 
         merge_similarities: list[float] = []
         while heap:
@@ -128,6 +167,8 @@ class AgglomerativeClusterer:
             for other in members:
                 if other != merged:
                     push(merged, other)
+            heap = compact()
+            _HEAP_SIZE.set(len(heap))
 
         clusters = sorted(members.values(), key=lambda s: (-len(s), min(s)))
         return ClusteringResult(

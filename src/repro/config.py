@@ -99,6 +99,25 @@ class DistinctConfig:
     # clustering
     min_sim: float = 0.006
 
+    # performance (see docs/performance.md).
+    # ``similarity_backend`` routes pair-feature computation through either
+    # the scalar per-pair kernels (the reference implementation) or the
+    # vectorized sparse-matrix kernels in :mod:`repro.similarity.vectorized`.
+    # The two agree to floating-point reassociation tolerance; scalar stays
+    # the default so results are bit-stable against the seed corpus.
+    similarity_backend: str = "scalar"
+    # Byte budget for one dense row-chunk block of the vectorized
+    # resemblance kernel (bounds peak memory, not correctness).
+    similarity_chunk_bytes: int = 64 * 1024 * 1024
+    # Pair-list kernels process pairs in slices of this many rows.
+    similarity_pair_chunk: int = 8192
+    # ``pairwise_walk_matrix`` keeps its result sparse above this many
+    # output entries (n_refs**2) instead of densifying.
+    walk_dense_limit: int = 4096 * 4096
+    # LRU bound on the per-name join-fanout memo used by propagation
+    # (entries; 0 disables the memo).
+    propagation_memo_size: int = 65536
+
     # determinism
     seed: int = 0
 

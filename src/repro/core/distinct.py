@@ -206,6 +206,7 @@ class Distinct:
                     self.db,
                     self.paths_,
                     exclusions_for_name(self.db, name, self.config),
+                    memo_size=self.config.propagation_memo_size,
                 )
             return builders[name]
 
@@ -214,7 +215,12 @@ class Distinct:
             router.route[pair.row_a] = builder_for(pair.name_a)
             router.route[pair.row_b] = builder_for(pair.name_b)
         pairs = [(p.row_a, p.row_b) for p in training_set.pairs]
-        return compute_pair_features(router, pairs)
+        return compute_pair_features(
+            router,
+            pairs,
+            backend=self.config.similarity_backend,
+            pair_chunk=self.config.similarity_pair_chunk,
+        )
 
     def _train_measure(
         self, measure: str, X: np.ndarray, labels: np.ndarray
@@ -315,14 +321,27 @@ class Distinct:
                 prep_span.annotate(n_refs=len(refs.rows))
                 return NamePreparation(name=name, rows=list(refs.rows), features=None)
             builder = ProfileBuilder(
-                self.db, self.paths_, exclusions_for_name(self.db, name, self.config)
+                self.db,
+                self.paths_,
+                exclusions_for_name(self.db, name, self.config),
+                memo_size=self.config.propagation_memo_size,
             )
             with span("resolve.profiles", name=name, n_refs=len(refs.rows)) as sp:
                 builder.warm(refs.rows)
                 sp.annotate(n_profiles=builder.cache_size)
             pairs = all_pairs(refs.rows)
-            with span("resolve.similarity", name=name, n_pairs=len(pairs)):
-                features = compute_pair_features(builder, pairs)
+            with span(
+                "resolve.similarity",
+                name=name,
+                n_pairs=len(pairs),
+                backend=self.config.similarity_backend,
+            ):
+                features = compute_pair_features(
+                    builder,
+                    pairs,
+                    backend=self.config.similarity_backend,
+                    pair_chunk=self.config.similarity_pair_chunk,
+                )
             _PAIRS_SCORED.inc(len(pairs))
             prep_span.annotate(n_refs=len(refs.rows), n_pairs=len(pairs))
         log.debug("prepared %r: %d references, %d pairs", name, len(refs.rows),

@@ -5,6 +5,15 @@ and one walk-probability value per join path — these are the inputs to the
 §3 SVM, and (combined by Eq 1) the pair similarities the clustering stage
 aggregates. Everything here is vectorized over pairs: ``resemblance`` and
 ``walk`` are (n_pairs, n_paths) arrays aligned with ``pairs``.
+
+Two backends produce the same features (``DistinctConfig.similarity_backend``):
+
+- ``"scalar"`` — the reference implementation, one
+  :func:`set_resemblance`/:func:`walk_probability` call per (pair, path);
+- ``"vectorized"`` — per path, stack the profiles into sparse matrices
+  once and evaluate the whole pair list with the chunked kernels of
+  :mod:`repro.similarity.vectorized` (equal to the scalar values up to
+  floating-point reassociation).
 """
 
 from __future__ import annotations
@@ -13,11 +22,24 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import counter
 from repro.paths.joinpath import JoinPath
 from repro.paths.profiles import ProfileBuilder
 from repro.similarity.combine import PathWeights, normalize_feature_rows
 from repro.similarity.randomwalk import walk_probability
 from repro.similarity.resemblance import set_resemblance
+from repro.similarity.vectorized import (
+    DEFAULT_PAIR_CHUNK,
+    pair_resemblance_values,
+    pair_walk_values,
+    profile_matrices,
+)
+
+BACKENDS = ("scalar", "vectorized")
+
+#: Pairs evaluated through the vectorized backend (scalar pairs are
+#: tracked per call by ``similarity.resemblance.calls`` / ``.walk.calls``).
+_VECTORIZED_PAIRS = counter("features.vectorized.pairs")
 
 
 @dataclass
@@ -59,13 +81,22 @@ class PairFeatures:
 
 
 def compute_pair_features(
-    builder: ProfileBuilder, pairs: list[tuple[int, int]]
+    builder: ProfileBuilder,
+    pairs: list[tuple[int, int]],
+    backend: str = "scalar",
+    pair_chunk: int = DEFAULT_PAIR_CHUNK,
 ) -> PairFeatures:
     """Compute both measures for every pair along every path of ``builder``.
 
     Profiles are cached inside the builder, so the cost is one propagation
-    per (reference, path) plus one sparse-dict pass per (pair, path).
+    per (reference, path) plus the per-(pair, path) similarity kernel of
+    the chosen ``backend`` (see module docstring). ``pair_chunk`` bounds
+    the vectorized backend's per-slice working set.
     """
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    if backend == "vectorized":
+        return _vectorized_pair_features(builder, pairs, pair_chunk)
     paths = builder.paths
     resem = np.zeros((len(pairs), len(paths)))
     walk = np.zeros((len(pairs), len(paths)))
@@ -77,6 +108,40 @@ def compute_pair_features(
             b = profiles_b[path]
             resem[k, p] = set_resemblance(a, b)
             walk[k, p] = walk_probability(a, b)
+    return PairFeatures(paths=paths, pairs=list(pairs), resemblance=resem, walk=walk)
+
+
+def _vectorized_pair_features(
+    builder: ProfileBuilder, pairs: list[tuple[int, int]], pair_chunk: int
+) -> PairFeatures:
+    """Matrix-kernel route: stack profiles per path, evaluate the pair list.
+
+    Stacks only the rows that actually appear in ``pairs`` (in first-seen
+    order), so arbitrary pair lists — e.g. training pairs spanning many
+    names — never pay for an all-pairs grid.
+    """
+    paths = builder.paths
+    resem = np.zeros((len(pairs), len(paths)))
+    walk = np.zeros((len(pairs), len(paths)))
+    if not pairs:
+        return PairFeatures(paths=paths, pairs=[], resemblance=resem, walk=walk)
+
+    rows = list(dict.fromkeys(row for pair in pairs for row in pair))
+    index = {row: i for i, row in enumerate(rows)}
+    profiles_by_row = {row: builder.profiles_for(row) for row in rows}
+    idx_a = np.fromiter((index[a] for a, _ in pairs), dtype=np.int64, count=len(pairs))
+    idx_b = np.fromiter((index[b] for _, b in pairs), dtype=np.int64, count=len(pairs))
+
+    for p, path in enumerate(paths):
+        stacked = [profiles_by_row[row][path] for row in rows]
+        forward, backward = profile_matrices(stacked)
+        resem[:, p] = pair_resemblance_values(
+            forward, idx_a, idx_b, pair_chunk=pair_chunk
+        )
+        walk[:, p] = pair_walk_values(
+            forward, backward, idx_a, idx_b, pair_chunk=pair_chunk
+        )
+    _VECTORIZED_PAIRS.inc(len(pairs) * len(paths))
     return PairFeatures(paths=paths, pairs=list(pairs), resemblance=resem, walk=walk)
 
 

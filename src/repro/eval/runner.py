@@ -14,6 +14,14 @@ scores cleanly; this module wraps the same per-name loop with the
 Checkpoints store serialized :class:`~repro.eval.experiment.NameResult`
 payloads — name-preparation-level progress — not the (large, numpy-backed)
 pair features, so saving after every name is cheap.
+
+With ``workers > 1`` the per-name work fans out over a process pool
+(:func:`repro.perf.ordered_process_map`). Results are consumed in input
+order, worker failures re-enter the same ``guard`` the serial path uses
+(so policies behave identically), per-worker obs counters are merged into
+this process's registry, and checkpointing/resume is unchanged — the
+assembled :class:`~repro.eval.experiment.ExperimentResult` is byte-for-byte
+identical to a single-worker run.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from repro.data.world import GroundTruth
 from repro.eval.experiment import ExperimentResult, NameResult, score_resolution
 from repro.eval.persistence import name_result_from_dict, name_result_to_dict
 from repro.obs import counter, get_logger, span
+from repro.perf import RemoteTaskError, ordered_process_map
 from repro.resilience import (
     CheckpointStore,
     Deadline,
@@ -40,6 +49,23 @@ log = get_logger("eval.runner")
 
 _NAMES_SCORED = counter("experiment.names_scored")
 _NAMES_FAILED = counter("experiment.names_failed")
+
+
+def _score_name_task(payload, name: str) -> NameResult:
+    """Worker body for parallel runs: prepare, cluster, and score one name.
+
+    ``payload`` is the fork-inherited ``(distinct, truth, variant, min_sim)``
+    tuple installed once per worker process by the pool initializer.
+    """
+    distinct, truth, variant, min_sim = payload
+    prep = distinct.prepare(name)
+    resolution = distinct.cluster_prepared(
+        prep,
+        min_sim=min_sim,
+        measure=variant.measure,
+        supervised=variant.supervised,
+    )
+    return score_resolution(resolution, truth)
 
 
 @dataclass
@@ -91,6 +117,7 @@ def run_resilient(
     collector: ErrorCollector | None = None,
     checkpoint: CheckpointStore | None = None,
     deadline: Deadline | None = None,
+    workers: int = 1,
 ) -> ExperimentRunOutcome:
     """Score ``names`` under ``variant``, one name at a time.
 
@@ -100,7 +127,14 @@ def run_resilient(
     failure loses at most one name. Results are deterministic and ordered
     by ``names``, so a resumed run's :class:`ExperimentResult` matches an
     uninterrupted one exactly.
+
+    ``workers > 1`` scores the not-yet-checkpointed names on a process
+    pool while preserving every serial guarantee (ordering, policies,
+    checkpoints, deadline, merged obs counters) — see the module
+    docstring.
     """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
     policy = Policy.coerce(policy)
     collector = collector if collector is not None else ErrorCollector()
     result = ExperimentResult(variant_key=variant.key, min_sim=min_sim)
@@ -134,39 +168,74 @@ def run_resilient(
         variant=variant.key,
         min_sim=min_sim,
         n_names=len(names),
+        workers=workers,
     ) as sp:
-        for name in names:
-            if deadline is not None and deadline.expired():
-                outcome.interrupted = True
-                log.warning(
-                    "deadline expired after %d/%d names; progress %s",
-                    outcome.n_completed, outcome.n_total,
-                    "checkpointed" if checkpoint is not None else "not checkpointed",
-                )
-                break
-            if name in done:
-                result.names.append(done[name])
-                continue
-            scored = None
-            with guard("experiment.score", name, policy, collector):
-                try:
-                    prep = distinct.prepare(name)
-                    resolution = distinct.cluster_prepared(
-                        prep,
-                        min_sim=min_sim,
-                        measure=variant.measure,
-                        supervised=variant.supervised,
+        results_iter = None
+        if workers > 1:
+            pending = [n for n in names if n not in done]
+            results_iter = ordered_process_map(
+                _score_name_task,
+                (distinct, truth, variant, min_sim),
+                pending,
+                workers=workers,
+                deadline=deadline,
+            )
+        try:
+            for name in names:
+                if deadline is not None and deadline.expired():
+                    outcome.interrupted = True
+                    log.warning(
+                        "deadline expired after %d/%d names; progress %s",
+                        outcome.n_completed, outcome.n_total,
+                        "checkpointed" if checkpoint is not None else "not checkpointed",
                     )
-                    scored = score_resolution(resolution, truth)
-                except Exception:
-                    _NAMES_FAILED.inc()
-                    raise
-            if scored is None:  # failed and policy skipped/collected it
+                    break
+                if name in done:
+                    result.names.append(done[name])
+                    continue
+                scored = None
+                if results_iter is not None:
+                    task = next(results_iter)
+                    assert task.item == name, "parallel map yielded out of order"
+                    if task.interrupted:
+                        outcome.interrupted = True
+                        log.warning(
+                            "deadline expired after %d/%d names; progress %s",
+                            outcome.n_completed, outcome.n_total,
+                            "checkpointed" if checkpoint is not None
+                            else "not checkpointed",
+                        )
+                        break
+                    with guard("experiment.score", name, policy, collector):
+                        if task.error is not None:
+                            _NAMES_FAILED.inc()
+                            raise RemoteTaskError(task.error)
+                        scored = task.value
+                else:
+                    with guard("experiment.score", name, policy, collector):
+                        try:
+                            prep = distinct.prepare(name)
+                            resolution = distinct.cluster_prepared(
+                                prep,
+                                min_sim=min_sim,
+                                measure=variant.measure,
+                                supervised=variant.supervised,
+                            )
+                            scored = score_resolution(resolution, truth)
+                        except Exception:
+                            _NAMES_FAILED.inc()
+                            raise
+                if scored is None:  # failed and policy skipped/collected it
+                    save_progress()
+                    continue
+                result.names.append(scored)
+                _NAMES_SCORED.inc()
                 save_progress()
-                continue
-            result.names.append(scored)
-            _NAMES_SCORED.inc()
-            save_progress()
+        finally:
+            if results_iter is not None:
+                # Cancels still-queued tasks when the loop exits early
+                # (deadline, raise policy); no-op after full consumption.
+                results_iter.close()
         sp.annotate(
             n_completed=outcome.n_completed,
             n_failed=len(collector),

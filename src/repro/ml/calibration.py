@@ -28,6 +28,7 @@ from repro.eval.metrics import pairwise_scores
 from repro.ml.trainingset import build_training_set
 from repro.obs import get_logger, span
 from repro.paths.profiles import ProfileBuilder
+from repro.perf import RemoteTaskError, ordered_process_map
 from repro.resilience import (
     CheckpointStore,
     Deadline,
@@ -137,11 +138,42 @@ def prepare_synthetic(distinct: Distinct, synthetic: SyntheticName) -> NamePrepa
         distinct.db,
         distinct.paths_,
         {config.object_relation: frozenset(excluded_rows)},
+        memo_size=config.propagation_memo_size,
     )
-    features = compute_pair_features(builder, all_pairs(synthetic.rows))
+    features = compute_pair_features(
+        builder,
+        all_pairs(synthetic.rows),
+        backend=config.similarity_backend,
+        pair_chunk=config.similarity_pair_chunk,
+    )
     return NamePreparation(
         name="+".join(synthetic.member_names), rows=synthetic.rows, features=features
     )
+
+
+def _calibrate_name_task(payload, synthetic: SyntheticName) -> dict:
+    """Worker body for parallel calibration: profile + sweep one pooled name.
+
+    Returns the per-grid-point f1 list plus the phase wall times so the
+    parent's :class:`CalibrationResult` timing fields stay meaningful
+    (they sum worker-side seconds, exactly like a serial run would).
+    """
+    distinct, grid = payload
+    tp = time.perf_counter()
+    prep = prepare_synthetic(distinct, synthetic)
+    ts = time.perf_counter()
+    f1s = [
+        pairwise_scores(
+            distinct.cluster_prepared(prep, min_sim=min_sim).clusters,
+            synthetic.gold,
+        ).f1
+        for min_sim in grid
+    ]
+    return {
+        "f1": f1s,
+        "seconds_prepare": ts - tp,
+        "seconds_sweep": time.perf_counter() - ts,
+    }
 
 
 def calibration_checkpoint(
@@ -174,6 +206,7 @@ def calibrate_min_sim(
     collector: ErrorCollector | None = None,
     checkpoint: CheckpointStore | None = None,
     deadline: Deadline | None = None,
+    workers: int = 1,
 ) -> CalibrationResult:
     """Pick the f-maximizing min-sim over synthetic ambiguous names.
 
@@ -187,7 +220,15 @@ def calibrate_min_sim(
     (``interrupted=True``; the partial result covers the scored names).
     Raises :class:`DeadlineExceeded` if the deadline expires before any
     synthetic name was scored.
+
+    ``workers > 1`` fans the per-name work out over a process pool
+    (:func:`repro.perf.ordered_process_map`); results are consumed in
+    input order and worker failures re-enter the same ``guard`` the
+    serial path uses, so the calibrated threshold and every policy /
+    checkpoint / deadline behaviour match a single-worker run.
     """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
     policy = Policy.coerce(policy)
     collector = collector if collector is not None else ErrorCollector()
     t0 = time.perf_counter()
@@ -211,40 +252,83 @@ def calibrate_min_sim(
         if checkpoint is not None:
             checkpoint.save(completed, errors=collector.to_dicts(), complete=complete)
 
-    with span("calibration.names", n_names=len(synthetic), grid_size=len(grid)):
-        for syn in synthetic:
-            key = "+".join(syn.member_names)
-            if deadline is not None and deadline.expired():
-                interrupted = True
-                log.warning(
-                    "calibration deadline expired after %d/%d synthetic names",
-                    len(per_name_f1), len(synthetic),
-                )
-                break
-            if key in done:
-                per_name_f1.append(done[key])
-                completed.append({"key": key, "f1": done[key]})
-                continue
-            f1s: list[float] | None = None
-            with guard("calibration.name", key, policy, collector):
-                tp = time.perf_counter()
-                prep = prepare_synthetic(distinct, syn)
-                seconds_prepare += time.perf_counter() - tp
-                ts = time.perf_counter()
-                f1s = [
-                    pairwise_scores(
-                        distinct.cluster_prepared(prep, min_sim=min_sim).clusters,
-                        syn.gold,
-                    ).f1
-                    for min_sim in grid
-                ]
-                seconds_sweep += time.perf_counter() - ts
-            if f1s is None:  # failed; policy skipped/collected it
+    with span(
+        "calibration.names",
+        n_names=len(synthetic),
+        grid_size=len(grid),
+        workers=workers,
+    ):
+        results_iter = None
+        if workers > 1:
+            pending = [
+                syn for syn in synthetic
+                if "+".join(syn.member_names) not in done
+            ]
+            results_iter = ordered_process_map(
+                _calibrate_name_task,
+                (distinct, grid),
+                pending,
+                workers=workers,
+                deadline=deadline,
+            )
+        try:
+            for syn in synthetic:
+                key = "+".join(syn.member_names)
+                if deadline is not None and deadline.expired():
+                    interrupted = True
+                    log.warning(
+                        "calibration deadline expired after %d/%d synthetic names",
+                        len(per_name_f1), len(synthetic),
+                    )
+                    break
+                if key in done:
+                    per_name_f1.append(done[key])
+                    completed.append({"key": key, "f1": done[key]})
+                    continue
+                f1s: list[float] | None = None
+                if results_iter is not None:
+                    task = next(results_iter)
+                    assert task.item is syn, "parallel map yielded out of order"
+                    if task.interrupted:
+                        interrupted = True
+                        log.warning(
+                            "calibration deadline expired after %d/%d synthetic names",
+                            len(per_name_f1), len(synthetic),
+                        )
+                        break
+                    with guard("calibration.name", key, policy, collector):
+                        if task.error is not None:
+                            raise RemoteTaskError(task.error)
+                        f1s = task.value["f1"]
+                        seconds_prepare += task.value["seconds_prepare"]
+                        seconds_sweep += task.value["seconds_sweep"]
+                else:
+                    with guard("calibration.name", key, policy, collector):
+                        tp = time.perf_counter()
+                        prep = prepare_synthetic(distinct, syn)
+                        seconds_prepare += time.perf_counter() - tp
+                        ts = time.perf_counter()
+                        f1s = [
+                            pairwise_scores(
+                                distinct.cluster_prepared(
+                                    prep, min_sim=min_sim
+                                ).clusters,
+                                syn.gold,
+                            ).f1
+                            for min_sim in grid
+                        ]
+                        seconds_sweep += time.perf_counter() - ts
+                if f1s is None:  # failed; policy skipped/collected it
+                    save_progress()
+                    continue
+                per_name_f1.append(f1s)
+                completed.append({"key": key, "f1": f1s})
                 save_progress()
-                continue
-            per_name_f1.append(f1s)
-            completed.append({"key": key, "f1": f1s})
-            save_progress()
+        finally:
+            if results_iter is not None:
+                # Cancels still-queued tasks when the loop exits early
+                # (deadline, raise policy); no-op after full consumption.
+                results_iter.close()
 
     if not per_name_f1:
         if interrupted:

@@ -80,10 +80,21 @@ class ProfileBuilder:
         paths: list[JoinPath],
         exclusions: Exclusions | None = None,
         exclude_origin: bool = True,
+        memo_size: int | None = None,
     ) -> None:
+        """``memo_size`` > 0 equips the engine with an LRU-bounded
+        :class:`~repro.perf.FanoutMemo` of that many per-tuple fanouts,
+        shared by all of this builder's references (see
+        :mod:`repro.paths.propagation`; results are identical either way).
+        """
+        from repro.perf.memo import FanoutMemo
+
+        memo = FanoutMemo(memo_size) if memo_size else None
         self.db = db
         self.paths = list(paths)
-        self.engine = PropagationEngine(db, exclusions, exclude_origin=exclude_origin)
+        self.engine = PropagationEngine(
+            db, exclusions, exclude_origin=exclude_origin, memo=memo
+        )
         self._cache: dict[tuple[JoinPath, int], NeighborProfile] = {}
 
     def profile(self, path: JoinPath, origin_row: int) -> NeighborProfile:

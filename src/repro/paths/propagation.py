@@ -20,6 +20,13 @@ Two kinds of tuples are treated specially (DESIGN.md §6):
 - The *origin* tuple is excluded as an intermediate stop (levels >= 1 of the
   forward pass, and as a gathering partner into intermediate levels of the
   backward pass) but is of course the allowed endpoint of the backward walk.
+
+An optional :class:`repro.perf.FanoutMemo` caches the exclusion-filtered
+partner list of each ``(step, tuple)`` — the origin-independent part of a
+mass split — so the references of one name share per-tuple fanout work on
+top of the per-reference prefix sharing of :mod:`repro.paths.trie`.
+Origin exclusion is applied *after* the memo lookup, so memoized and
+unmemoized propagation produce identical results.
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ from dataclasses import dataclass, field
 
 from repro.obs import counter
 from repro.paths.joinpath import JoinPath
+from repro.perf.memo import FanoutMemo
 from repro.reldb.database import Database
 
 Exclusions = Mapping[str, frozenset[int]]
@@ -81,6 +89,11 @@ class PropagationEngine:
     exclude_origin:
         If True (default), the origin tuple cannot be used as an
         intermediate stop on the walk (see module docstring).
+    memo:
+        Optional :class:`~repro.perf.FanoutMemo` caching per-tuple join
+        fanouts across propagations of this engine. Exclusions are baked
+        into cached entries, so a memo must never be shared between
+        engines with different exclusions (one memo per name).
     """
 
     def __init__(
@@ -88,10 +101,12 @@ class PropagationEngine:
         db: Database,
         exclusions: Exclusions | None = None,
         exclude_origin: bool = True,
+        memo: FanoutMemo | None = None,
     ) -> None:
         self.db = db
         self.exclusions = {k: frozenset(v) for k, v in (exclusions or {}).items()}
         self.exclude_origin = exclude_origin
+        self.memo = memo
 
     # -- public API ---------------------------------------------------------
 
@@ -128,18 +143,16 @@ class PropagationEngine:
         src_table = self.db.table(step.src_relation)
         src_pos = src_table.schema.position(step.src_attribute)
         dst_index = self.db.index(step.dst_relation, step.dst_attribute)
-        banned = self._banned(
-            step.dst_relation, start_relation, origin_row, allow_origin=False
-        )
+        excluded = self.exclusions.get(step.dst_relation, _EMPTY_SET)
+        drop_origin = self.exclude_origin and step.dst_relation == start_relation
 
         nxt: dict[int, float] = {}
         for row_id, mass in current.items():
-            value = src_table.row(row_id)[src_pos]
-            if value is None:
-                continue
-            partners = dst_index.lookup(value)
-            if banned:
-                partners = [p for p in partners if p not in banned]
+            partners = self._partners(
+                step, src_table, src_pos, dst_index, excluded, row_id
+            )
+            if drop_origin and partners:
+                partners = [p for p in partners if p != origin_row]
             if not partners:
                 continue
             share = mass / len(partners)
@@ -188,21 +201,20 @@ class PropagationEngine:
         src_table = self.db.table(back.src_relation)
         src_pos = src_table.schema.position(back.src_attribute)
         dst_index = self.db.index(back.dst_relation, back.dst_attribute)
-        banned = self._banned(
-            back.dst_relation,
-            start_relation,
-            origin_row,
-            allow_origin=gather_into_origin_level,
+        excluded = self.exclusions.get(back.dst_relation, _EMPTY_SET)
+        drop_origin = (
+            self.exclude_origin
+            and not gather_into_origin_level
+            and back.dst_relation == start_relation
         )
 
         rev: dict[int, float] = {}
         for row_id in level:
-            value = src_table.row(row_id)[src_pos]
-            if value is None:
-                continue
-            partners = dst_index.lookup(value)
-            if banned:
-                partners = [p for p in partners if p not in banned]
+            partners = self._partners(
+                back, src_table, src_pos, dst_index, excluded, row_id
+            )
+            if drop_origin and partners:
+                partners = [p for p in partners if p != origin_row]
             if not partners:
                 continue
             gathered = sum(prev_rev.get(p, 0.0) for p in partners)
@@ -214,17 +226,34 @@ class PropagationEngine:
 
     # -- helpers --------------------------------------------------------------
 
-    def _banned(
-        self, relation: str, start_relation: str, origin_row: int, allow_origin: bool
-    ) -> frozenset[int]:
-        banned = self.exclusions.get(relation, _EMPTY_SET)
-        if (
-            self.exclude_origin
-            and not allow_origin
-            and relation == start_relation
-        ):
-            banned = banned | {origin_row}
-        return banned
+    def _partners(
+        self, step, src_table, src_pos, dst_index, excluded, row_id
+    ) -> tuple[int, ...] | list[int]:
+        """Exclusion-filtered join partners of one tuple across one step.
+
+        Origin-independent (the origin filter is the caller's), so cacheable
+        per ``(step, row_id)`` when the engine has a memo.
+        """
+        memo = self.memo
+        if memo is not None:
+            key = (step, row_id)
+            cached = memo.get(key)
+            if cached is not None:
+                return cached
+        value = src_table.row(row_id)[src_pos]
+        if value is None:
+            partners: tuple[int, ...] | list[int] = ()
+        else:
+            found = dst_index.lookup(value)
+            if excluded:
+                partners = tuple(p for p in found if p not in excluded)
+            elif memo is not None:
+                partners = tuple(found)
+            else:
+                partners = found  # never mutated by callers; avoid the copy
+        if memo is not None:
+            memo.put(key, partners)
+        return partners
 
 
 def make_exclusions(**relation_rows: set[int] | frozenset[int]) -> dict[str, frozenset[int]]:

@@ -1,0 +1,36 @@
+"""Performance layer: memoization, chunking, and parallel execution.
+
+The DISTINCT pipeline's cost is dominated by three hot loops — probability
+propagation along join paths (§2.2), all-pairs similarity (§2.3–2.4), and
+the agglomerative merge loop (§4.1). This package holds the shared
+machinery that accelerates them without changing results:
+
+- :mod:`repro.perf.memo` — the LRU-bounded join-fanout memo that lets
+  prefix-shared propagation reuse per-tuple mass splits across the
+  references of one name;
+- :mod:`repro.perf.chunking` — row/pair chunk sizing so the vectorized
+  similarity kernels bound peak memory instead of densifying everything;
+- :mod:`repro.perf.parallel` — a ``ProcessPoolExecutor``-backed ordered
+  map with deterministic, input-ordered result assembly and per-worker
+  obs-counter merging (disambiguation workloads scale with the number of
+  ambiguous names, which is embarrassingly parallel).
+
+The vectorized similarity kernels themselves live in
+:mod:`repro.similarity.vectorized`; the ``similarity_backend`` switch in
+:class:`repro.config.DistinctConfig` routes the pipeline through them.
+``benchmarks/bench_perf_kernels.py`` tracks the scalar/vectorized/parallel
+trajectory in ``BENCH_perf.json``.
+"""
+
+from repro.perf.chunking import chunk_slices, rows_per_block
+from repro.perf.memo import FanoutMemo
+from repro.perf.parallel import RemoteTaskError, TaskOutcome, ordered_process_map
+
+__all__ = [
+    "FanoutMemo",
+    "RemoteTaskError",
+    "TaskOutcome",
+    "chunk_slices",
+    "ordered_process_map",
+    "rows_per_block",
+]

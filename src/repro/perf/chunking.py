@@ -1,0 +1,36 @@
+"""Chunk sizing for the vectorized similarity kernels.
+
+The vectorized resemblance kernel materializes dense row blocks of the
+sparse profile matrix and broadcasts ``|a - b|`` over block pairs; peak
+memory is ``block_rows**2 * n_columns * 8`` bytes per pair of blocks.
+These helpers turn a byte budget into block sizes so the kernels bound
+memory instead of densifying the full matrix, whatever the profile
+dimensions are.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Default byte budget for one broadcast block (see ``rows_per_block``).
+DEFAULT_BLOCK_BYTES = 64 * 1024 * 1024
+
+_FLOAT_BYTES = 8
+
+
+def rows_per_block(
+    n_columns: int, budget_bytes: int = DEFAULT_BLOCK_BYTES
+) -> int:
+    """Rows per block so a ``rows x rows x n_columns`` float64 broadcast
+    stays within ``budget_bytes`` (always at least 1)."""
+    if n_columns <= 0:
+        return 1
+    rows = int(math.sqrt(budget_bytes / (_FLOAT_BYTES * n_columns)))
+    return max(1, rows)
+
+
+def chunk_slices(n: int, chunk: int) -> list[slice]:
+    """Cover ``range(n)`` with consecutive slices of at most ``chunk``."""
+    if chunk <= 0:
+        raise ValueError("chunk must be positive")
+    return [slice(start, min(start + chunk, n)) for start in range(0, n, chunk)]

@@ -1,0 +1,79 @@
+"""LRU-bounded memo of per-tuple join fanouts.
+
+Propagation pushes probability mass across a join step by looking up each
+source tuple's join partners and splitting its mass uniformly over them
+(§2.2). Within one ambiguous name the same tuples are visited over and
+over: every reference's walk crosses the same papers, proceedings, and
+coauthor rows, and the prefix-sharing trie (:mod:`repro.paths.trie`)
+already forks shared *prefixes* per reference — but each reference still
+re-resolves the per-tuple fanouts of those prefixes.
+
+:class:`FanoutMemo` caches the *exclusion-filtered partner list* of one
+``(step, source tuple)`` pair. The unit-mass vector a tuple emits across a
+step is fully determined by that list (each partner receives
+``mass / len(partners)``), so memoizing the list memoizes the mass vector
+while staying origin-independent: the only origin-dependent part of a
+fanout — dropping the origin tuple itself when a step re-enters the
+reference relation — is applied by the engine *after* the lookup. Keying
+by the step rather than the whole path prefix is strictly more sharing:
+the fanout depends only on the prefix's last step.
+
+The memo is bounded (LRU eviction) so a long-running service cannot grow
+it without limit; hit/miss/eviction counters and a size gauge live under
+``perf.fanout.*``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable
+
+from repro.obs import counter, gauge
+
+_HITS = counter("perf.fanout.hits")
+_MISSES = counter("perf.fanout.misses")
+_EVICTIONS = counter("perf.fanout.evictions")
+_SIZE = gauge("perf.fanout.size")
+
+
+class FanoutMemo:
+    """Bounded ``(step, src_row) -> tuple(partner rows)`` cache.
+
+    ``max_entries`` bounds the number of cached fanouts; the least
+    recently used entry is evicted first. Partner lists are stored as
+    tuples so cached values are immutable and safely shared.
+    """
+
+    __slots__ = ("max_entries", "_entries")
+
+    def __init__(self, max_entries: int = 65536) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[Hashable, tuple[int, ...]] = OrderedDict()
+
+    def get(self, key: Hashable) -> tuple[int, ...] | None:
+        """The cached partner tuple, or None. A hit refreshes recency."""
+        entries = self._entries
+        partners = entries.get(key)
+        if partners is None:
+            _MISSES.inc()
+            return None
+        entries.move_to_end(key)
+        _HITS.inc()
+        return partners
+
+    def put(self, key: Hashable, partners: tuple[int, ...]) -> None:
+        entries = self._entries
+        entries[key] = partners
+        if len(entries) > self.max_entries:
+            entries.popitem(last=False)
+            _EVICTIONS.inc()
+        _SIZE.set(len(entries))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        _SIZE.set(0)

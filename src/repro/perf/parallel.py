@@ -1,0 +1,182 @@
+"""Deterministic, input-ordered map over a process pool.
+
+Disambiguation workloads scale with the number of ambiguous names, and the
+names are independent — the ideal shape for process parallelism. What a
+naive ``ProcessPoolExecutor.map`` loses, this module keeps:
+
+- **Deterministic assembly.** Results are yielded in *input* order,
+  whatever order workers finish in, so a parallel run's output is
+  byte-identical to a serial one.
+- **Obs continuity.** Each task snapshots the worker-local counter
+  registry before and after, returns the delta, and the parent merges it
+  on join — ``propagation.tuples_visited`` and friends keep counting
+  across process boundaries (gauges and histograms are per-process and
+  are not merged).
+- **Failure transparency.** Worker exceptions travel back as structured
+  ``{"type", "message"}`` payloads in the :class:`TaskOutcome` instead of
+  poisoning the pool, so the caller can apply its error policy per item,
+  exactly like a serial loop under :func:`repro.resilience.guard`.
+- **Deadlines.** An expired :class:`~repro.resilience.Deadline` stops
+  consuming results; remaining tasks are cancelled and reported as
+  ``interrupted`` outcomes in order.
+
+Workers are primed once with a picklable ``payload`` via a pool
+initializer (under the default ``fork`` start method the payload is
+inherited, not pickled); each task then ships only its item. ``fn`` must
+be a module-level function taking ``(payload, item)``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import CancelledError, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.obs import counter, get_metrics
+
+_TASKS_OK = counter("perf.parallel.tasks_ok")
+_TASKS_FAILED = counter("perf.parallel.tasks_failed")
+_TASKS_INTERRUPTED = counter("perf.parallel.tasks_interrupted")
+
+#: Worker-side payload installed by the pool initializer.
+_PAYLOAD: Any = None
+
+
+class RemoteTaskError(RuntimeError):
+    """A worker-side exception re-raised in the parent process.
+
+    ``error`` holds the structured ``{"type", "message"}`` payload from
+    the worker; the original traceback stays in the worker's logs.
+    """
+
+    def __init__(self, error: dict) -> None:
+        super().__init__(f"worker task failed: {error['type']}: {error['message']}")
+        self.error = error
+
+
+@dataclass
+class TaskOutcome:
+    """One item's result: a value, a worker error, or an interruption."""
+
+    item: Any
+    value: Any = None
+    error: dict | None = None
+    interrupted: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and not self.interrupted
+
+    def unwrap(self) -> Any:
+        """The value; raises :class:`RemoteTaskError` on a failed task."""
+        if self.error is not None:
+            raise RemoteTaskError(self.error)
+        return self.value
+
+
+def _init_worker(payload: Any) -> None:
+    global _PAYLOAD
+    _PAYLOAD = payload
+
+
+def _counter_values() -> dict[str, float]:
+    return dict(get_metrics().snapshot()["counters"])
+
+
+def _run_task(fn: Callable[[Any, Any], Any], item: Any) -> tuple:
+    """Worker-side wrapper: run one item, capture errors + counter deltas."""
+    before = _counter_values()
+    value = None
+    error = None
+    try:
+        value = fn(_PAYLOAD, item)
+    except Exception as exc:  # travels back as data, not as pool poison
+        error = {"type": type(exc).__name__, "message": str(exc)}
+    after = _counter_values()
+    deltas = {
+        name: after[name] - before.get(name, 0.0)
+        for name in after
+        if after[name] != before.get(name, 0.0)
+    }
+    return value, error, deltas
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer ``fork`` (payload inherited, not pickled) where available."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def ordered_process_map(
+    fn: Callable[[Any, Any], Any],
+    payload: Any,
+    items: Sequence[Any],
+    workers: int,
+    deadline=None,
+) -> Iterator[TaskOutcome]:
+    """Run ``fn(payload, item)`` for every item; yield outcomes in input order.
+
+    ``workers`` is the pool size (must be >= 1; 1 still uses a pool, which
+    keeps the code path identical — callers that want a plain loop should
+    branch before calling). ``deadline`` is an optional
+    :class:`repro.resilience.Deadline`; once expired, pending tasks are
+    cancelled and yielded as ``interrupted`` outcomes.
+
+    Counter deltas from each task are merged into this process's registry
+    as the task's outcome is yielded, so obs totals match a serial run.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    return _ordered_map(fn, payload, list(items), workers, deadline)
+
+
+def _ordered_map(fn, payload, items, workers, deadline) -> Iterator[TaskOutcome]:
+    registry = get_metrics()
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=_pool_context(),
+        initializer=_init_worker,
+        initargs=(payload,),
+    ) as pool:
+        futures = [pool.submit(_run_task, fn, item) for item in items]
+        try:
+            yield from _consume(futures, items, deadline, registry)
+        finally:
+            # Also reached when the consumer abandons the iterator early:
+            # cancel queued tasks so pool teardown doesn't run them all.
+            pool.shutdown(wait=True, cancel_futures=True)
+
+
+def _consume(futures, items, deadline, registry) -> Iterator[TaskOutcome]:
+    interrupted = False
+    for item, future in zip(items, futures):
+            if not interrupted and deadline is not None and deadline.expired():
+                interrupted = True
+            if interrupted:
+                future.cancel()
+                _TASKS_INTERRUPTED.inc()
+                yield TaskOutcome(item=item, interrupted=True)
+                continue
+            try:
+                if deadline is not None and deadline.remaining() is not None:
+                    value, error, deltas = future.result(
+                        timeout=max(0.0, deadline.remaining())
+                    )
+                else:
+                    value, error, deltas = future.result()
+            except (FutureTimeout, CancelledError):
+                interrupted = True
+                future.cancel()
+                _TASKS_INTERRUPTED.inc()
+                yield TaskOutcome(item=item, interrupted=True)
+                continue
+            for name, delta in deltas.items():
+                registry.counter(name).inc(delta)
+            if error is not None:
+                _TASKS_FAILED.inc()
+            else:
+                _TASKS_OK.inc()
+            yield TaskOutcome(item=item, value=value, error=error)

@@ -1,0 +1,52 @@
+"""Unit tests for the LRU-bounded fanout memo."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf import FanoutMemo
+
+
+class TestFanoutMemo:
+    def test_miss_then_hit(self):
+        memo = FanoutMemo(4)
+        assert memo.get("a") is None
+        memo.put("a", (1, 2, 3))
+        assert memo.get("a") == (1, 2, 3)
+        assert len(memo) == 1
+
+    def test_evicts_least_recently_used(self):
+        memo = FanoutMemo(2)
+        memo.put("a", (1,))
+        memo.put("b", (2,))
+        assert memo.get("a") == (1,)  # refreshes "a"; "b" is now LRU
+        memo.put("c", (3,))
+        assert memo.get("b") is None
+        assert memo.get("a") == (1,)
+        assert memo.get("c") == (3,)
+        assert len(memo) == 2
+
+    def test_put_overwrites_without_growth(self):
+        memo = FanoutMemo(2)
+        memo.put("a", (1,))
+        memo.put("a", (1, 2))
+        assert memo.get("a") == (1, 2)
+        assert len(memo) == 1
+
+    def test_empty_partner_tuple_is_a_hit(self):
+        # A tuple with no partners must cache as () — not read as a miss.
+        memo = FanoutMemo(2)
+        memo.put("dead-end", ())
+        assert memo.get("dead-end") == ()
+
+    def test_clear(self):
+        memo = FanoutMemo(4)
+        memo.put("a", (1,))
+        memo.clear()
+        assert len(memo) == 0
+        assert memo.get("a") is None
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_rejects_nonpositive_bound(self, bad):
+        with pytest.raises(ValueError):
+            FanoutMemo(bad)

@@ -1,0 +1,84 @@
+"""Tests for the ordered process-pool map.
+
+Worker functions must be module-level (they are pickled by reference into
+the pool's call queue).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.obs import counter, get_metrics
+from repro.perf import RemoteTaskError, TaskOutcome, ordered_process_map
+from repro.resilience import Deadline
+
+
+def _scale(payload, item):
+    return payload * item
+
+
+def _fail_on_three(payload, item):
+    if item == 3:
+        raise RuntimeError("poisoned item")
+    return item
+
+
+def _bump_counter(payload, item):
+    counter("perf.test.bumps").inc(item)
+    return item
+
+
+def _sleepy(payload, item):
+    time.sleep(item)
+    return item
+
+
+class TestOrderedProcessMap:
+    def test_results_follow_input_order(self):
+        items = [5, 1, 4, 2, 3]
+        outcomes = list(ordered_process_map(_scale, 10, items, workers=2))
+        assert [o.item for o in outcomes] == items
+        assert [o.value for o in outcomes] == [50, 10, 40, 20, 30]
+        assert all(o.ok for o in outcomes)
+
+    def test_worker_error_is_data_not_poison(self):
+        outcomes = list(ordered_process_map(_fail_on_three, None, [1, 3, 2], workers=2))
+        by_item = {o.item: o for o in outcomes}
+        assert by_item[1].ok and by_item[2].ok  # pool survives the failure
+        failed = by_item[3]
+        assert not failed.ok
+        assert failed.error == {"type": "RuntimeError", "message": "poisoned item"}
+        with pytest.raises(RemoteTaskError, match="poisoned item"):
+            failed.unwrap()
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError):
+            ordered_process_map(_scale, 1, [1], workers=0)
+
+    def test_counter_deltas_merge_into_parent(self):
+        before = get_metrics().counter("perf.test.bumps").value
+        list(ordered_process_map(_bump_counter, None, [2, 3, 5], workers=2))
+        after = get_metrics().counter("perf.test.bumps").value
+        assert after - before == pytest.approx(10)
+
+    def test_deadline_interrupts_remaining_items(self):
+        deadline = Deadline.after(0.3)
+        outcomes = list(
+            ordered_process_map(
+                _sleepy, None, [0.0, 1.0, 0.0, 0.0], workers=1, deadline=deadline
+            )
+        )
+        assert outcomes[0].ok
+        interrupted = [o.interrupted for o in outcomes]
+        assert any(interrupted)
+        # Once interrupted, every later outcome is interrupted too.
+        first = interrupted.index(True)
+        assert all(interrupted[first:])
+
+    def test_early_abandonment_is_clean(self):
+        results = ordered_process_map(_scale, 1, list(range(8)), workers=2)
+        first = next(results)
+        assert first == TaskOutcome(item=0, value=0)
+        results.close()  # must not hang or raise
