@@ -7,7 +7,7 @@ without re-clustering. This example runs all four stages with the
 extension modules:
 
 - `repro.core.candidates` — structural ambiguity scan;
-- `repro.ml.calibration`  — min-sim calibration from synthetic ambiguity
+- `repro.eval.calibration`  — min-sim calibration from synthetic ambiguity
   (pooled rare names), zero manual labels;
 - `repro.core.incremental` — online assignment of held-back references.
 
@@ -20,7 +20,7 @@ from repro.core.incremental import extend_resolution
 from repro.data.ambiguity import AmbiguousNameSpec
 from repro.data.world import world_to_database
 from repro.eval.metrics import pairwise_scores
-from repro.ml.calibration import calibrate_min_sim
+from repro.eval.calibration import calibrate_min_sim
 
 
 def main() -> None:

@@ -1,0 +1,194 @@
+"""The rule registry and the lint engine that drives it.
+
+A :class:`Rule` inspects the whole :class:`~repro.analysis.project.Project`
+(cross-file rules like layering and the metrics registry need the global
+view; single-file rules just loop over ``project.modules``) and yields
+:class:`~repro.analysis.findings.Finding`s. Rules register themselves via
+:func:`register`; importing :mod:`repro.analysis.rules` loads the built-in
+set.
+
+:func:`run_lint` applies per-rule severity overrides, inline
+``# lint: allow[...]`` suppressions, and the config allowlist, then
+returns findings in deterministic (path, line, rule) order.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from typing import Callable, Iterable, Iterator
+
+from repro.analysis.config import LintConfig, default_config
+from repro.analysis.findings import Finding, LintResult, Severity
+from repro.analysis.project import Project, load_project
+
+__all__ = [
+    "Rule",
+    "all_rules",
+    "register",
+    "rule_catalogue",
+    "run_lint",
+]
+
+CheckFn = Callable[[Project, LintConfig], Iterator[Finding]]
+
+
+class Rule:
+    """One named check with a default severity and a one-line description.
+
+    Subclasses (or :func:`register`-decorated generator functions) yield
+    findings whose ``severity`` defaults to the rule's; the engine applies
+    any configured override afterwards.
+    """
+
+    id: str = ""
+    description: str = ""
+    default_severity: Severity = Severity.ERROR
+
+    def check(self, project: Project, config: LintConfig) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, path: str, line: int, message: str, hint: str = "", col: int = 0
+    ) -> Finding:
+        return Finding(
+            rule=self.id,
+            severity=self.default_severity,
+            path=path,
+            line=line,
+            col=col,
+            message=message,
+            hint=hint,
+        )
+
+
+class _FunctionRule(Rule):
+    def __init__(
+        self, id: str, description: str, severity: Severity, fn: CheckFn
+    ) -> None:
+        self.id = id
+        self.description = description
+        self.default_severity = severity
+        self._fn = fn
+
+    def check(self, project: Project, config: LintConfig) -> Iterator[Finding]:
+        return self._fn(project, config)
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(
+    id: str, description: str, severity: Severity = Severity.ERROR
+) -> Callable[[CheckFn], CheckFn]:
+    """Decorator registering a generator function as a rule.
+
+    ::
+
+        @register("family/check", "what it enforces", Severity.ERROR)
+        def _check(project, config):
+            yield ...
+    """
+
+    def decorate(fn: CheckFn) -> CheckFn:
+        if id in _REGISTRY:
+            raise ValueError(f"duplicate rule id: {id}")
+        _REGISTRY[id] = _FunctionRule(id, description, severity, fn)
+        return fn
+
+    return decorate
+
+
+def _load_builtin_rules() -> None:
+    # Importing the package registers every built-in rule exactly once.
+    import repro.analysis.rules  # noqa: F401  (import-for-side-effect)
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, in registration order."""
+    _load_builtin_rules()
+    return list(_REGISTRY.values())
+
+
+def rule_catalogue() -> list[dict]:
+    """Plain-data rule listing for ``repro lint --list-rules``."""
+    return [
+        {
+            "id": rule.id,
+            "default_severity": str(rule.default_severity),
+            "description": rule.description,
+        }
+        for rule in all_rules()
+    ]
+
+
+def _allowlisted(
+    finding: Finding, config: LintConfig
+) -> bool:
+    return any(
+        entry.rule == finding.rule and fnmatch.fnmatch(finding.path, entry.path)
+        for entry in config.allowlist
+    )
+
+
+def _suppressed_inline(finding: Finding, project: Project) -> bool:
+    for module in project.modules:
+        if module.rel_path == finding.path:
+            return module.is_suppressed(finding.rule, finding.line)
+    return False
+
+
+def run_lint(
+    repo_root,
+    config: LintConfig | None = None,
+    rules: Iterable[str] | None = None,
+    project: Project | None = None,
+) -> LintResult:
+    """Run ``rules`` (default: all) over the project at ``repo_root``."""
+    config = config if config is not None else default_config()
+    if project is None:
+        project = load_project(repo_root, package=config.package)
+    selected = all_rules()
+    if rules is not None:
+        wanted = set(rules)
+        known = {rule.id for rule in selected}
+        unknown = wanted - known
+        if unknown:
+            raise ValueError(
+                f"unknown rule id(s): {', '.join(sorted(unknown))}"
+            )
+        selected = [rule for rule in selected if rule.id in wanted]
+
+    result = LintResult(n_modules=len(project.modules))
+    for failure in project.parse_failures:
+        result.findings.append(
+            Finding(
+                rule="parse/syntax-error",
+                severity=Severity.ERROR,
+                path=failure.rel_path,
+                line=failure.line,
+                message=failure.message,
+            )
+        )
+    for rule in selected:
+        for finding in rule.check(project, config):
+            # Overrides key off the finding's own rule id: a rule function
+            # may emit findings under a sibling id (metrics/kind-mismatch).
+            severity = config.severity_for(finding.rule, finding.severity)
+            if severity is not finding.severity:
+                finding = Finding(
+                    rule=finding.rule,
+                    severity=severity,
+                    path=finding.path,
+                    line=finding.line,
+                    col=finding.col,
+                    message=finding.message,
+                    hint=finding.hint,
+                )
+            if _suppressed_inline(finding, project) or _allowlisted(
+                finding, config
+            ):
+                result.n_suppressed += 1
+                continue
+            result.findings.append(finding)
+    result.findings.sort(key=Finding.sort_key)
+    return result

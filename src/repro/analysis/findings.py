@@ -1,0 +1,110 @@
+"""Finding and severity primitives of the static-analysis pass.
+
+A :class:`Finding` is one diagnosed contract violation: which rule fired,
+where (repo-relative path, 1-based line), how severe it is, and a fix
+hint. Findings are plain data so the engine can sort, filter, serialize,
+and count them without knowing anything about the rules that produced
+them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is; ordered so severities can be compared.
+
+    ``ERROR`` findings fail ``repro lint`` (nonzero exit); ``WARNING``
+    and ``INFO`` are advisory.
+    """
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @classmethod
+    def coerce(cls, value: "Severity | str") -> "Severity":
+        """Accept a member or its lowercase name (config files use strings)."""
+        if isinstance(value, Severity):
+            return value
+        try:
+            return cls[str(value).upper()]
+        except KeyError:
+            choices = ", ".join(s.name.lower() for s in cls)
+            raise ValueError(
+                f"unknown severity {value!r}; expected one of: {choices}"
+            ) from None
+
+    def __str__(self) -> str:  # "error", not "Severity.ERROR"
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnosed violation of a project contract."""
+
+    rule: str
+    severity: Severity
+    path: str  # repo-relative, forward slashes
+    line: int
+    message: str
+    hint: str = ""
+    col: int = 0
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_dict(self) -> dict:
+        payload = {
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+        if self.hint:
+            payload["hint"] = self.hint
+        return payload
+
+    def render(self) -> str:
+        location = f"{self.path}:{self.line}"
+        text = f"{location}: {self.severity}: [{self.rule}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    n_modules: int = 0
+    n_suppressed: int = 0
+
+    def count(self, severity: Severity) -> int:
+        return sum(1 for f in self.findings if f.severity is severity)
+
+    @property
+    def n_errors(self) -> int:
+        return self.count(Severity.ERROR)
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity finding survived filtering."""
+        return self.n_errors == 0
+
+    def to_dict(self) -> dict:
+        return {
+            "format_version": 1,
+            "modules_scanned": self.n_modules,
+            "suppressed": self.n_suppressed,
+            "counts": {
+                str(sev): self.count(sev)
+                for sev in (Severity.ERROR, Severity.WARNING, Severity.INFO)
+            },
+            "findings": [f.to_dict() for f in self.findings],
+        }

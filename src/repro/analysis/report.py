@@ -1,0 +1,39 @@
+"""Rendering lint results: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.findings import LintResult, Severity
+
+__all__ = ["format_json", "format_text"]
+
+
+def format_text(result: LintResult, min_severity: Severity = Severity.INFO) -> str:
+    """One line per finding plus a summary, like a compiler's output."""
+    shown = [f for f in result.findings if f.severity >= min_severity]
+    lines = [finding.render() for finding in shown]
+    hidden = len(result.findings) - len(shown)
+    summary = (
+        f"{result.n_modules} module(s) scanned: "
+        f"{result.count(Severity.ERROR)} error(s), "
+        f"{result.count(Severity.WARNING)} warning(s), "
+        f"{result.count(Severity.INFO)} info"
+    )
+    if result.n_suppressed:
+        summary += f"; {result.n_suppressed} finding(s) suppressed"
+    if hidden:
+        summary += f"; {hidden} below --min-severity not shown"
+    if lines:
+        lines.append("")
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def format_json(result: LintResult, min_severity: Severity = Severity.INFO) -> str:
+    """The full result as indented JSON (stable key order)."""
+    payload = result.to_dict()
+    payload["findings"] = [
+        f.to_dict() for f in result.findings if f.severity >= min_severity
+    ]
+    return json.dumps(payload, indent=2, sort_keys=True)

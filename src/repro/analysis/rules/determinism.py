@@ -1,0 +1,156 @@
+"""determinism/*: iteration-order hazards in reproducibility-critical code.
+
+The perf layer guarantees that ``workers=N`` runs are byte-identical to
+serial ones (asserted in ``tests/eval/test_parallel_runner.py``), and
+checkpointed runs must replay identically. Both collapse if a hot path's
+output depends on ``set`` iteration order, which varies with
+``PYTHONHASHSEED`` and across processes. Inside the configured scope
+(``similarity``, ``paths``, ``cluster``, ``core``, ``perf``,
+``resilience``):
+
+- ``determinism/set-iteration`` (error) — a ``for`` loop or comprehension
+  iterating directly over a set expression. ``sorted(set(...))`` — the
+  set as the *direct* argument of ``sorted`` — is fine; the sort imposes
+  the order locally and auditably.
+- ``determinism/unkeyed-sort`` (warning) — ``sorted(...)`` without
+  ``key=``; fine for plain str/int sequences, a hazard when elements are
+  floats-with-ties or rich objects whose comparison is partial.
+- ``determinism/dict-keys-iteration`` (warning) — ``for k in d.keys()``;
+  iterate the dict itself (insertion order is the contract) so the
+  intent is visible.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import register
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.project import ModuleInfo, Project
+
+
+def is_set_expr(node: ast.expr) -> bool:
+    """True when ``node`` syntactically produces a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    ):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return is_set_expr(node.left) or is_set_expr(node.right)
+    return False
+
+
+def _iteration_sites(tree: ast.Module) -> Iterator[tuple[ast.expr, int]]:
+    """Every (iterable expression, line) a for/comprehension loops over."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter, node.lineno
+        elif isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            for gen in node.generators:
+                yield gen.iter, gen.iter.lineno
+
+
+def _in_scope(info: ModuleInfo, config: LintConfig) -> bool:
+    return info.package in config.determinism_scope
+
+
+@register(
+    "determinism/set-iteration",
+    "no direct iteration over sets in reproducibility-critical packages "
+    "(set order varies with PYTHONHASHSEED and across worker processes)",
+    Severity.ERROR,
+)
+def check_set_iteration(
+    project: Project, config: LintConfig
+) -> Iterator[Finding]:
+    for info in project.modules:
+        if not _in_scope(info, config):
+            continue
+        for iterable, lineno in _iteration_sites(info.tree):
+            if is_set_expr(iterable):
+                yield Finding(
+                    rule="determinism/set-iteration",
+                    severity=Severity.ERROR,
+                    path=info.rel_path,
+                    line=lineno,
+                    message=(
+                        "iteration over a set has nondeterministic order; "
+                        "this package feeds the byte-identical parallelism "
+                        "and checkpoint-replay guarantees"
+                    ),
+                    hint="impose an order at the iteration site: "
+                         "sorted(<the set>) as the direct argument, or build "
+                         "an insertion-ordered sequence (e.g. dict.fromkeys)",
+                )
+
+
+@register(
+    "determinism/unkeyed-sort",
+    "sorted() without key= in reproducibility-critical packages "
+    "(verify the elements have a deterministic total order)",
+    Severity.WARNING,
+)
+def check_unkeyed_sort(
+    project: Project, config: LintConfig
+) -> Iterator[Finding]:
+    for info in project.modules:
+        if not _in_scope(info, config):
+            continue
+        for node in ast.walk(info.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "sorted"
+                and not any(kw.arg == "key" for kw in node.keywords)
+            ):
+                yield Finding(
+                    rule="determinism/unkeyed-sort",
+                    severity=Severity.WARNING,
+                    path=info.rel_path,
+                    line=node.lineno,
+                    message=(
+                        "sorted() without key=: fine for str/int elements, "
+                        "a tie-order hazard for floats or rich objects"
+                    ),
+                    hint="add an explicit total-order key= if elements can "
+                         "tie or compare partially",
+                )
+
+
+@register(
+    "determinism/dict-keys-iteration",
+    "iterate dicts directly instead of .keys() so insertion-order intent "
+    "is visible",
+    Severity.WARNING,
+)
+def check_dict_keys(project: Project, config: LintConfig) -> Iterator[Finding]:
+    for info in project.modules:
+        if not _in_scope(info, config):
+            continue
+        for iterable, lineno in _iteration_sites(info.tree):
+            if (
+                isinstance(iterable, ast.Call)
+                and isinstance(iterable.func, ast.Attribute)
+                and iterable.func.attr == "keys"
+                and not iterable.args
+            ):
+                yield Finding(
+                    rule="determinism/dict-keys-iteration",
+                    severity=Severity.WARNING,
+                    path=info.rel_path,
+                    line=lineno,
+                    message="iteration over .keys(); iterate the mapping "
+                            "itself (insertion order is the contract)",
+                    hint="drop .keys(), or use sorted(d) when the consumer "
+                         "needs a canonical order",
+                )

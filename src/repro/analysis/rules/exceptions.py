@@ -1,0 +1,149 @@
+"""exceptions/*: broad-``except`` discipline and interrupt re-raising.
+
+The resilience layer's contract (``docs/robustness.md``) is that
+:class:`~repro.errors.DeadlineExceeded` is control flow, not an item
+failure — *nothing* outside the sanctioned policy engine may absorb it,
+and nothing anywhere may absorb ``KeyboardInterrupt``/``SystemExit``.
+
+- ``exceptions/broad-except`` (error) — ``except Exception`` (or broader)
+  outside the sanctioned modules (``repro.resilience.policy``,
+  ``repro.perf.parallel``). A broad handler is tolerated when the same
+  ``try`` first catches ``DeadlineExceeded`` (and ideally
+  ``KeyboardInterrupt``) and re-raises, which proves interrupts pass
+  through untouched. Bare ``except:`` / ``except BaseException`` is
+  tolerated only when the handler's last statement is a bare ``raise``
+  (the cleanup-and-rethrow idiom).
+- ``exceptions/swallowed-interrupt`` (error) — a handler that catches
+  ``DeadlineExceeded`` or ``KeyboardInterrupt`` and does not re-raise.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import register
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.project import Project
+
+_INTERRUPTS = ("DeadlineExceeded", "KeyboardInterrupt", "SystemExit")
+
+
+def _caught_names(handler: ast.ExceptHandler) -> list[str]:
+    """The (unqualified) exception class names a handler catches.
+
+    An untyped ``except:`` is reported as catching ``BaseException``.
+    """
+    node = handler.type
+    if node is None:
+        return ["BaseException"]
+    types = node.elts if isinstance(node, ast.Tuple) else [node]
+    names = []
+    for t in types:
+        if isinstance(t, ast.Name):
+            names.append(t.id)
+        elif isinstance(t, ast.Attribute):
+            names.append(t.attr)
+    return names
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """True when the handler contains a bare ``raise`` anywhere."""
+    return any(
+        isinstance(node, ast.Raise) and node.exc is None
+        for node in ast.walk(handler)
+    )
+
+
+def _ends_with_bare_raise(handler: ast.ExceptHandler) -> bool:
+    body = handler.body
+    return bool(body) and isinstance(body[-1], ast.Raise) and body[-1].exc is None
+
+
+def _interrupt_shielded(try_node: ast.Try, upto: int) -> bool:
+    """True when a handler before index ``upto`` re-raises DeadlineExceeded."""
+    for handler in try_node.handlers[:upto]:
+        if "DeadlineExceeded" in _caught_names(handler) and _reraises(handler):
+            return True
+    return False
+
+
+@register(
+    "exceptions/broad-except",
+    "except Exception/BaseException only at sanctioned resilience sites, "
+    "or shielded by a preceding DeadlineExceeded re-raise handler",
+    Severity.ERROR,
+)
+def check_broad_except(project: Project, config: LintConfig) -> Iterator[Finding]:
+    for info in project.modules:
+        sanctioned = info.module in config.exception_sanctioned
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Try):
+                continue
+            for index, handler in enumerate(node.handlers):
+                names = _caught_names(handler)
+                broad_base = handler.type is None or "BaseException" in names
+                if broad_base:
+                    if not _ends_with_bare_raise(handler):
+                        yield Finding(
+                            rule="exceptions/broad-except",
+                            severity=Severity.ERROR,
+                            path=info.rel_path,
+                            line=handler.lineno,
+                            message=(
+                                "bare except / except BaseException can "
+                                "absorb KeyboardInterrupt and SystemExit"
+                            ),
+                            hint="catch Exception (at a sanctioned site) or "
+                                 "end the handler with a bare raise",
+                        )
+                    continue
+                if "Exception" not in names:
+                    continue
+                if sanctioned or _interrupt_shielded(node, index):
+                    continue
+                yield Finding(
+                    rule="exceptions/broad-except",
+                    severity=Severity.ERROR,
+                    path=info.rel_path,
+                    line=handler.lineno,
+                    message=(
+                        "broad `except Exception` outside the sanctioned "
+                        "resilience sites can absorb DeadlineExceeded "
+                        "control flow"
+                    ),
+                    hint="add a preceding `except (DeadlineExceeded, "
+                         "KeyboardInterrupt): raise` handler, narrow the "
+                         "exception types, or route the work through "
+                         "repro.resilience.guard",
+                )
+
+
+@register(
+    "exceptions/swallowed-interrupt",
+    "handlers catching DeadlineExceeded/KeyboardInterrupt must re-raise",
+    Severity.ERROR,
+)
+def check_swallowed_interrupt(
+    project: Project, config: LintConfig
+) -> Iterator[Finding]:
+    for info in project.modules:
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            caught = [n for n in _caught_names(node) if n in _INTERRUPTS]
+            if not caught or _reraises(node):
+                continue
+            yield Finding(
+                rule="exceptions/swallowed-interrupt",
+                severity=Severity.ERROR,
+                path=info.rel_path,
+                line=node.lineno,
+                message=(
+                    f"handler catches {', '.join(caught)} without "
+                    "re-raising; interrupts are control flow, never item "
+                    "failures"
+                ),
+                hint="re-raise with a bare `raise` after any cleanup",
+            )

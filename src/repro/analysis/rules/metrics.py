@@ -1,0 +1,212 @@
+"""metrics/*: the obs metric-name registry, checked in both directions.
+
+``repro.obs.names.REGISTERED_METRICS`` is the canonical catalogue of
+every counter/gauge/histogram the pipeline emits (it is what
+``docs/observability.md`` documents and what dashboards key on). These
+rules cross-check the catalogue against every literal name passed to
+``counter(...)`` / ``gauge(...)`` / ``histogram(...)`` in the source
+tree:
+
+- ``metrics/unregistered`` (error) — a name used at an instrumentation
+  site but missing from the registry: usually a typo that would silently
+  create a parallel, never-exported instrument.
+- ``metrics/unused`` (error) — a registered name no code emits anymore:
+  dead catalogue entries mask real coverage gaps.
+- ``metrics/kind-mismatch`` (error) — a name registered as one instrument
+  kind but instantiated as another.
+- ``metrics/dynamic-name`` (warning) — a non-literal name at a direct
+  ``counter(...)``-style call; dynamic names cannot be statically audited
+  (registry merge loops going through ``registry.counter(var)`` are
+  exempt).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import register
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.project import Project
+
+_KINDS = ("counter", "gauge", "histogram")
+
+
+def _registry_entries(
+    project: Project, config: LintConfig
+) -> tuple[dict[str, tuple[str, int]] | None, str]:
+    """{name: (kind, line)} parsed from the registry module's literal."""
+    info = project.by_module(config.metrics_registry_module)
+    if info is None:
+        return None, (
+            f"metric registry module {config.metrics_registry_module!r} "
+            "not found in the project"
+        )
+    for node in ast.walk(info.tree):
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if not any(
+            isinstance(t, ast.Name) and t.id == config.metrics_registry_name
+            for t in targets
+        ):
+            continue
+        if not isinstance(value, ast.Dict):
+            return None, (
+                f"{config.metrics_registry_name} must be a literal dict "
+                "of name -> kind"
+            )
+        entries: dict[str, tuple[str, int]] = {}
+        for key, val in zip(value.keys, value.values):
+            if (
+                isinstance(key, ast.Constant)
+                and isinstance(key.value, str)
+                and isinstance(val, ast.Constant)
+                and isinstance(val.value, str)
+            ):
+                entries[key.value] = (val.value, key.lineno)
+        return entries, info.rel_path
+    return None, (
+        f"{config.metrics_registry_name} not found in "
+        f"{config.metrics_registry_module}"
+    )
+
+
+def _usages(
+    project: Project, config: LintConfig
+) -> Iterator[tuple[str, str, str, int, bool]]:
+    """Yield (name, kind, rel_path, line, literal) for instrument calls."""
+    skip = set(config.metrics_defining_modules) | {config.metrics_registry_module}
+    for info in project.modules:
+        if info.module in skip:
+            continue
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in _KINDS:
+                kind, direct = func.id, True
+            elif isinstance(func, ast.Attribute) and func.attr in _KINDS:
+                kind, direct = func.attr, False
+            else:
+                continue
+            arg = node.args[0]
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                yield arg.value, kind, info.rel_path, node.lineno, True
+            elif direct:
+                # registry.counter(var) merge loops are exempt; a direct
+                # counter(var) call defeats static auditing.
+                yield "", kind, info.rel_path, node.lineno, False
+
+
+@register(
+    "metrics/unregistered",
+    "every literal metric name must appear in repro.obs.names."
+    "REGISTERED_METRICS",
+    Severity.ERROR,
+)
+def check_unregistered(project: Project, config: LintConfig) -> Iterator[Finding]:
+    registry, origin = _registry_entries(project, config)
+    if registry is None:
+        yield Finding(
+            rule="metrics/unregistered",
+            severity=Severity.ERROR,
+            path=f"src/{config.package}",
+            line=1,
+            message=origin,
+            hint="create the registry module with a literal "
+                 "name -> kind dict",
+        )
+        return
+    for name, kind, rel_path, line, literal in _usages(project, config):
+        if not literal:
+            continue
+        if name not in registry:
+            yield Finding(
+                rule="metrics/unregistered",
+                severity=Severity.ERROR,
+                path=rel_path,
+                line=line,
+                message=f"metric {name!r} is used here but not registered "
+                        f"in {config.metrics_registry_module}",
+                hint="add it to REGISTERED_METRICS (and "
+                     "docs/observability.md), or fix the typo",
+            )
+        elif registry[name][0] != kind:
+            yield Finding(
+                rule="metrics/kind-mismatch",
+                severity=Severity.ERROR,
+                path=rel_path,
+                line=line,
+                message=(
+                    f"metric {name!r} is registered as a "
+                    f"{registry[name][0]} but instantiated as a {kind}"
+                ),
+                hint="align the call site or the registry entry",
+            )
+
+
+@register(
+    "metrics/kind-mismatch",
+    "instrument kind at the call site must match the registry",
+    Severity.ERROR,
+)
+def check_kind_mismatch(project: Project, config: LintConfig) -> Iterator[Finding]:
+    # Emitted by check_unregistered (which already walks every call site);
+    # registered here so the id is listable, overridable, allowlistable.
+    return
+    yield  # pragma: no cover
+
+
+@register(
+    "metrics/unused",
+    "every registered metric name must still be emitted somewhere",
+    Severity.ERROR,
+)
+def check_unused(project: Project, config: LintConfig) -> Iterator[Finding]:
+    registry, origin = _registry_entries(project, config)
+    if registry is None:
+        return
+    used = {
+        name
+        for name, _kind, _path, _line, literal in _usages(project, config)
+        if literal
+    }
+    for name in registry:
+        if name not in used:
+            kind, line = registry[name]
+            yield Finding(
+                rule="metrics/unused",
+                severity=Severity.ERROR,
+                path=origin,
+                line=line,
+                message=f"registered {kind} {name!r} is never emitted by "
+                        "any instrumentation site",
+                hint="remove the stale registry entry or restore the "
+                     "instrumentation",
+            )
+
+
+@register(
+    "metrics/dynamic-name",
+    "direct counter()/gauge()/histogram() calls should pass a literal name",
+    Severity.WARNING,
+)
+def check_dynamic_name(project: Project, config: LintConfig) -> Iterator[Finding]:
+    for name, kind, rel_path, line, literal in _usages(project, config):
+        if literal:
+            continue
+        yield Finding(
+            rule="metrics/dynamic-name",
+            severity=Severity.WARNING,
+            path=rel_path,
+            line=line,
+            message=f"{kind}() called with a non-literal name; the "
+                    "registry audit cannot see it",
+            hint="bind instruments at import time with literal names, or "
+                 "go through get_metrics() for dynamic merge loops",
+        )

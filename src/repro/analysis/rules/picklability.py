@@ -1,0 +1,106 @@
+"""picklability/unpicklable-task: task functions handed to the pool.
+
+``repro.perf.ordered_process_map`` documents that ``fn`` must be a
+module-level function taking ``(payload, item)`` — under the ``spawn``
+start method (macOS/Windows default) lambdas, closures, and locally
+defined functions fail to pickle at submit time, which a Linux
+``fork``-based test run never notices. This rule catches the hazard
+statically: a lambda (inline or bound to a local name) or a function
+defined inside another function passed as the task argument.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import register
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.project import ModuleInfo, Project
+
+
+class _TaskArgVisitor(ast.NodeVisitor):
+    """Tracks nested defs / local lambdas per enclosing function."""
+
+    def __init__(self, info: ModuleInfo, config: LintConfig) -> None:
+        self.info = info
+        self.map_names = set(config.parallel_map_names)
+        self.findings: list[Finding] = []
+        self._depth = 0
+        self._locals: list[set[str]] = []  # nested defs + lambda bindings
+
+    # -- scope tracking ------------------------------------------------
+
+    def _visit_function(self, node) -> None:
+        if self._depth > 0:
+            for scope in self._locals:
+                scope.add(node.name)
+        self._depth += 1
+        self._locals.append(set())
+        self.generic_visit(node)
+        self._locals.pop()
+        self._depth -= 1
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._locals and isinstance(node.value, ast.Lambda):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._locals[-1].add(target.id)
+        self.generic_visit(node)
+
+    # -- the check -----------------------------------------------------
+
+    def _is_map_call(self, node: ast.Call) -> bool:
+        func = node.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute) else None
+        )
+        return name in self.map_names
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._is_map_call(node) and node.args:
+            task = node.args[0]
+            problem = None
+            if isinstance(task, ast.Lambda):
+                problem = "a lambda"
+            elif isinstance(task, ast.Name) and any(
+                task.id in scope for scope in self._locals
+            ):
+                problem = f"locally defined function {task.id!r}"
+            if problem is not None:
+                self.findings.append(
+                    Finding(
+                        rule="picklability/unpicklable-task",
+                        severity=Severity.ERROR,
+                        path=self.info.rel_path,
+                        line=node.lineno,
+                        message=(
+                            f"{problem} passed to ordered_process_map; "
+                            "task functions must pickle under the spawn "
+                            "start method"
+                        ),
+                        hint="move the task body to a module-level "
+                             "function taking (payload, item) and thread "
+                             "state through the payload",
+                    )
+                )
+        self.generic_visit(node)
+
+
+@register(
+    "picklability/unpicklable-task",
+    "ordered_process_map task functions must be module-level "
+    "(lambdas/closures break under the spawn start method)",
+    Severity.ERROR,
+)
+def check_picklability(project: Project, config: LintConfig) -> Iterator[Finding]:
+    for info in project.modules:
+        visitor = _TaskArgVisitor(info, config)
+        visitor.visit(info.tree)
+        yield from visitor.findings

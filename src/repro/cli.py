@@ -216,6 +216,47 @@ def build_parser() -> argparse.ArgumentParser:
     _add_perf_options(p, workers=True)
     p.set_defaults(func=cmd_calibrate)
 
+    p = sub.add_parser(
+        "lint", help="run the project static-analysis rules (repro.analysis)"
+    )
+    p.add_argument(
+        "--root",
+        default=None,
+        help="repository root to lint (default: auto-detected from the "
+             "installed package: <root>/src/repro)",
+    )
+    p.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="lint_format",
+        help="findings output format (default: text)",
+    )
+    p.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    p.add_argument(
+        "--min-severity",
+        choices=("info", "warning", "error"),
+        default="info",
+        help="hide findings below this severity (exit code always "
+             "reflects error-severity findings)",
+    )
+    p.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="also write the full JSON report here (CI artifact)",
+    )
+    p.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+    p.set_defaults(func=cmd_lint)
+
     p = sub.add_parser("experiment", help="evaluate over the ambiguous names")
     p.add_argument("--db", required=True)
     p.add_argument("--models", required=True)
@@ -418,7 +459,7 @@ def _report_degradation(collector: ErrorCollector, interrupted: bool,
 
 
 def cmd_calibrate(args) -> int:
-    from repro.ml.calibration import (
+    from repro.eval.calibration import (
         DEFAULT_GRID,
         calibrate_min_sim,
         calibration_checkpoint,
@@ -456,6 +497,52 @@ def cmd_calibrate(args) -> int:
         )
     print(f"\nbest min-sim: {result.best_min_sim}")
     return _report_degradation(collector, result.interrupted, args.resume)
+
+
+def _default_lint_root() -> Path:
+    """The repo root this package was imported from (``<root>/src/repro``)."""
+    return Path(__file__).resolve().parents[2]
+
+
+def cmd_lint(args) -> int:
+    from repro.analysis import (
+        Severity,
+        format_json,
+        format_text,
+        load_config,
+        rule_catalogue,
+        run_lint,
+    )
+
+    if args.list_rules:
+        for entry in rule_catalogue():
+            print(
+                f"{entry['id']:32s} {entry['default_severity']:8s} "
+                f"{entry['description']}"
+            )
+        return 0
+    root = Path(args.root) if args.root else _default_lint_root()
+    if not (root / "src" / "repro").is_dir():
+        print(f"no src/repro package under {root}; pass --root", file=sys.stderr)
+        return 2
+    rules = None
+    if args.rules:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+    try:
+        result = run_lint(root, config=load_config(root), rules=rules)
+    except ValueError as exc:  # unknown rule id, bad pyproject overrides
+        print(str(exc), file=sys.stderr)
+        return 2
+    min_severity = Severity.coerce(args.min_severity)
+    if args.lint_format == "json":
+        print(format_json(result, min_severity))
+    else:
+        print(format_text(result, min_severity))
+    if args.output:
+        Path(args.output).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.output).write_text(format_json(result))
+        log.info("lint report written to %s", args.output)
+    return 0 if result.ok else 1
 
 
 def _ambiguous_names(db_dir: str, names_arg: str | None) -> list[str]:

@@ -74,7 +74,10 @@ class CompositeMeasure:
             sums_a = sums.pop(a)
             sums_b = sums.pop(b)
             merged: dict[int, float] = {}
-            for other in (set(sums_a) | set(sums_b)) - {a, b}:
+            # sorted: merge bookkeeping must not depend on set hash order
+            # (feeds the byte-identical parallel/serial guarantee).
+            # lint: allow[determinism/unkeyed-sort] cluster ids are plain int
+            for other in sorted((set(sums_a) | set(sums_b)) - {a, b}):
                 value = sums_a.get(other, 0.0) + sums_b.get(other, 0.0)
                 merged[other] = value
                 other_sums = sums[other]

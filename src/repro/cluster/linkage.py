@@ -52,7 +52,10 @@ class _PairMatrixMeasure:
         stats_a = self._stats.pop(a)
         stats_b = self._stats.pop(b)
         merged: dict[int, float] = {}
-        for other in (set(stats_a) | set(stats_b)) - {a, b}:
+        # sorted: merge bookkeeping must not depend on set hash order
+        # (feeds the byte-identical parallel/serial guarantee).
+        # lint: allow[determinism/unkeyed-sort] cluster ids are plain int
+        for other in sorted((set(stats_a) | set(stats_b)) - {a, b}):
             if other in stats_a and other in stats_b:
                 value = self._combine(stats_a[other], stats_b[other])
             else:

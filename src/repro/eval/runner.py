@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from repro.core.distinct import Distinct
 from repro.core.variants import VariantSpec
 from repro.data.world import GroundTruth
+from repro.errors import DeadlineExceeded
 from repro.eval.experiment import ExperimentResult, NameResult, score_resolution
 from repro.eval.persistence import name_result_from_dict, name_result_to_dict
 from repro.obs import counter, get_logger, span
@@ -222,6 +223,10 @@ def run_resilient(
                                 supervised=variant.supervised,
                             )
                             scored = score_resolution(resolution, truth)
+                        except (DeadlineExceeded, KeyboardInterrupt):
+                            # Control flow, not a name failure: must not
+                            # bump failure counters on its way out.
+                            raise
                         except Exception:
                             _NAMES_FAILED.inc()
                             raise

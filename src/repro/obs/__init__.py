@@ -50,6 +50,7 @@ from repro.obs.metrics import (
     get_metrics,
     histogram,
 )
+from repro.obs.names import REGISTERED_METRICS
 from repro.obs.trace import (
     NOOP_SPAN,
     Span,
@@ -69,6 +70,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NOOP_SPAN",
+    "REGISTERED_METRICS",
     "Span",
     "Tracer",
     "counter",

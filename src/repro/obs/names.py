@@ -1,0 +1,77 @@
+"""The canonical registry of metric names the pipeline emits.
+
+Every counter/gauge/histogram name passed to
+:func:`repro.obs.counter` / :func:`~repro.obs.gauge` /
+:func:`~repro.obs.histogram` must appear here, and every entry here must
+still be emitted somewhere — both directions are enforced statically by
+the ``metrics/*`` rules of :mod:`repro.analysis` (run ``repro lint``).
+This is what keeps dashboards, ``docs/observability.md``, and the code
+telling the same story: a typo'd name at an instrumentation site fails
+lint instead of silently creating a parallel instrument that no export
+ever picks up.
+
+Keys are the dot-separated metric names; values are the instrument kind
+(``"counter"`` | ``"gauge"`` | ``"histogram"``). Keep the groups sorted
+by subsystem prefix.
+"""
+
+from __future__ import annotations
+
+__all__ = ["REGISTERED_METRICS"]
+
+REGISTERED_METRICS: dict[str, str] = {
+    # checkpointing (repro.resilience.checkpoint)
+    "checkpoint.items_resumed": "counter",
+    "checkpoint.writes": "counter",
+    # clustering (repro.cluster.agglomerative)
+    "cluster.heap.compactions": "counter",
+    "cluster.heap.size": "gauge",
+    "cluster.heap.stale_dropped": "counter",
+    "cluster.merges": "counter",
+    "cluster.runs": "counter",
+    # CSV ingestion (repro.reldb.csvio)
+    "csvio.rows_skipped": "counter",
+    # DBLP XML ingestion (repro.data.dblp_xml)
+    "dblp.authors_dropped": "counter",
+    "dblp.records_parsed": "counter",
+    "dblp.records_skipped": "counter",
+    # evaluation loop (repro.eval.runner)
+    "experiment.names_failed": "counter",
+    "experiment.names_scored": "counter",
+    # vectorized kernels (repro.core.features)
+    "features.vectorized.pairs": "counter",
+    # pipeline facade (repro.core.distinct)
+    "names.resolved": "counter",
+    "pairs.scored": "counter",
+    # path enumeration (repro.paths.enumerate)
+    "paths.enumerated": "counter",
+    # fanout memo (repro.perf.memo)
+    "perf.fanout.evictions": "counter",
+    "perf.fanout.hits": "counter",
+    "perf.fanout.misses": "counter",
+    "perf.fanout.size": "gauge",
+    # process-pool map (repro.perf.parallel)
+    "perf.parallel.tasks_failed": "counter",
+    "perf.parallel.tasks_interrupted": "counter",
+    "perf.parallel.tasks_ok": "counter",
+    # profile cache (repro.paths.profiles)
+    "profiles.cache_hits": "counter",
+    "profiles.cache_misses": "counter",
+    # propagation engine (repro.paths.propagation)
+    "propagation.runs": "counter",
+    "propagation.steps": "counter",
+    "propagation.tuples_visited": "counter",
+    # error policies and retries (repro.resilience.policy / .retry)
+    "resilience.errors_collected": "counter",
+    "resilience.items_skipped": "counter",
+    "resilience.retry_attempts": "counter",
+    # similarity kernels (repro.similarity)
+    "similarity.resemblance.calls": "counter",
+    "similarity.walk.calls": "counter",
+    # SVM training (repro.ml.svm)
+    "svm.convergence_retries": "counter",
+    "svm.fits": "counter",
+    "svm.iterations": "counter",
+    # training-set construction (repro.ml.trainingset)
+    "trainingset.pairs_built": "counter",
+}

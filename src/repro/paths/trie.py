@@ -58,6 +58,7 @@ def propagate_trie(
         return {}
     starts = {p.start_relation for p in paths}
     if len(starts) > 1:
+        # lint: allow[determinism/unkeyed-sort] relation names are plain str
         raise ValueError(f"paths start at different relations: {sorted(starts)}")
 
     root = _build_trie(paths)

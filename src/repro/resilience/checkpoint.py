@@ -101,11 +101,16 @@ class CheckpointStore:
             )
         saved = payload.get("signature")
         if saved != self.signature:
-            mismatched = sorted(
+            saved_sig = saved if isinstance(saved, dict) else {}
+            # Deterministic key order: the mismatch report must read the
+            # same on every run (set iteration order varies per process).
+            # lint: allow[determinism/unkeyed-sort] signature keys are str
+            all_keys = sorted({*saved_sig, *self.signature})
+            mismatched = [
                 k
-                for k in set(saved or {}) | set(self.signature)
-                if (saved or {}).get(k) != self.signature.get(k)
-            )
+                for k in all_keys
+                if saved_sig.get(k) != self.signature.get(k)
+            ]
             raise CheckpointError(
                 "checkpoint was written by a run with different parameters "
                 f"(mismatched: {', '.join(mismatched) or 'all'})",

@@ -1,0 +1,3 @@
+"""Fixture CLI: only the --min-sim flag exists."""
+
+FLAGS = ("--min-sim",)

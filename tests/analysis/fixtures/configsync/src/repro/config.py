@@ -1,0 +1,9 @@
+"""Fixture config: ``mystery_knob`` is undocumented and unreachable."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class DistinctConfig:
+    min_sim: float = 0.006
+    mystery_knob: int = 3

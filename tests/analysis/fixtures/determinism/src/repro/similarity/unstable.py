@@ -1,0 +1,15 @@
+"""Fixture: every determinism hazard in one similarity-layer module."""
+
+
+def first_key(mapping):
+    for key in set(mapping):
+        return key
+    return None
+
+
+def canonical(values):
+    return sorted(values)
+
+
+def keys_list(mapping):
+    return [k for k in mapping.keys()]

@@ -1,0 +1,17 @@
+"""Fixture: a broad handler and a swallowed interrupt in the core layer."""
+
+from repro.errors import DeadlineExceeded
+
+
+def careless(fn):
+    try:
+        return fn()
+    except Exception:
+        return None
+
+
+def absorbing(fn):
+    try:
+        return fn()
+    except DeadlineExceeded:
+        return None

@@ -1,0 +1,7 @@
+"""Fixture: cross-cutting obs may import only errors, never perf."""
+
+from repro.perf import ordered_process_map
+
+
+def fan_out(task, items):
+    return list(ordered_process_map(task, None, items, workers=2))

@@ -1,0 +1,7 @@
+"""Fixture: an upward import from paths (rank 20) into cluster (rank 40)."""
+
+from repro.cluster.linkage import SingleLinkMeasure
+
+
+def make_measure(matrix):
+    return SingleLinkMeasure(matrix)

@@ -1,0 +1,6 @@
+"""Fixture instrumentation: one registered name, one typo."""
+
+from repro.obs import counter
+
+_ITEMS = counter("pipeline.items")
+_TYPO = counter("pipeline.itmes")

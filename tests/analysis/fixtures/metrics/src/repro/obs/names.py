@@ -1,0 +1,6 @@
+"""Fixture metric registry: one live entry, one dead one."""
+
+REGISTERED_METRICS: dict[str, str] = {
+    "pipeline.items": "counter",
+    "pipeline.ghost": "counter",
+}

@@ -1,0 +1,7 @@
+"""Fixture: a lambda task handed to the process pool."""
+
+from repro.perf import ordered_process_map
+
+
+def run(items):
+    return list(ordered_process_map(lambda payload, item: item, None, items))

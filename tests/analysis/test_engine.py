@@ -1,0 +1,158 @@
+"""Engine semantics: suppressions, allowlists, overrides, failure modes."""
+
+import pytest
+
+from repro.analysis import (
+    AllowEntry,
+    LintConfig,
+    Severity,
+    load_config,
+    run_lint,
+)
+
+OFFENDING = (
+    '"""Module under test."""\n'
+    "\n"
+    "\n"
+    "def first(mapping):\n"
+    "    for key in set(mapping):\n"
+    "        return key\n"
+    "    return None\n"
+)
+
+RULE = "determinism/set-iteration"
+
+
+def write_project(root, files):
+    for rel, content in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(content)
+    return root
+
+
+def test_finding_reported(tmp_path):
+    write_project(tmp_path, {"src/repro/similarity/mod.py": OFFENDING})
+    result = run_lint(tmp_path, rules=[RULE])
+    assert [(f.rule, f.line) for f in result.findings] == [(RULE, 5)]
+    assert result.n_errors == 1
+    assert not result.ok
+
+
+def test_out_of_scope_package_is_clean(tmp_path):
+    # eval is not in the determinism scope; the same code passes there.
+    write_project(tmp_path, {"src/repro/eval/mod.py": OFFENDING})
+    result = run_lint(tmp_path, rules=[RULE])
+    assert result.findings == []
+    assert result.ok
+
+
+def test_inline_suppression_same_line(tmp_path):
+    code = OFFENDING.replace(
+        "for key in set(mapping):",
+        "for key in set(mapping):  # lint: allow[determinism/set-iteration] ok",
+    )
+    write_project(tmp_path, {"src/repro/similarity/mod.py": code})
+    result = run_lint(tmp_path, rules=[RULE])
+    assert result.findings == []
+    assert result.n_suppressed == 1
+
+
+def test_inline_suppression_line_above(tmp_path):
+    code = OFFENDING.replace(
+        "    for key in set(mapping):",
+        "    # lint: allow[determinism/set-iteration] ok\n"
+        "    for key in set(mapping):",
+    )
+    write_project(tmp_path, {"src/repro/similarity/mod.py": code})
+    result = run_lint(tmp_path, rules=[RULE])
+    assert result.findings == []
+    assert result.n_suppressed == 1
+
+
+def test_suppression_for_other_rule_does_not_apply(tmp_path):
+    code = OFFENDING.replace(
+        "for key in set(mapping):",
+        "for key in set(mapping):  # lint: allow[determinism/unkeyed-sort] no",
+    )
+    write_project(tmp_path, {"src/repro/similarity/mod.py": code})
+    result = run_lint(tmp_path, rules=[RULE])
+    assert len(result.findings) == 1
+    assert result.n_suppressed == 0
+
+
+def test_allowlist_with_glob(tmp_path):
+    write_project(tmp_path, {"src/repro/similarity/mod.py": OFFENDING})
+    config = LintConfig(
+        allowlist=(
+            AllowEntry(
+                rule=RULE,
+                path="src/repro/similarity/*.py",
+                reason="fixture exemption",
+            ),
+        )
+    )
+    result = run_lint(tmp_path, config=config, rules=[RULE])
+    assert result.findings == []
+    assert result.n_suppressed == 1
+
+
+def test_severity_override_downgrades(tmp_path):
+    write_project(tmp_path, {"src/repro/similarity/mod.py": OFFENDING})
+    config = LintConfig(severity_overrides={RULE: Severity.WARNING})
+    result = run_lint(tmp_path, config=config, rules=[RULE])
+    assert result.findings[0].severity is Severity.WARNING
+    assert result.n_errors == 0
+    assert result.ok
+
+
+def test_unknown_rule_id_raises(tmp_path):
+    write_project(tmp_path, {"src/repro/similarity/mod.py": OFFENDING})
+    with pytest.raises(ValueError, match="unknown rule"):
+        run_lint(tmp_path, rules=["no/such-rule"])
+
+
+def test_syntax_error_becomes_finding(tmp_path):
+    write_project(tmp_path, {"src/repro/similarity/broken.py": "def (:\n"})
+    result = run_lint(tmp_path, rules=[RULE])
+    assert [f.rule for f in result.findings] == ["parse/syntax-error"]
+    assert not result.ok
+
+
+def test_load_config_defaults_without_pyproject(tmp_path):
+    config = load_config(tmp_path)
+    assert config.severity_overrides == {}
+    assert config.allowlist == ()
+
+
+def test_load_config_parses_pyproject(tmp_path):
+    (tmp_path / "pyproject.toml").write_text(
+        "[tool.repro-lint]\n"
+        'severity = { "determinism/unkeyed-sort" = "info" }\n'
+        "\n"
+        "[[tool.repro-lint.allow]]\n"
+        'rule = "layering/import-dag"\n'
+        'path = "src/repro/ml/calibration.py"\n'
+        'reason = "compat shim"\n'
+    )
+    config = load_config(tmp_path)
+    assert config.severity_overrides == {
+        "determinism/unkeyed-sort": Severity.INFO
+    }
+    assert config.allowlist == (
+        AllowEntry(
+            rule="layering/import-dag",
+            path="src/repro/ml/calibration.py",
+            reason="compat shim",
+        ),
+    )
+
+
+def test_load_config_rejects_unjustified_allow(tmp_path):
+    (tmp_path / "pyproject.toml").write_text(
+        "[[tool.repro-lint.allow]]\n"
+        'rule = "layering/import-dag"\n'
+        'path = "src/repro/ml/calibration.py"\n'
+    )
+    with pytest.raises(ValueError, match="reason"):
+        load_config(tmp_path)
