@@ -1,11 +1,11 @@
-"""Perf-kernel benchmark: scalar vs vectorized vs parallel.
+"""Perf-kernel benchmark: scalar vs vectorized vs batched vs parallel.
 
 Standalone script (not a pytest bench — CI runs it directly)::
 
     PYTHONPATH=src python benchmarks/bench_perf_kernels.py [--tiny] [--out PATH]
 
-It times the three execution strategies this repo offers for the
-similarity stage on a synthetic ambiguous name:
+It times the execution strategies this repo offers for the propagation
+and similarity stages on a synthetic ambiguous name:
 
 1. **scalar** — the reference per-pair loops
    (:func:`repro.similarity.resemblance.set_resemblance`,
@@ -13,19 +13,30 @@ similarity stage on a synthetic ambiguous name:
 2. **vectorized** — the chunked sparse-matrix kernels of
    :mod:`repro.similarity.vectorized`, both the pair-list and the
    all-pairs-matrix forms;
-3. **parallel** — the per-name process-pool map of
-   :mod:`repro.perf.parallel` over several such names.
+3. **batched propagation** — :mod:`repro.paths.batch` SpMM propagation
+   against the scalar :class:`~repro.paths.profiles.ProfileBuilder`
+   walk, on a community-structured synthetic DBLP database;
+4. **pair pruning** — :mod:`repro.perf.blocking` zero-overlap pruning
+   against full evaluation, including the clustering-unchanged check;
+5. **parallel** — the per-name map of :mod:`repro.perf.parallel`, with
+   dispatch mode chosen by :func:`repro.perf.should_inline`.
 
 Results land in ``BENCH_perf.json`` (machine-readable: wall times,
-speedup ratios, max kernel deviations). The script exits non-zero if the
-vectorized kernels disagree with the scalar reference beyond ``ATOL`` —
-that equivalence gate is what the CI bench-smoke job enforces; speedups
-are reported for trend tracking, not gated in CI (they are
+speedup ratios, max kernel deviations), and a one-line summary of each
+run is appended to ``BENCH_history.jsonl`` for trend tracking across
+commits. The script exits non-zero if any backend disagrees with its
+scalar reference beyond ``ATOL``, if pruning changes any feature value
+or the clustering, or if the parallel map's output differs from serial —
+those equivalence gates are what the CI bench-smoke job enforces;
+speedups are reported for trend tracking, not gated in CI (they are
 hardware-dependent).
 
-Profiles are synthesized with a seeded RNG to the paper's scale (§5: the
-largest evaluated name has 151 references), so the bench needs no world
-generation or SVM fit and runs in seconds.
+Kernel-stage profiles are synthesized with a seeded RNG to the paper's
+scale (§5: the largest evaluated name has 151 references); the
+propagation stages run on a generated DBLP-style database whose papers
+split into disjoint coauthor/conference communities (the structure that
+makes zero-overlap pruning bite), so the bench needs no world generation
+or SVM fit and runs in seconds.
 """
 
 from __future__ import annotations
@@ -34,16 +45,24 @@ import argparse
 import json
 import sys
 import time
+from datetime import datetime, timezone
 from pathlib import Path
 
 import numpy as np
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.cluster.agglomerative import AgglomerativeClusterer
+from repro.cluster.composite import CompositeMeasure
+from repro.core.features import compute_pair_features, pair_matrix
+from repro.data.dblp_schema import new_dblp_database
+from repro.obs import get_metrics
 from repro.paths.joinpath import JoinPath
-from repro.paths.profiles import NeighborProfile
-from repro.perf import ordered_process_map
+from repro.paths.profiles import NeighborProfile, ProfileBuilder
+from repro.paths.propagation import make_exclusions
+from repro.perf import ordered_process_map, should_inline
 from repro.reldb.joins import JoinStep
+from repro.similarity.combine import uniform_weights
 from repro.similarity.randomwalk import walk_probability
 from repro.similarity.resemblance import set_resemblance
 from repro.similarity.vectorized import (
@@ -58,11 +77,95 @@ from repro.similarity.vectorized import (
 ATOL = 1e-9
 
 DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+DEFAULT_HISTORY = Path(__file__).resolve().parent.parent / "BENCH_history.jsonl"
 
 PATHS = [
     JoinPath([JoinStep("Publish", f"k{i}", f"R{i}", f"k{i}", "n1")])
     for i in range(4)
 ]
+
+# Join steps of the DBLP schema, for the propagation-stage paths.
+PUB_PAP = JoinStep("Publish", "paper_key", "Publications", "paper_key", "n1")
+PUB_AUTH = JoinStep("Publish", "author_key", "Authors", "author_key", "n1")
+PAP_PROC = JoinStep("Publications", "proc_key", "Proceedings", "proc_key", "n1")
+PROC_CONF = JoinStep("Proceedings", "conf_key", "Conferences", "conf_key", "n1")
+
+#: The four propagation-bench paths: coauthors, conference, proceedings
+#: siblings, and coauthors' papers (a mix of short and high-fanout walks).
+PROP_PATHS = [
+    JoinPath([PUB_PAP, PUB_PAP.reverse(), PUB_AUTH]),
+    JoinPath([PUB_PAP, PAP_PROC, PROC_CONF]),
+    JoinPath([PUB_PAP, PAP_PROC, PAP_PROC.reverse()]),
+    JoinPath(
+        [PUB_PAP, PUB_PAP.reverse(), PUB_AUTH, PUB_AUTH.reverse(), PUB_PAP]
+    ),
+]
+
+
+def synth_community_db(n_refs: int, n_communities: int, seed: int):
+    """A DBLP-style database whose references split into disjoint communities.
+
+    One ambiguous author (row 0) appears on ``n_refs`` papers; papers are
+    assigned round-robin to ``n_communities`` communities with disjoint
+    coauthor pools and disjoint conferences, so references of different
+    communities share no neighbor tuples on any of ``PROP_PATHS`` — the
+    structure zero-overlap pruning exploits. Returns the database and the
+    Publish row ids of the ambiguous references.
+    """
+    rng = np.random.default_rng(seed)
+    coauthors_per_comm = 40
+    db = new_dblp_database()
+
+    authors = [(0, "J Smith")]
+    pools = []
+    next_key = 1
+    for c in range(n_communities):
+        pool = list(range(next_key, next_key + coauthors_per_comm))
+        authors.extend((k, f"c{c} author {k}") for k in pool)
+        pools.append(pool)
+        next_key += coauthors_per_comm
+
+    confs = [(c, f"CONF{c}", f"publisher {c}") for c in range(n_communities)]
+    procs = []
+    proc_ids = [[] for _ in range(n_communities)]
+    pid = 0
+    for c in range(n_communities):
+        for year in range(4):
+            procs.append((pid, c, 2000 + year, f"city {pid}"))
+            proc_ids[c].append(pid)
+            pid += 1
+
+    publications = []
+    publish = []
+    ref_rows = []
+    paper_key = 0
+    for r in range(n_refs):
+        c = r % n_communities
+        proc = int(rng.choice(proc_ids[c]))
+        publications.append((paper_key, f"paper {paper_key}", proc))
+        ref_rows.append(len(publish))
+        publish.append((paper_key, 0))
+        for co in rng.choice(pools[c], size=5, replace=False):
+            publish.append((paper_key, int(co)))
+        paper_key += 1
+    # Coauthor-only filler papers: give the coauthors other publications
+    # so the longer walks have realistic fanout (each coauthor circle is
+    # shared by many references — the redundancy batched SpMM dedups).
+    for c in range(n_communities):
+        for _ in range(2 * (n_refs // n_communities)):
+            proc = int(rng.choice(proc_ids[c]))
+            publications.append((paper_key, f"paper {paper_key}", proc))
+            for co in rng.choice(pools[c], size=5, replace=False):
+                publish.append((paper_key, int(co)))
+            paper_key += 1
+
+    db.insert_many("Authors", authors)
+    db.insert_many("Conferences", confs)
+    db.insert_many("Proceedings", procs)
+    db.insert_many("Publications", publications)
+    db.insert_many("Publish", publish)
+    db.check_integrity()
+    return db, ref_rows
 
 
 def synth_profiles(
@@ -153,6 +256,112 @@ def _name_task(payload, name_idx):
     return float(resem.sum() + walk.sum())
 
 
+# -- propagation + pruning stages (real database) -----------------------------
+
+
+def _fresh_builder(db) -> ProfileBuilder:
+    """A builder under the ambiguous name's exclusions, cold caches."""
+    return ProfileBuilder(db, PROP_PATHS, make_exclusions(Authors={0}))
+
+
+def bench_propagation(db, ref_rows, repeats: int) -> dict:
+    """Scalar ``warm`` walk vs batched SpMM over the same references.
+
+    Fresh builders per timing run so neither side benefits from a warm
+    profile cache; equivalence compares every per-reference profile of
+    every path (values *and* supports).
+    """
+    scalar_s, builder = timed(
+        lambda: (lambda b: (b.warm(ref_rows), b)[1])(_fresh_builder(db)), repeats
+    )
+    batched_s, matrices = timed(
+        lambda: _fresh_builder(db).matrices_for(ref_rows), repeats
+    )
+
+    max_diff = 0.0
+    supports_identical = True
+    for path in PROP_PATHS:
+        batched = matrices[path]
+        for k, row in enumerate(ref_rows):
+            scalar = builder.profile(path, row).weights
+            got = batched.weights_for(k)
+            if set(scalar) != set(got):
+                supports_identical = False
+            for t in set(scalar) | set(got):
+                sf, sb = scalar.get(t, (0.0, 0.0))
+                gf, gb = got.get(t, (0.0, 0.0))
+                max_diff = max(max_diff, abs(sf - gf), abs(sb - gb))
+    return {
+        "scalar_seconds": scalar_s,
+        "batched_seconds": batched_s,
+        "speedup": scalar_s / batched_s,
+        "max_abs_diff": max_diff,
+        "supports_identical": supports_identical,
+    }
+
+
+def _counter(name: str) -> float:
+    return float(get_metrics().snapshot()["counters"].get(name, 0.0))
+
+
+def bench_pair_pruning(
+    db, ref_rows, backend: str, propagation: str, repeats: int
+) -> dict:
+    """Full evaluation vs zero-overlap pruning through the pipeline route.
+
+    Pruned pairs are *exact* zeros; a full evaluation of the same pair
+    carries the kernel's reassociation noise (~1e-16) around that zero,
+    so features are compared at ``ATOL`` — and the downstream
+    agglomerative clustering must produce identical clusters.
+    """
+    pairs = [
+        (ref_rows[i], ref_rows[j])
+        for i in range(len(ref_rows))
+        for j in range(i + 1, len(ref_rows))
+    ]
+    builder = _fresh_builder(db)
+    if propagation == "scalar":
+        builder.warm(ref_rows)  # compare the similarity stage, not the cache
+    run_full = lambda: compute_pair_features(
+        builder, pairs, backend=backend, propagation=propagation, prune=False
+    )
+    run_pruned = lambda: compute_pair_features(
+        builder, pairs, backend=backend, propagation=propagation, prune=True
+    )
+    full_s, full = timed(run_full, repeats)
+    pruned_before = _counter("blocking.pairs_pruned")
+    pruned_s, pruned = timed(run_pruned, repeats)
+    pruned_count = int(
+        (_counter("blocking.pairs_pruned") - pruned_before) / repeats
+    )
+
+    features_max_diff = max(
+        float(np.abs(full.resemblance - pruned.resemblance).max()),
+        float(np.abs(full.walk - pruned.walk).max()),
+    )
+
+    def clusters_of(features):
+        uniform = uniform_weights(len(PROP_PATHS))
+        resem_values, walk_values = features.combined(uniform, uniform)
+        resem = pair_matrix(ref_rows, features.pairs, resem_values)
+        walk = pair_matrix(ref_rows, features.pairs, walk_values)
+        result = AgglomerativeClusterer(min_sim=0.005).cluster(
+            CompositeMeasure(resem, walk)
+        )
+        return sorted(sorted(c) for c in result.clusters)
+
+    clusterings_identical = clusters_of(full) == clusters_of(pruned)
+    return {
+        "full_seconds": full_s,
+        "pruned_seconds": pruned_s,
+        "speedup": full_s / pruned_s,
+        "pairs_total": len(pairs),
+        "pairs_pruned": pruned_count,
+        "max_abs_diff": features_max_diff,
+        "clusterings_identical": clusterings_identical,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -163,6 +372,30 @@ def main(argv=None) -> int:
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
     parser.add_argument("--workers", type=int, default=2)
     parser.add_argument("--seed", type=int, default=1007)
+    parser.add_argument(
+        "--backend",
+        choices=("scalar", "vectorized"),
+        default="vectorized",
+        help="similarity backend for the pair-pruning stage",
+    )
+    parser.add_argument(
+        "--propagation",
+        choices=("scalar", "batched"),
+        default="batched",
+        help="propagation backend for the pair-pruning stage",
+    )
+    parser.add_argument(
+        "--timestamp",
+        default=None,
+        help="timestamp recorded in the history line (default: now, UTC); "
+             "CI passes the commit timestamp for stable trend axes",
+    )
+    parser.add_argument(
+        "--history",
+        type=Path,
+        default=DEFAULT_HISTORY,
+        help="JSONL file to append this run's summary line to",
+    )
     args = parser.parse_args(argv)
 
     if args.tiny:
@@ -170,6 +403,7 @@ def main(argv=None) -> int:
     else:
         # The paper's largest evaluated name has 151 references (§5).
         n_refs, n_columns, support, n_names, repeats = 150, 600, 50, 6, 3
+    n_communities = 3
 
     rng = np.random.default_rng(args.seed)
     profiles_by_path = [
@@ -201,6 +435,13 @@ def main(argv=None) -> int:
             float(np.abs(ws - wv).max()),
         )
 
+    # -- batched propagation + zero-overlap pruning (real database) ----------
+    prop_db, ref_rows = synth_community_db(n_refs, n_communities, args.seed + 2)
+    propagation = bench_propagation(prop_db, ref_rows, repeats)
+    pruning = bench_pair_pruning(
+        prop_db, ref_rows, args.backend, args.propagation, repeats
+    )
+
     # -- parallel per-name map ------------------------------------------------
     name_rng = np.random.default_rng(args.seed + 1)
     profile_sets = [
@@ -211,17 +452,34 @@ def main(argv=None) -> int:
     serial_p, serial_values = timed(
         lambda: [_name_task(payload, i) for i in range(n_names)], 1
     )
+    task_cost = serial_p / n_names
+    inline = should_inline(n_names, args.workers, task_cost_hint=task_cost)
+    chunk_size = 1 if inline else max(1, n_names // (args.workers * 2))
     t0 = time.perf_counter()
     outcomes = list(
         ordered_process_map(
-            _name_task, payload, list(range(n_names)), workers=args.workers
+            _name_task,
+            payload,
+            list(range(n_names)),
+            workers=args.workers,
+            chunk_size=chunk_size,
+            inline=inline,
         )
     )
     parallel_p = time.perf_counter() - t0
     parallel_values = [o.value for o in outcomes]
     parallel_identical = parallel_values == serial_values
 
-    equivalent = max(diff_resem, diff_walk, diff_matrix) <= ATOL
+    equivalent = (
+        max(
+            diff_resem,
+            diff_walk,
+            diff_matrix,
+            propagation["max_abs_diff"],
+            pruning["max_abs_diff"],
+        )
+        <= ATOL
+    )
     report = {
         "generated_by": "benchmarks/bench_perf_kernels.py",
         "tiny": args.tiny,
@@ -232,9 +490,12 @@ def main(argv=None) -> int:
             "n_paths": len(PATHS),
             "n_pairs": len(pairs),
             "n_names_parallel": n_names,
+            "n_communities": n_communities,
             "workers": args.workers,
             "seed": args.seed,
             "repeats": repeats,
+            "backend": args.backend,
+            "propagation": args.propagation,
         },
         "pair_kernels": {
             "scalar_seconds": scalar_s,
@@ -249,15 +510,41 @@ def main(argv=None) -> int:
             "speedup": scalar_m / vector_m,
             "max_abs_diff": diff_matrix,
         },
+        "propagation": propagation,
+        "pair_pruning": pruning,
         "parallel_map": {
             "serial_seconds": serial_p,
             "parallel_seconds": parallel_p,
             "speedup": serial_p / parallel_p,
+            "mode": "inline" if inline else "pool",
+            "chunk_size": chunk_size,
+            "task_cost_seconds": task_cost,
             "results_identical": parallel_identical,
         },
         "equivalence": {"atol": ATOL, "equivalent": equivalent},
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    timestamp = args.timestamp or datetime.now(timezone.utc).isoformat(
+        timespec="seconds"
+    )
+    history_line = {
+        "timestamp": timestamp,
+        "tiny": args.tiny,
+        "config": report["config"],
+        "speedups": {
+            "pair_kernels": report["pair_kernels"]["speedup"],
+            "all_pairs_matrices": report["all_pairs_matrices"]["speedup"],
+            "propagation": propagation["speedup"],
+            "pair_pruning": pruning["speedup"],
+            "parallel_map": report["parallel_map"]["speedup"],
+        },
+        "parallel_mode": report["parallel_map"]["mode"],
+        "pairs_pruned": pruning["pairs_pruned"],
+        "equivalent": equivalent,
+    }
+    with args.history.open("a") as fh:
+        fh.write(json.dumps(history_line) + "\n")
 
     print(f"perf kernels ({'tiny' if args.tiny else 'full'} corpus) -> {args.out}")
     print(
@@ -269,16 +556,39 @@ def main(argv=None) -> int:
         f"({report['all_pairs_matrices']['speedup']:.1f}x)"
     )
     print(
+        f"  propagation  : scalar {propagation['scalar_seconds']:.3f}s  "
+        f"batched {propagation['batched_seconds']:.3f}s  "
+        f"({propagation['speedup']:.1f}x, max diff "
+        f"{propagation['max_abs_diff']:.2e})"
+    )
+    print(
+        f"  pair pruning : full {pruning['full_seconds']:.3f}s  pruned "
+        f"{pruning['pruned_seconds']:.3f}s  ({pruning['speedup']:.2f}x, "
+        f"{pruning['pairs_pruned']}/{pruning['pairs_total']} pairs pruned)"
+    )
+    print(
         f"  parallel map : serial {serial_p:.3f}s  workers={args.workers} "
         f"{parallel_p:.3f}s  ({report['parallel_map']['speedup']:.2f}x, "
+        f"mode={report['parallel_map']['mode']}, "
         f"identical={parallel_identical})"
     )
     print(
-        f"  equivalence  : max diff {max(diff_resem, diff_walk, diff_matrix):.2e} "
+        f"  equivalence  : max diff "
+        f"{max(diff_resem, diff_walk, diff_matrix, propagation['max_abs_diff']):.2e} "
         f"(atol {ATOL:g}) -> {'OK' if equivalent else 'FAIL'}"
     )
+    print(f"  history      : {timestamp} >> {args.history}")
     if not equivalent:
-        print("FAIL: vectorized kernels deviate from the scalar reference", file=sys.stderr)
+        print(
+            "FAIL: a backend deviates from the scalar reference beyond ATOL",
+            file=sys.stderr,
+        )
+        return 1
+    if not propagation["supports_identical"]:
+        print("FAIL: batched propagation support differs from scalar", file=sys.stderr)
+        return 1
+    if not pruning["clusterings_identical"]:
+        print("FAIL: pair pruning changed the clustering", file=sys.stderr)
         return 1
     if not parallel_identical:
         print("FAIL: parallel map results differ from serial", file=sys.stderr)

@@ -80,6 +80,8 @@ DEFAULT_CONFIG_FLAG_MAP: dict[str, str] = {
     "svm_C": "--svm-c",
     "min_sim": "--min-sim",
     "similarity_backend": "--backend",
+    "propagation_backend": "--propagation",
+    "pair_pruning": "--pair-pruning",
 }
 
 #: DistinctConfig fields deliberately not exposed as CLI flags; each must

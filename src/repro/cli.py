@@ -129,6 +129,21 @@ def _add_perf_options(p: argparse.ArgumentParser, workers: bool = False) -> None
         help="similarity kernel backend (default: the config's, scalar); "
              "vectorized computes all pairs with chunked matrix kernels",
     )
+    group.add_argument(
+        "--propagation",
+        choices=("scalar", "batched"),
+        default=None,
+        help="propagation backend (default: the config's, scalar); batched "
+             "propagates all references of a name at once as sparse matrix "
+             "products (implies the matrix similarity kernels)",
+    )
+    group.add_argument(
+        "--pair-pruning",
+        action="store_true",
+        default=None,
+        help="skip similarity evaluation for pairs with disjoint neighbor "
+             "supports on every path (lossless; clustering is unchanged)",
+    )
     if workers:
         group.add_argument(
             "--workers",
@@ -327,6 +342,10 @@ def cmd_fit(args) -> int:
     )
     if args.backend:
         config = config.with_options(similarity_backend=args.backend)
+    if args.propagation:
+        config = config.with_options(propagation_backend=args.propagation)
+    if args.pair_pruning:
+        config = config.with_options(pair_pruning=True)
     distinct = Distinct(config).fit(db)
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
@@ -360,6 +379,8 @@ def _load_pipeline(
     model_dir: str,
     min_sim: float | None,
     backend: str | None = None,
+    propagation: str | None = None,
+    pair_pruning: bool | None = None,
 ) -> Distinct:
     db = _open_database(db_dir)
     models = Path(model_dir)
@@ -368,6 +389,10 @@ def _load_pipeline(
         config = config.with_options(min_sim=min_sim)
     if backend:
         config = config.with_options(similarity_backend=backend)
+    if propagation:
+        config = config.with_options(propagation_backend=propagation)
+    if pair_pruning:
+        config = config.with_options(pair_pruning=True)
     return Distinct.from_models(
         db,
         PathWeightModel.load(models / "resem_model.json"),
@@ -377,7 +402,10 @@ def _load_pipeline(
 
 
 def cmd_resolve(args) -> int:
-    distinct = _load_pipeline(args.db, args.models, args.min_sim, args.backend)
+    distinct = _load_pipeline(
+        args.db, args.models, args.min_sim, args.backend,
+        args.propagation, args.pair_pruning,
+    )
     resolution = distinct.resolve(args.name)
     print(
         f"{args.name!r}: {len(resolution.rows)} references -> "
@@ -465,7 +493,10 @@ def cmd_calibrate(args) -> int:
         calibration_checkpoint,
     )
 
-    distinct = _load_pipeline(args.db, args.models, None, args.backend)
+    distinct = _load_pipeline(
+        args.db, args.models, None, args.backend,
+        args.propagation, args.pair_pruning,
+    )
     kwargs, collector = _resilience_kwargs(
         args,
         lambda path: calibration_checkpoint(
@@ -555,7 +586,10 @@ def _ambiguous_names(db_dir: str, names_arg: str | None) -> list[str]:
 
 
 def cmd_experiment(args) -> int:
-    distinct = _load_pipeline(args.db, args.models, args.min_sim, args.backend)
+    distinct = _load_pipeline(
+        args.db, args.models, args.min_sim, args.backend,
+        args.propagation, args.pair_pruning,
+    )
     truth = load_ground_truth(args.truth)
     names = _ambiguous_names(args.db, args.names)
 

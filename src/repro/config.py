@@ -117,6 +117,18 @@ class DistinctConfig:
     # LRU bound on the per-name join-fanout memo used by propagation
     # (entries; 0 disables the memo).
     propagation_memo_size: int = 65536
+    # ``propagation_backend`` selects how neighbor profiles are computed:
+    # ``"scalar"`` walks one reference at a time (the reference
+    # implementation); ``"batched"`` propagates all references of a name
+    # at once as sparse matrix products (:mod:`repro.paths.batch`), which
+    # implies the matrix similarity kernels regardless of
+    # ``similarity_backend``. Equal to within floating-point
+    # reassociation tolerance (property-tested at 1e-12).
+    propagation_backend: str = "scalar"
+    # Skip similarity evaluation for pairs whose neighbor supports are
+    # disjoint on every path (:mod:`repro.perf.blocking`). Lossless: both
+    # measures are exactly zero there, so clustering output is unchanged.
+    pair_pruning: bool = False
 
     # determinism
     seed: int = 0

@@ -220,6 +220,8 @@ class Distinct:
             pairs,
             backend=self.config.similarity_backend,
             pair_chunk=self.config.similarity_pair_chunk,
+            propagation=self.config.propagation_backend,
+            prune=self.config.pair_pruning,
         )
 
     def _train_measure(
@@ -326,21 +328,29 @@ class Distinct:
                 exclusions_for_name(self.db, name, self.config),
                 memo_size=self.config.propagation_memo_size,
             )
-            with span("resolve.profiles", name=name, n_refs=len(refs.rows)) as sp:
-                builder.warm(refs.rows)
-                sp.annotate(n_profiles=builder.cache_size)
+            if self.config.propagation_backend == "scalar":
+                # Batched propagation computes all references at once inside
+                # compute_pair_features; warming the per-reference cache
+                # would propagate everything a second time.
+                with span("resolve.profiles", name=name, n_refs=len(refs.rows)) as sp:
+                    builder.warm(refs.rows)
+                    sp.annotate(n_profiles=builder.cache_size)
             pairs = all_pairs(refs.rows)
             with span(
                 "resolve.similarity",
                 name=name,
                 n_pairs=len(pairs),
                 backend=self.config.similarity_backend,
+                propagation=self.config.propagation_backend,
+                prune=self.config.pair_pruning,
             ):
                 features = compute_pair_features(
                     builder,
                     pairs,
                     backend=self.config.similarity_backend,
                     pair_chunk=self.config.similarity_pair_chunk,
+                    propagation=self.config.propagation_backend,
+                    prune=self.config.pair_pruning,
                 )
             _PAIRS_SCORED.inc(len(pairs))
             prep_span.annotate(n_refs=len(refs.rows), n_pairs=len(pairs))
@@ -446,3 +456,21 @@ class _RoutedProfiles:
 
     def profiles_for(self, row: int):
         return self.route[row].profiles_for(row)
+
+    def matrices_for(self, rows: list[int]):
+        """Batched matrices across builders: one batch per builder, merged.
+
+        Each name's references propagate under that name's exclusions, so
+        the batch splits along the route; all builders share one database,
+        so the per-path matrices have identical column spaces and stack.
+        """
+        from repro.paths.batch import merge_batched
+
+        groups: dict[ProfileBuilder, list[int]] = {}
+        for row in rows:
+            groups.setdefault(self.route[row], []).append(row)
+        batched = [
+            builder.matrices_for(group_rows)
+            for builder, group_rows in groups.items()
+        ]
+        return merge_batched(list(rows), batched)

@@ -14,6 +14,20 @@ Two backends produce the same features (``DistinctConfig.similarity_backend``):
   once and evaluate the whole pair list with the chunked kernels of
   :mod:`repro.similarity.vectorized` (equal to the scalar values up to
   floating-point reassociation).
+
+Orthogonally, ``propagation`` selects how the profiles themselves are
+computed (``DistinctConfig.propagation_backend``): ``"scalar"`` walks one
+reference at a time through the builder's profile cache; ``"batched"``
+computes every reference of the batch at once as sparse matrix products
+(:mod:`repro.paths.batch`) and feeds the stacked matrices straight into
+the pair kernels — with batched propagation the similarity stage always
+runs the matrix kernels, whatever ``backend`` says, since per-pair dict
+profiles are never materialized.
+
+``prune=True`` additionally skips evaluation of pairs whose neighbor
+supports are disjoint on every path (:mod:`repro.perf.blocking`): both
+measures are *exactly* zero there, so the skipped rows are zero-filled
+and downstream clustering output is unchanged.
 """
 
 from __future__ import annotations
@@ -24,6 +38,7 @@ import numpy as np
 
 from repro.obs import counter
 from repro.paths.joinpath import JoinPath
+from repro.perf.blocking import intersecting_pair_mask
 from repro.paths.profiles import ProfileBuilder
 from repro.similarity.combine import PathWeights, normalize_feature_rows
 from repro.similarity.randomwalk import walk_probability
@@ -36,6 +51,7 @@ from repro.similarity.vectorized import (
 )
 
 BACKENDS = ("scalar", "vectorized")
+PROPAGATION_BACKENDS = ("scalar", "batched")
 
 #: Pairs evaluated through the vectorized backend (scalar pairs are
 #: tracked per call by ``similarity.resemblance.calls`` / ``.walk.calls``).
@@ -85,16 +101,31 @@ def compute_pair_features(
     pairs: list[tuple[int, int]],
     backend: str = "scalar",
     pair_chunk: int = DEFAULT_PAIR_CHUNK,
+    propagation: str = "scalar",
+    prune: bool = False,
 ) -> PairFeatures:
     """Compute both measures for every pair along every path of ``builder``.
 
-    Profiles are cached inside the builder, so the cost is one propagation
-    per (reference, path) plus the per-(pair, path) similarity kernel of
-    the chosen ``backend`` (see module docstring). ``pair_chunk`` bounds
-    the vectorized backend's per-slice working set.
+    With scalar ``propagation``, profiles are cached inside the builder,
+    so the cost is one propagation per (reference, path) plus the
+    per-(pair, path) similarity kernel of the chosen ``backend``; with
+    ``propagation="batched"`` the whole batch propagates as sparse
+    matrix products and the matrix pair kernels evaluate the list (see
+    module docstring). ``pair_chunk`` bounds the matrix kernels'
+    per-slice working set. ``prune=True`` zero-fills pairs with disjoint
+    supports on every path instead of evaluating them (their features
+    are exactly zero either way).
     """
     if backend not in BACKENDS:
         raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    if propagation not in PROPAGATION_BACKENDS:
+        raise ValueError(
+            f"propagation must be one of {PROPAGATION_BACKENDS}, got {propagation!r}"
+        )
+    if propagation == "batched":
+        return _batched_pair_features(builder, pairs, pair_chunk, prune)
+    if prune:
+        return _pruned_pair_features(builder, pairs, backend, pair_chunk)
     if backend == "vectorized":
         return _vectorized_pair_features(builder, pairs, pair_chunk)
     paths = builder.paths
@@ -108,6 +139,96 @@ def compute_pair_features(
             b = profiles_b[path]
             resem[k, p] = set_resemblance(a, b)
             walk[k, p] = walk_probability(a, b)
+    return PairFeatures(paths=paths, pairs=list(pairs), resemblance=resem, walk=walk)
+
+
+def _pair_index_arrays(
+    pairs: list[tuple[int, int]],
+) -> tuple[list[int], np.ndarray, np.ndarray]:
+    """First-seen row order plus aligned pair index arrays."""
+    rows = list(dict.fromkeys(row for pair in pairs for row in pair))
+    index = {row: i for i, row in enumerate(rows)}
+    idx_a = np.fromiter((index[a] for a, _ in pairs), dtype=np.int64, count=len(pairs))
+    idx_b = np.fromiter((index[b] for _, b in pairs), dtype=np.int64, count=len(pairs))
+    return rows, idx_a, idx_b
+
+
+def _batched_pair_features(
+    builder: ProfileBuilder,
+    pairs: list[tuple[int, int]],
+    pair_chunk: int,
+    prune: bool,
+) -> PairFeatures:
+    """Batched-propagation route: SpMM profiles, matrix pair kernels.
+
+    The batched matrices double as the pruning index: when ``prune`` is
+    set, the support-intersection mask comes for free from the forward
+    patterns and only surviving pairs reach the kernels.
+    """
+    paths = builder.paths
+    resem = np.zeros((len(pairs), len(paths)))
+    walk = np.zeros((len(pairs), len(paths)))
+    if not pairs:
+        return PairFeatures(paths=paths, pairs=[], resemblance=resem, walk=walk)
+
+    rows, idx_a, idx_b = _pair_index_arrays(pairs)
+    matrices = builder.matrices_for(rows)
+    if prune:
+        keep = intersecting_pair_mask(
+            [matrices[path].forward for path in paths],
+            idx_a,
+            idx_b,
+            pair_chunk=pair_chunk,
+        )
+        selected = np.flatnonzero(keep)
+    else:
+        selected = np.arange(len(pairs))
+    sel_a = idx_a[selected]
+    sel_b = idx_b[selected]
+    for p, path in enumerate(paths):
+        stacked = matrices[path]
+        resem[selected, p] = pair_resemblance_values(
+            stacked.forward, sel_a, sel_b, pair_chunk=pair_chunk
+        )
+        walk[selected, p] = pair_walk_values(
+            stacked.forward, stacked.backward, sel_a, sel_b, pair_chunk=pair_chunk
+        )
+    _VECTORIZED_PAIRS.inc(len(selected) * len(paths))
+    return PairFeatures(paths=paths, pairs=list(pairs), resemblance=resem, walk=walk)
+
+
+def _pruned_pair_features(
+    builder: ProfileBuilder,
+    pairs: list[tuple[int, int]],
+    backend: str,
+    pair_chunk: int,
+) -> PairFeatures:
+    """Scalar-propagation pruning route: mask, evaluate survivors, scatter.
+
+    The mask needs the stacked forward patterns, so pruning on top of
+    scalar propagation pays one extra stacking pass per path; pruning is
+    cheapest combined with the vectorized or batched routes.
+    """
+    paths = builder.paths
+    resem = np.zeros((len(pairs), len(paths)))
+    walk = np.zeros((len(pairs), len(paths)))
+    if not pairs:
+        return PairFeatures(paths=paths, pairs=[], resemblance=resem, walk=walk)
+
+    rows, idx_a, idx_b = _pair_index_arrays(pairs)
+    profiles_by_row = {row: builder.profiles_for(row) for row in rows}
+    forwards = []
+    for path in paths:
+        forward, _ = profile_matrices([profiles_by_row[row][path] for row in rows])
+        forwards.append(forward)
+    keep = intersecting_pair_mask(forwards, idx_a, idx_b, pair_chunk=pair_chunk)
+    selected = np.flatnonzero(keep)
+    kept_pairs = [pairs[int(k)] for k in selected]
+    survivors = compute_pair_features(
+        builder, kept_pairs, backend=backend, pair_chunk=pair_chunk
+    )
+    resem[selected] = survivors.resemblance
+    walk[selected] = survivors.walk
     return PairFeatures(paths=paths, pairs=list(pairs), resemblance=resem, walk=walk)
 
 

@@ -145,6 +145,8 @@ def prepare_synthetic(distinct: Distinct, synthetic: SyntheticName) -> NamePrepa
         all_pairs(synthetic.rows),
         backend=config.similarity_backend,
         pair_chunk=config.similarity_pair_chunk,
+        propagation=config.propagation_backend,
+        prune=config.pair_pruning,
     )
     return NamePreparation(
         name="+".join(synthetic.member_names), rows=synthetic.rows, features=features

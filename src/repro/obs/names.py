@@ -20,6 +20,9 @@ from __future__ import annotations
 __all__ = ["REGISTERED_METRICS"]
 
 REGISTERED_METRICS: dict[str, str] = {
+    # zero-overlap pair pruning (repro.perf.blocking)
+    "blocking.pairs_kept": "counter",
+    "blocking.pairs_pruned": "counter",
     # checkpointing (repro.resilience.checkpoint)
     "checkpoint.items_resumed": "counter",
     "checkpoint.writes": "counter",
@@ -52,12 +55,21 @@ REGISTERED_METRICS: dict[str, str] = {
     "perf.fanout.size": "gauge",
     # process-pool map (repro.perf.parallel)
     "perf.parallel.tasks_failed": "counter",
+    "perf.parallel.tasks_inlined": "counter",
     "perf.parallel.tasks_interrupted": "counter",
     "perf.parallel.tasks_ok": "counter",
+    # transition compilation (repro.perf.transitions)
+    "perf.transitions.built": "counter",
+    "perf.transitions.reused": "counter",
+    "perf.transitions.rows": "counter",
     # profile cache (repro.paths.profiles)
     "profiles.cache_hits": "counter",
     "profiles.cache_misses": "counter",
-    # propagation engine (repro.paths.propagation)
+    # propagation engines (repro.paths.propagation / .batch)
+    "propagation.batch.origin_corrections": "counter",
+    "propagation.batch.runs": "counter",
+    "propagation.batch.spmm": "counter",
+    "propagation.batch.tuples": "counter",
     "propagation.runs": "counter",
     "propagation.steps": "counter",
     "propagation.tuples_visited": "counter",

@@ -132,6 +132,20 @@ class ProfileBuilder:
         for row in origin_rows:
             self.profiles_for(row)
 
+    def matrices_for(self, origin_rows: list[int]):
+        """Batched profile matrices for the given references, per path.
+
+        The batched backend (:mod:`repro.paths.batch`): one sparse
+        matrix pair per path covering *all* the references at once,
+        value-equivalent to stacking :meth:`profiles_for` outputs but
+        computed as a handful of SpMM products instead of per-reference
+        dict walks. Bypasses the per-reference profile cache (the batch
+        is the unit of work); the engine's fanout memo is still shared.
+        """
+        from repro.paths.batch import batch_profile_matrices
+
+        return batch_profile_matrices(self.engine, self.paths, origin_rows)
+
     @property
     def cache_size(self) -> int:
         return len(self._cache)

@@ -11,26 +11,48 @@ machinery that accelerates them without changing results:
 - :mod:`repro.perf.chunking` — row/pair chunk sizing so the vectorized
   similarity kernels bound peak memory instead of densifying everything;
 - :mod:`repro.perf.parallel` — a ``ProcessPoolExecutor``-backed ordered
-  map with deterministic, input-ordered result assembly and per-worker
-  obs-counter merging (disambiguation workloads scale with the number of
-  ambiguous names, which is embarrassingly parallel).
+  map with deterministic, input-ordered result assembly, per-worker
+  obs-counter merging, chunked dispatch, and an in-process fallback
+  (:func:`~repro.perf.parallel.should_inline`) for workloads a pool
+  cannot win (disambiguation workloads scale with the number of
+  ambiguous names, which is embarrassingly parallel);
+- :mod:`repro.perf.transitions` — row-normalized CSR transition matrices
+  compiled from exclusion-filtered join fanouts, the building block of
+  the batched propagation backend (:mod:`repro.paths.batch`);
+- :mod:`repro.perf.blocking` — the inverted neighbor index: lossless
+  zero-overlap pair pruning over stacked support matrices.
 
 The vectorized similarity kernels themselves live in
-:mod:`repro.similarity.vectorized`; the ``similarity_backend`` switch in
-:class:`repro.config.DistinctConfig` routes the pipeline through them.
-``benchmarks/bench_perf_kernels.py`` tracks the scalar/vectorized/parallel
-trajectory in ``BENCH_perf.json``.
+:mod:`repro.similarity.vectorized`; the ``similarity_backend`` /
+``propagation_backend`` / ``pair_pruning`` switches in
+:class:`repro.config.DistinctConfig` route the pipeline through them.
+``benchmarks/bench_perf_kernels.py`` tracks the scalar/vectorized/
+batched/parallel trajectory in ``BENCH_perf.json`` (history in
+``BENCH_history.jsonl``).
 """
 
+from repro.perf.blocking import candidate_pairs, intersecting_pair_mask
 from repro.perf.chunking import chunk_slices, rows_per_block
 from repro.perf.memo import FanoutMemo
-from repro.perf.parallel import RemoteTaskError, TaskOutcome, ordered_process_map
+from repro.perf.parallel import (
+    RemoteTaskError,
+    TaskOutcome,
+    ordered_process_map,
+    should_inline,
+)
+from repro.perf.transitions import Transition, TransitionCache, build_transition
 
 __all__ = [
     "FanoutMemo",
     "RemoteTaskError",
     "TaskOutcome",
+    "Transition",
+    "TransitionCache",
+    "build_transition",
+    "candidate_pairs",
     "chunk_slices",
+    "intersecting_pair_mask",
     "ordered_process_map",
     "rows_per_block",
+    "should_inline",
 ]

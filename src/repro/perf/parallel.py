@@ -24,11 +24,26 @@ Workers are primed once with a picklable ``payload`` via a pool
 initializer (under the default ``fork`` start method the payload is
 inherited, not pickled); each task then ships only its item. ``fn`` must
 be a module-level function taking ``(payload, item)``.
+
+Two dispatch knobs trade pool overhead against parallelism without
+touching any of the guarantees above:
+
+- ``chunk_size`` batches that many items per worker dispatch (one future
+  per chunk instead of per item), amortizing submit/pickle/wakeup costs
+  when individual tasks are cheap. Outcomes are still per item, in input
+  order, with per-item counter deltas; the default of 1 keeps the
+  historical one-future-per-item behavior exactly.
+- ``inline=True`` skips the pool entirely and runs the same task wrapper
+  in-process — the escape hatch for workloads where a pool cannot win
+  (single-core hosts, tiny per-task cost). :func:`should_inline` is the
+  shared policy for that call: pools lose below ``min_task_cost``
+  seconds per task or without a second CPU to run on.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 from concurrent.futures import CancelledError, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
 from dataclasses import dataclass
@@ -39,6 +54,12 @@ from repro.obs import counter, get_metrics
 _TASKS_OK = counter("perf.parallel.tasks_ok")
 _TASKS_FAILED = counter("perf.parallel.tasks_failed")
 _TASKS_INTERRUPTED = counter("perf.parallel.tasks_interrupted")
+_TASKS_INLINED = counter("perf.parallel.tasks_inlined")
+
+#: Below this estimated per-task cost (seconds), process-pool dispatch
+#: overhead (pickling, IPC, scheduler wakeups) dominates the work itself
+#: and :func:`should_inline` recommends the in-process path.
+DEFAULT_MIN_TASK_COST = 0.05
 
 #: Worker-side payload installed by the pool initializer.
 _PAYLOAD: Any = None
@@ -103,11 +124,44 @@ def _run_task(fn: Callable[[Any, Any], Any], item: Any) -> tuple:
     return value, error, deltas
 
 
+def _run_chunk(fn: Callable[[Any, Any], Any], chunk: list) -> list[tuple]:
+    """Worker-side wrapper for one dispatch of several items.
+
+    Each item still runs through :func:`_run_task`, so error capture and
+    counter-delta granularity are per item — batching only changes how
+    many items one future carries.
+    """
+    return [_run_task(fn, item) for item in chunk]
+
+
 def _pool_context() -> multiprocessing.context.BaseContext:
     """Prefer ``fork`` (payload inherited, not pickled) where available."""
     if "fork" in multiprocessing.get_all_start_methods():
         return multiprocessing.get_context("fork")
     return multiprocessing.get_context()
+
+
+def should_inline(
+    n_items: int,
+    workers: int,
+    task_cost_hint: float | None = None,
+    min_task_cost: float = DEFAULT_MIN_TASK_COST,
+) -> bool:
+    """Whether a process pool can pay for itself on this workload.
+
+    The shared policy behind ``ordered_process_map(..., inline=True)``:
+    inline when there is nothing to parallelize (``workers`` or
+    ``n_items`` <= 1), when the host has no second CPU to run a worker
+    on, or when the caller's estimated per-task cost is below
+    ``min_task_cost`` seconds (dispatch overhead would dominate). Callers
+    without a cost estimate pass ``task_cost_hint=None`` and only the
+    structural checks apply.
+    """
+    if workers <= 1 or n_items <= 1:
+        return True
+    if (os.cpu_count() or 1) < 2:
+        return True
+    return task_cost_hint is not None and task_cost_hint < min_task_cost
 
 
 def ordered_process_map(
@@ -116,63 +170,100 @@ def ordered_process_map(
     items: Sequence[Any],
     workers: int,
     deadline=None,
+    chunk_size: int = 1,
+    inline: bool = False,
 ) -> Iterator[TaskOutcome]:
     """Run ``fn(payload, item)`` for every item; yield outcomes in input order.
 
     ``workers`` is the pool size (must be >= 1; 1 still uses a pool, which
     keeps the code path identical — callers that want a plain loop should
-    branch before calling). ``deadline`` is an optional
-    :class:`repro.resilience.Deadline`; once expired, pending tasks are
-    cancelled and yielded as ``interrupted`` outcomes.
+    pass ``inline=True``, typically via :func:`should_inline`).
+    ``deadline`` is an optional :class:`repro.resilience.Deadline`; once
+    expired, pending tasks are cancelled and yielded as ``interrupted``
+    outcomes. ``chunk_size`` batches that many items per worker dispatch
+    (outcomes stay per item); ``inline=True`` runs everything in-process
+    with identical outcome semantics.
 
     Counter deltas from each task are merged into this process's registry
     as the task's outcome is yielded, so obs totals match a serial run.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
-    return _ordered_map(fn, payload, list(items), workers, deadline)
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    if inline:
+        return _inline_map(fn, payload, list(items), deadline)
+    return _ordered_map(fn, payload, list(items), workers, deadline, chunk_size)
 
 
-def _ordered_map(fn, payload, items, workers, deadline) -> Iterator[TaskOutcome]:
+def _inline_map(fn, payload, items, deadline) -> Iterator[TaskOutcome]:
+    """The no-pool path: same outcomes, counters incremented in-process."""
+    interrupted = False
+    for item in items:
+        if not interrupted and deadline is not None and deadline.expired():
+            interrupted = True
+        if interrupted:
+            _TASKS_INTERRUPTED.inc()
+            yield TaskOutcome(item=item, interrupted=True)
+            continue
+        value = None
+        error = None
+        try:
+            value = fn(payload, item)
+        except Exception as exc:  # mirror the worker boundary: error as data
+            error = {"type": type(exc).__name__, "message": str(exc)}
+        _TASKS_INLINED.inc()
+        if error is not None:
+            _TASKS_FAILED.inc()
+        else:
+            _TASKS_OK.inc()
+        yield TaskOutcome(item=item, value=value, error=error)
+
+
+def _ordered_map(
+    fn, payload, items, workers, deadline, chunk_size
+) -> Iterator[TaskOutcome]:
     registry = get_metrics()
+    chunks = [items[i:i + chunk_size] for i in range(0, len(items), chunk_size)]
     with ProcessPoolExecutor(
         max_workers=workers,
         mp_context=_pool_context(),
         initializer=_init_worker,
         initargs=(payload,),
     ) as pool:
-        futures = [pool.submit(_run_task, fn, item) for item in items]
+        futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
         try:
-            yield from _consume(futures, items, deadline, registry)
+            yield from _consume(futures, chunks, deadline, registry)
         finally:
             # Also reached when the consumer abandons the iterator early:
             # cancel queued tasks so pool teardown doesn't run them all.
             pool.shutdown(wait=True, cancel_futures=True)
 
 
-def _consume(futures, items, deadline, registry) -> Iterator[TaskOutcome]:
+def _consume(futures, chunks, deadline, registry) -> Iterator[TaskOutcome]:
     interrupted = False
-    for item, future in zip(items, futures):
-            if not interrupted and deadline is not None and deadline.expired():
-                interrupted = True
-            if interrupted:
-                future.cancel()
-                _TASKS_INTERRUPTED.inc()
+    for chunk, future in zip(chunks, futures):
+        if not interrupted and deadline is not None and deadline.expired():
+            interrupted = True
+        if interrupted:
+            future.cancel()
+            _TASKS_INTERRUPTED.inc(len(chunk))
+            for item in chunk:
                 yield TaskOutcome(item=item, interrupted=True)
-                continue
-            try:
-                if deadline is not None and deadline.remaining() is not None:
-                    value, error, deltas = future.result(
-                        timeout=max(0.0, deadline.remaining())
-                    )
-                else:
-                    value, error, deltas = future.result()
-            except (FutureTimeout, CancelledError):
-                interrupted = True
-                future.cancel()
-                _TASKS_INTERRUPTED.inc()
+            continue
+        try:
+            if deadline is not None and deadline.remaining() is not None:
+                results = future.result(timeout=max(0.0, deadline.remaining()))
+            else:
+                results = future.result()
+        except (FutureTimeout, CancelledError):
+            interrupted = True
+            future.cancel()
+            _TASKS_INTERRUPTED.inc(len(chunk))
+            for item in chunk:
                 yield TaskOutcome(item=item, interrupted=True)
-                continue
+            continue
+        for item, (value, error, deltas) in zip(chunk, results):
             for name, delta in deltas.items():
                 registry.counter(name).inc(delta)
             if error is not None:

@@ -36,6 +36,40 @@ class TestFit:
             Distinct(DistinctConfig()).prepare("Wei Wang")
 
 
+class TestBackendEquivalentResolutions:
+    def _variant(self, fitted, small_db, **changes):
+        db, _ = small_db
+        pipeline = Distinct.from_models(
+            db,
+            fitted.resem_model_,
+            fitted.walk_model_,
+            fitted.config.with_options(**changes),
+        )
+        return pipeline
+
+    @pytest.mark.parametrize(
+        "changes",
+        [
+            {"propagation_backend": "batched"},
+            {"pair_pruning": True},
+            {"propagation_backend": "batched", "pair_pruning": True},
+            {
+                "similarity_backend": "vectorized",
+                "propagation_backend": "batched",
+                "pair_pruning": True,
+            },
+        ],
+        ids=["batched", "pruned", "batched-pruned", "vectorized-batched-pruned"],
+    )
+    def test_resolutions_identical_across_backends(
+        self, fitted, small_db, changes
+    ):
+        for name in ("Wei Wang", "Jim Smith"):
+            reference = fitted.resolve(name)
+            got = self._variant(fitted, small_db, **changes).resolve(name)
+            assert got.clusters == reference.clusters
+
+
 class TestResolve:
     def test_resolution_covers_all_references(self, fitted, small_db):
         db, truth = small_db

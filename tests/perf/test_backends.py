@@ -2,15 +2,25 @@
 
 Uses the hand-built mini DBLP database so expectations stay checkable:
 the two backends must agree on every (pair, path) feature, and a
-memo-equipped builder must produce float-identical profiles.
+memo-equipped builder must produce float-identical profiles. The same
+gate covers the batched propagation backend and zero-overlap pruning:
+every (backend, propagation, prune) combination must agree on features,
+and pruning must never change a clustering.
 """
 
 from __future__ import annotations
 
+import itertools
+
 import numpy as np
 import pytest
 
-from repro.core.features import BACKENDS, all_pairs, compute_pair_features
+from repro.core.features import (
+    BACKENDS,
+    PROPAGATION_BACKENDS,
+    all_pairs,
+    compute_pair_features,
+)
 from repro.paths import JoinPath, ProfileBuilder
 from repro.paths.propagation import make_exclusions
 from repro.reldb.joins import JoinStep
@@ -63,6 +73,56 @@ class TestBackendEquivalence:
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError, match="backend"):
             compute_pair_features(_builder(), [], backend="gpu")
+
+
+class TestPropagationBackends:
+    def test_batched_matches_scalar_features(self):
+        pairs = all_pairs(WW_REFS)
+        reference = compute_pair_features(_builder(), pairs, backend="scalar")
+        for backend, prune in itertools.product(BACKENDS, (False, True)):
+            got = compute_pair_features(
+                _builder(), pairs, backend=backend, propagation="batched", prune=prune
+            )
+            assert got.pairs == reference.pairs
+            np.testing.assert_allclose(
+                got.resemblance, reference.resemblance, rtol=0, atol=1e-12
+            )
+            np.testing.assert_allclose(got.walk, reference.walk, rtol=0, atol=1e-12)
+
+    def test_scalar_propagation_with_pruning(self):
+        pairs = all_pairs(WW_REFS)
+        reference = compute_pair_features(_builder(), pairs, backend="scalar")
+        for backend in BACKENDS:
+            got = compute_pair_features(
+                _builder(), pairs, backend=backend, propagation="scalar", prune=True
+            )
+            np.testing.assert_allclose(
+                got.resemblance, reference.resemblance, rtol=0, atol=1e-12
+            )
+            np.testing.assert_allclose(got.walk, reference.walk, rtol=0, atol=1e-12)
+
+    def test_batched_with_memo_matches(self):
+        pairs = all_pairs(WW_REFS)
+        plain = compute_pair_features(_builder(), pairs, propagation="batched")
+        memoized = compute_pair_features(
+            _builder(memo_size=1024), pairs, propagation="batched"
+        )
+        np.testing.assert_allclose(
+            plain.resemblance, memoized.resemblance, rtol=0, atol=1e-12
+        )
+        np.testing.assert_allclose(plain.walk, memoized.walk, rtol=0, atol=1e-12)
+
+    def test_empty_pairs_batched(self):
+        for prune in (False, True):
+            features = compute_pair_features(
+                _builder(), [], propagation="batched", prune=prune
+            )
+            assert features.n_pairs == 0
+
+    def test_unknown_propagation_rejected(self):
+        assert "batched" in PROPAGATION_BACKENDS
+        with pytest.raises(ValueError, match="propagation"):
+            compute_pair_features(_builder(), [], propagation="quantum")
 
 
 class TestMemoizedPropagation:

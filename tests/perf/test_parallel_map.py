@@ -11,7 +11,7 @@ import time
 import pytest
 
 from repro.obs import counter, get_metrics
-from repro.perf import RemoteTaskError, TaskOutcome, ordered_process_map
+from repro.perf import RemoteTaskError, TaskOutcome, ordered_process_map, should_inline
 from repro.resilience import Deadline
 
 
@@ -82,3 +82,89 @@ class TestOrderedProcessMap:
         first = next(results)
         assert first == TaskOutcome(item=0, value=0)
         results.close()  # must not hang or raise
+
+
+class TestChunkedDispatch:
+    @pytest.mark.parametrize("chunk_size", [2, 3, 100])
+    def test_chunked_outcomes_identical_to_unchunked(self, chunk_size):
+        items = [5, 1, 4, 2, 3]
+        plain = list(ordered_process_map(_scale, 10, items, workers=2))
+        chunked = list(
+            ordered_process_map(_scale, 10, items, workers=2, chunk_size=chunk_size)
+        )
+        assert chunked == plain
+
+    def test_chunked_errors_stay_per_item(self):
+        outcomes = list(
+            ordered_process_map(
+                _fail_on_three, None, [1, 3, 2], workers=2, chunk_size=3
+            )
+        )
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert outcomes[1].error["type"] == "RuntimeError"
+
+    def test_chunked_counter_deltas_merge(self):
+        before = get_metrics().counter("perf.test.bumps").value
+        list(
+            ordered_process_map(_bump_counter, None, [2, 3, 5], workers=2, chunk_size=2)
+        )
+        after = get_metrics().counter("perf.test.bumps").value
+        assert after - before == pytest.approx(10)
+
+    def test_rejects_nonpositive_chunk_size(self):
+        with pytest.raises(ValueError):
+            ordered_process_map(_scale, 1, [1], workers=1, chunk_size=0)
+
+
+class TestInlineDispatch:
+    def test_inline_outcomes_identical_to_pool(self):
+        items = [5, 1, 4, 2, 3]
+        pooled = list(ordered_process_map(_scale, 10, items, workers=2))
+        inlined = list(
+            ordered_process_map(_scale, 10, items, workers=2, inline=True)
+        )
+        assert inlined == pooled
+
+    def test_inline_error_as_data(self):
+        outcomes = list(
+            ordered_process_map(_fail_on_three, None, [1, 3, 2], workers=1, inline=True)
+        )
+        assert [o.ok for o in outcomes] == [True, False, True]
+        with pytest.raises(RemoteTaskError, match="poisoned item"):
+            outcomes[1].unwrap()
+
+    def test_inline_counters_count_in_process(self):
+        metrics = get_metrics()
+        bumps0 = metrics.counter("perf.test.bumps").value
+        inlined0 = metrics.counter("perf.parallel.tasks_inlined").value
+        list(ordered_process_map(_bump_counter, None, [2, 3, 5], workers=1, inline=True))
+        assert metrics.counter("perf.test.bumps").value - bumps0 == pytest.approx(10)
+        assert metrics.counter("perf.parallel.tasks_inlined").value - inlined0 == 3
+
+    def test_inline_deadline_interrupts(self):
+        deadline = Deadline.after(0.05)
+        outcomes = list(
+            ordered_process_map(
+                _sleepy, None, [0.1, 0.0, 0.0], workers=1, inline=True,
+                deadline=deadline,
+            )
+        )
+        assert outcomes[0].ok
+        assert outcomes[1].interrupted and outcomes[2].interrupted
+
+
+class TestShouldInline:
+    def test_structural_cases(self):
+        assert should_inline(10, workers=1)  # nothing to parallelize
+        assert should_inline(1, workers=4)
+        assert should_inline(0, workers=4)
+
+    def test_cost_threshold(self, monkeypatch):
+        monkeypatch.setattr("repro.perf.parallel.os.cpu_count", lambda: 8)
+        assert should_inline(10, workers=4, task_cost_hint=0.001)
+        assert not should_inline(10, workers=4, task_cost_hint=1.0)
+        assert not should_inline(10, workers=4, task_cost_hint=None)
+
+    def test_single_core_host_inlines(self, monkeypatch):
+        monkeypatch.setattr("repro.perf.parallel.os.cpu_count", lambda: 1)
+        assert should_inline(10, workers=4, task_cost_hint=10.0)

@@ -1,0 +1,106 @@
+"""Unit tests for the compiled CSR transitions behind batched propagation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.obs import get_metrics
+from repro.perf.transitions import Transition, TransitionCache, build_transition
+
+#: partner lists of a toy 6-row -> 5-row step
+FANOUTS = {
+    0: (1, 3),
+    1: (0,),
+    2: (),
+    3: (0, 2, 4),
+    4: (4,),
+    5: (1,),
+}
+SHAPE = (6, 5)
+
+
+def fanout(row: int):
+    return FANOUTS[row]
+
+
+def _counter(name: str) -> int:
+    return int(get_metrics().snapshot()["counters"].get(name, 0))
+
+
+class TestBuildTransition:
+    def test_rows_are_normalized_mass_splits(self):
+        t = build_transition(np.array([0, 3]), fanout, SHAPE)
+        dense = t.matrix.toarray()
+        np.testing.assert_allclose(dense[0], [0, 0.5, 0, 0.5, 0])
+        np.testing.assert_allclose(dense[3], [1 / 3, 0, 1 / 3, 0, 1 / 3])
+        # rows never asked for stay empty
+        assert dense[1].sum() == 0 and dense[5].sum() == 0
+
+    def test_degrees_and_covered_bookkeeping(self):
+        t = build_transition(np.array([0, 2, 3]), fanout, SHAPE)
+        np.testing.assert_array_equal(t.degrees, [2, 0, 0, 3, 0, 0])
+        np.testing.assert_array_equal(
+            t.covered, [True, False, True, True, False, False]
+        )
+        assert t.covers(np.array([0, 2]))
+        assert not t.covers(np.array([0, 1]))
+        assert t.covers(np.empty(0, dtype=np.int64))
+
+    def test_duplicate_rows_compiled_once(self):
+        t = build_transition(np.array([1, 1, 1]), fanout, SHAPE)
+        np.testing.assert_allclose(t.matrix.toarray()[1], [1, 0, 0, 0, 0])
+        assert t.matrix.nnz == 1
+
+    def test_empty_row_set(self):
+        t = build_transition(np.empty(0, dtype=np.int64), fanout, SHAPE)
+        assert t.matrix.nnz == 0
+        assert not t.covered.any()
+
+    def test_matches_scalar_mass_split(self):
+        # pushing a mass vector through the matrix == the scalar split
+        t = build_transition(np.arange(6), fanout, SHAPE)
+        mass = sparse.csr_matrix(
+            (np.array([1.0, 0.5]), (np.array([0, 0]), np.array([0, 3]))),
+            shape=(1, 6),
+        )
+        out = (mass @ t.matrix).toarray().ravel()
+        # row 0 splits 1.0 over {1, 3}; row 3 splits 0.5 over {0, 2, 4}
+        np.testing.assert_allclose(out, [0.5 / 3, 0.5, 0.5 / 3, 0.5, 0.5 / 3])
+
+
+class TestTransitionCache:
+    def test_hit_returns_same_entry(self):
+        cache = TransitionCache()
+        first = cache.get("step", np.array([0, 3]), SHAPE, fanout)
+        reused_before = _counter("perf.transitions.reused")
+        second = cache.get("step", np.array([3]), SHAPE, fanout)
+        assert second is first
+        assert _counter("perf.transitions.reused") == reused_before + 1
+
+    def test_extension_only_compiles_fresh_rows(self):
+        cache = TransitionCache()
+        calls: list[int] = []
+
+        def tracking(row: int):
+            calls.append(row)
+            return FANOUTS[row]
+
+        cache.get("step", np.array([0, 3]), SHAPE, tracking)
+        extended = cache.get("step", np.array([0, 3, 4, 5]), SHAPE, tracking)
+        assert calls == [0, 3, 4, 5]  # 0 and 3 never re-fetched
+        assert extended.covers(np.array([0, 3, 4, 5]))
+        full = build_transition(np.array([0, 3, 4, 5]), fanout, SHAPE)
+        np.testing.assert_array_equal(
+            extended.matrix.toarray(), full.matrix.toarray()
+        )
+        np.testing.assert_array_equal(extended.degrees, full.degrees)
+
+    def test_distinct_keys_are_independent(self):
+        cache = TransitionCache()
+        a = cache.get("a", np.array([0]), SHAPE, fanout)
+        b = cache.get("b", np.array([3]), SHAPE, fanout)
+        assert len(cache) == 2
+        assert a.covered[0] and not a.covered[3]
+        assert b.covered[3] and not b.covered[0]
