@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 import time
 from datetime import datetime, timezone
@@ -56,7 +57,7 @@ from repro.cluster.agglomerative import AgglomerativeClusterer
 from repro.cluster.composite import CompositeMeasure
 from repro.core.features import compute_pair_features, pair_matrix
 from repro.data.dblp_schema import new_dblp_database
-from repro.obs import get_metrics
+from repro.obs import enable_tracing, get_metrics, span, write_trace
 from repro.paths.joinpath import JoinPath
 from repro.paths.profiles import NeighborProfile, ProfileBuilder
 from repro.paths.propagation import make_exclusions
@@ -78,6 +79,22 @@ ATOL = 1e-9
 
 DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
 DEFAULT_HISTORY = Path(__file__).resolve().parent.parent / "BENCH_history.jsonl"
+
+
+def git_sha() -> str:
+    """The commit this run measured, for provenance; "unknown" outside git."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent.parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else "unknown"
 
 PATHS = [
     JoinPath([JoinStep("Publish", f"k{i}", f"R{i}", f"k{i}", "n1")])
@@ -396,7 +413,17 @@ def main(argv=None) -> int:
         default=DEFAULT_HISTORY,
         help="JSONL file to append this run's summary line to",
     )
+    parser.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        help="enable tracing and write the bench's span tree + metrics "
+             "JSON here (feed to `repro report` for the Chrome export)",
+    )
     args = parser.parse_args(argv)
+
+    if args.trace_out:
+        enable_tracing()
 
     if args.tiny:
         n_refs, n_columns, support, n_names, repeats = 40, 200, 20, 3, 1
@@ -412,18 +439,22 @@ def main(argv=None) -> int:
     pairs = all_pairs(n_refs)
 
     # -- pair-list kernels (the shape compute_pair_features runs) ------------
-    scalar_s, (resem_s, walk_s) = timed(
-        lambda: scalar_features(profiles_by_path, pairs), repeats
-    )
-    vector_s, (resem_v, walk_v) = timed(
-        lambda: vectorized_features(profiles_by_path, pairs), repeats
-    )
+    with span("bench.pair_kernels", n_pairs=len(pairs)):
+        scalar_s, (resem_s, walk_s) = timed(
+            lambda: scalar_features(profiles_by_path, pairs), repeats
+        )
+        vector_s, (resem_v, walk_v) = timed(
+            lambda: vectorized_features(profiles_by_path, pairs), repeats
+        )
     diff_resem = float(np.abs(resem_s - resem_v).max())
     diff_walk = float(np.abs(walk_s - walk_v).max())
 
     # -- all-pairs matrices ---------------------------------------------------
-    scalar_m, grids_s = timed(lambda: scalar_matrices(profiles_by_path), 1)
-    vector_m, grids_v = timed(lambda: vectorized_matrices(profiles_by_path), repeats)
+    with span("bench.all_pairs_matrices"):
+        scalar_m, grids_s = timed(lambda: scalar_matrices(profiles_by_path), 1)
+        vector_m, grids_v = timed(
+            lambda: vectorized_matrices(profiles_by_path), repeats
+        )
     diff_matrix = 0.0
     for (rs, ws), (rv, wv) in zip(grids_s, grids_v):
         np.fill_diagonal(rs, 0.0)  # matrix kernels zero the diagonal
@@ -437,10 +468,12 @@ def main(argv=None) -> int:
 
     # -- batched propagation + zero-overlap pruning (real database) ----------
     prop_db, ref_rows = synth_community_db(n_refs, n_communities, args.seed + 2)
-    propagation = bench_propagation(prop_db, ref_rows, repeats)
-    pruning = bench_pair_pruning(
-        prop_db, ref_rows, args.backend, args.propagation, repeats
-    )
+    with span("bench.propagation", n_refs=len(ref_rows)):
+        propagation = bench_propagation(prop_db, ref_rows, repeats)
+    with span("bench.pair_pruning"):
+        pruning = bench_pair_pruning(
+            prop_db, ref_rows, args.backend, args.propagation, repeats
+        )
 
     # -- parallel per-name map ------------------------------------------------
     name_rng = np.random.default_rng(args.seed + 1)
@@ -456,16 +489,17 @@ def main(argv=None) -> int:
     inline = should_inline(n_names, args.workers, task_cost_hint=task_cost)
     chunk_size = 1 if inline else max(1, n_names // (args.workers * 2))
     t0 = time.perf_counter()
-    outcomes = list(
-        ordered_process_map(
-            _name_task,
-            payload,
-            list(range(n_names)),
-            workers=args.workers,
-            chunk_size=chunk_size,
-            inline=inline,
+    with span("bench.parallel_map", workers=args.workers, n_names=n_names):
+        outcomes = list(
+            ordered_process_map(
+                _name_task,
+                payload,
+                list(range(n_names)),
+                workers=args.workers,
+                chunk_size=chunk_size,
+                inline=inline,
+            )
         )
-    )
     parallel_p = time.perf_counter() - t0
     parallel_values = [o.value for o in outcomes]
     parallel_identical = parallel_values == serial_values
@@ -480,8 +514,16 @@ def main(argv=None) -> int:
         )
         <= ATOL
     )
+    # Provenance: every report and history line says which commit and when,
+    # so trend lines and the regression observatory can attribute changes.
+    timestamp = args.timestamp or datetime.now(timezone.utc).isoformat(
+        timespec="seconds"
+    )
+    sha = git_sha()
     report = {
         "generated_by": "benchmarks/bench_perf_kernels.py",
+        "timestamp": timestamp,
+        "git_sha": sha,
         "tiny": args.tiny,
         "config": {
             "n_refs": n_refs,
@@ -525,11 +567,9 @@ def main(argv=None) -> int:
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")
 
-    timestamp = args.timestamp or datetime.now(timezone.utc).isoformat(
-        timespec="seconds"
-    )
     history_line = {
         "timestamp": timestamp,
+        "git_sha": sha,
         "tiny": args.tiny,
         "config": report["config"],
         "speedups": {
@@ -577,7 +617,10 @@ def main(argv=None) -> int:
         f"{max(diff_resem, diff_walk, diff_matrix, propagation['max_abs_diff']):.2e} "
         f"(atol {ATOL:g}) -> {'OK' if equivalent else 'FAIL'}"
     )
-    print(f"  history      : {timestamp} >> {args.history}")
+    print(f"  history      : {timestamp} ({sha[:12]}) >> {args.history}")
+    if args.trace_out:
+        write_trace(args.trace_out)
+        print(f"  trace        : {args.trace_out}")
     if not equivalent:
         print(
             "FAIL: a backend deviates from the scalar reference beyond ATOL",

@@ -20,8 +20,25 @@ import pytest
 from repro import Distinct, DistinctConfig, generate_world
 from repro.data.world import world_to_database
 from repro.eval.experiment import prepare_names
+from repro.obs import disable_tracing, get_metrics
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(autouse=True)
+def isolated_observability():
+    """Fresh metrics and no leftover tracer for every bench case.
+
+    The metrics registry and the global tracer are process-wide; without
+    this, one bench's counters bleed into the next bench's reported
+    numbers and a bench that enables tracing slows down every bench
+    after it.
+    """
+    get_metrics().reset()
+    disable_tracing()
+    yield
+    get_metrics().reset()
+    disable_tracing()
 
 
 @pytest.fixture(scope="session")

@@ -26,6 +26,7 @@ identical to a single-worker run.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.core.distinct import Distinct
@@ -34,7 +35,7 @@ from repro.data.world import GroundTruth
 from repro.errors import DeadlineExceeded
 from repro.eval.experiment import ExperimentResult, NameResult, score_resolution
 from repro.eval.persistence import name_result_from_dict, name_result_to_dict
-from repro.obs import counter, get_logger, span
+from repro.obs import counter, get_logger, histogram, span
 from repro.perf import RemoteTaskError, ordered_process_map
 from repro.resilience import (
     CheckpointStore,
@@ -50,6 +51,7 @@ log = get_logger("eval.runner")
 
 _NAMES_SCORED = counter("experiment.names_scored")
 _NAMES_FAILED = counter("experiment.names_failed")
+_NAME_SECONDS = histogram("experiment.name_seconds")
 
 
 def _score_name_task(payload, name: str) -> NameResult:
@@ -207,12 +209,14 @@ def run_resilient(
                             else "not checkpointed",
                         )
                         break
+                    _NAME_SECONDS.observe(task.seconds)
                     with guard("experiment.score", name, policy, collector):
                         if task.error is not None:
                             _NAMES_FAILED.inc()
                             raise RemoteTaskError(task.error)
                         scored = task.value
                 else:
+                    name_start = time.perf_counter()
                     with guard("experiment.score", name, policy, collector):
                         try:
                             prep = distinct.prepare(name)
@@ -230,6 +234,7 @@ def run_resilient(
                         except Exception:
                             _NAMES_FAILED.inc()
                             raise
+                    _NAME_SECONDS.observe(time.perf_counter() - name_start)
                 if scored is None:  # failed and policy skipped/collected it
                     save_progress()
                     continue

@@ -12,7 +12,16 @@ merging); this package makes that work visible without slowing it down:
 - :mod:`repro.obs.logging` — structured stdlib-logging setup with
   optional JSON-lines output;
 - :mod:`repro.obs.export` — dump a run's span tree plus a metrics
-  snapshot to JSON, and render a human-readable tree report.
+  snapshot to JSON, and render human-readable tree / hot-span /
+  phase-timeline reports;
+- :mod:`repro.obs.sampler` — a background thread sampling RSS, CPU
+  time, and GC activity into gauges, with per-span peak-RSS
+  attribution;
+- :mod:`repro.obs.openmetrics` / :mod:`repro.obs.chrometrace` —
+  standard exporters: OpenMetrics text exposition of the metrics
+  registry and Perfetto-loadable Chrome trace-event JSON;
+- :mod:`repro.obs.regress` — the perf-regression observatory comparing
+  the newest ``BENCH_history.jsonl`` run against a trailing baseline.
 
 Typical instrumentation::
 
@@ -32,8 +41,12 @@ Enable it with :func:`enable_tracing` (the CLI does this for
 ``--trace-out``) and export with :func:`repro.obs.export.write_trace`.
 """
 
+from repro.obs.chrometrace import chrome_trace_events, write_chrome_trace
 from repro.obs.export import (
+    hot_spans,
     load_trace,
+    render_hot_spans,
+    render_phase_timeline,
     render_tree,
     span_to_dict,
     trace_payload,
@@ -51,6 +64,14 @@ from repro.obs.metrics import (
     histogram,
 )
 from repro.obs.names import REGISTERED_METRICS
+from repro.obs.openmetrics import parse_openmetrics, render_openmetrics
+from repro.obs.regress import (
+    RegressionReport,
+    SectionVerdict,
+    compare_latest,
+    load_history,
+)
+from repro.obs.sampler import ResourceSampler
 from repro.obs.trace import (
     NOOP_SPAN,
     Span,
@@ -60,6 +81,8 @@ from repro.obs.trace import (
     enable_tracing,
     get_tracer,
     span,
+    span_from_wire,
+    span_to_wire,
     timed,
     tracing_enabled,
 )
@@ -71,8 +94,13 @@ __all__ = [
     "MetricsRegistry",
     "NOOP_SPAN",
     "REGISTERED_METRICS",
+    "RegressionReport",
+    "ResourceSampler",
+    "SectionVerdict",
     "Span",
     "Tracer",
+    "chrome_trace_events",
+    "compare_latest",
     "counter",
     "current_span",
     "disable_tracing",
@@ -82,13 +110,22 @@ __all__ = [
     "get_metrics",
     "get_tracer",
     "histogram",
+    "hot_spans",
+    "load_history",
     "load_trace",
+    "parse_openmetrics",
+    "render_hot_spans",
+    "render_openmetrics",
+    "render_phase_timeline",
     "render_tree",
     "setup_logging",
     "span",
+    "span_from_wire",
     "span_to_dict",
+    "span_to_wire",
     "timed",
     "trace_payload",
     "tracing_enabled",
+    "write_chrome_trace",
     "write_trace",
 ]

@@ -1,0 +1,93 @@
+"""Chrome trace-event JSON from a saved span tree (Perfetto-loadable).
+
+:func:`chrome_trace_events` converts a trace document (the
+:func:`repro.obs.export.trace_payload` shape, in memory or loaded back
+from ``--trace-out``) into the Trace Event Format understood by
+``chrome://tracing`` and https://ui.perfetto.dev: one complete event
+(``"ph": "X"``) per span, with microsecond ``ts``/``dur``.
+
+Spans grafted from worker processes carry a ``worker_pid`` attribute
+(see :mod:`repro.perf.parallel`); those subtrees are emitted under that
+pid so each worker renders as its own process track, with the parent
+process on track 0. Spans exported without ``start_s`` (traces written
+before the field existed) are laid end-to-end under their parent, which
+preserves nesting and durations at the cost of exact concurrency.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+__all__ = ["chrome_trace_events", "write_chrome_trace"]
+
+#: Synthetic pid for the parent process's track (trace documents do not
+#: record the real parent pid; workers keep their recorded pids).
+MAIN_PID = 0
+
+
+def _span_events(
+    node: dict[str, Any],
+    fallback_start_s: float,
+    pid: int,
+    events: list[dict[str, Any]],
+) -> None:
+    start_s = node.get("start_s", fallback_start_s)
+    duration_s = node.get("duration_s", 0.0)
+    attrs = node.get("attrs") or {}
+    pid = int(attrs.get("worker_pid", pid))
+    args = dict(attrs)
+    for name, value in (node.get("counters") or {}).items():
+        args[f"counter.{name}"] = value
+    event = {
+        "name": node["name"],
+        "cat": "repro",
+        "ph": "X",
+        "ts": round(start_s * 1e6, 3),
+        "dur": round(duration_s * 1e6, 3),
+        "pid": pid,
+        "tid": pid,
+    }
+    if args:
+        event["args"] = args
+    events.append(event)
+    child_fallback = start_s
+    for child in node.get("children", ()):
+        _span_events(child, child_fallback, pid, events)
+        child_fallback += child.get("duration_s", 0.0)
+
+
+def chrome_trace_events(payload: dict[str, Any]) -> dict[str, Any]:
+    """The Trace Event Format document for one trace payload.
+
+    Returns ``{"traceEvents": [...], "displayTimeUnit": "ms"}`` —
+    serializable with ``json.dumps`` and loadable in Perfetto as-is.
+    Process-name metadata events label the parent track ``repro`` and
+    each worker track ``worker <pid>``.
+    """
+    events: list[dict[str, Any]] = []
+    cursor = 0.0
+    for root in payload.get("spans", ()):
+        _span_events(root, cursor, MAIN_PID, events)
+        cursor += root.get("duration_s", 0.0)
+    pids = sorted({event["pid"] for event in events})
+    metadata = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": pid,
+            "args": {"name": "repro" if pid == MAIN_PID else f"worker {pid}"},
+        }
+        for pid in pids
+    ]
+    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str | Path, payload: dict[str, Any]) -> Path:
+    """Write the Chrome trace JSON for ``payload`` to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace_events(payload), indent=1) + "\n")
+    return path

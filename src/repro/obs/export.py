@@ -4,13 +4,20 @@ The on-disk format (version 1) is one JSON document::
 
     {
       "version": 1,
-      "spans": [ {"name", "duration_s", "attrs", "counters", "children"} ],
+      "spans": [ {"name", "start_s", "duration_s", "attrs", "counters",
+                  "children"} ],
       "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}}
     }
 
-Durations are seconds. :func:`load_trace` reads the document back;
-:func:`render_tree` formats the span forest as an indented,
-human-readable report with per-span wall times, attributes, and counters.
+Durations are seconds; ``start_s`` is the span's offset from the start
+of the earliest root (the trace epoch), which is what lets
+:mod:`repro.obs.chrometrace` place spans on a real timeline (traces
+written before the field existed still load). :func:`load_trace` reads
+the document back; :func:`render_tree` formats the span forest as an
+indented, human-readable report with per-span wall times, attributes,
+and counters; :func:`hot_spans` / :func:`render_hot_spans` /
+:func:`render_phase_timeline` condense a saved trace into the top-N
+aggregate and per-phase summaries behind ``repro report``.
 """
 
 from __future__ import annotations
@@ -24,7 +31,10 @@ from repro.obs.trace import Span, Tracer, get_tracer
 
 __all__ = [
     "TRACE_FORMAT_VERSION",
+    "hot_spans",
     "load_trace",
+    "render_hot_spans",
+    "render_phase_timeline",
     "render_tree",
     "span_to_dict",
     "trace_payload",
@@ -34,17 +44,23 @@ __all__ = [
 TRACE_FORMAT_VERSION = 1
 
 
-def span_to_dict(span: Span) -> dict[str, Any]:
-    """Recursive plain-data form of one span subtree."""
+def span_to_dict(span: Span, epoch: float | None = None) -> dict[str, Any]:
+    """Recursive plain-data form of one span subtree.
+
+    ``epoch`` is the trace's zero point in ``perf_counter`` time; when
+    given, every span carries its ``start_s`` offset from it.
+    """
     out: dict[str, Any] = {
         "name": span.name,
         "duration_s": round(span.duration, 9),
     }
+    if epoch is not None:
+        out["start_s"] = round(span.start - epoch, 9)
     if span.attrs:
         out["attrs"] = dict(span.attrs)
     if span.counters:
         out["counters"] = dict(span.counters)
-    out["children"] = [span_to_dict(child) for child in span.children]
+    out["children"] = [span_to_dict(child, epoch) for child in span.children]
     return out
 
 
@@ -55,9 +71,10 @@ def trace_payload(
     tracer = tracer if tracer is not None else get_tracer()
     metrics = metrics if metrics is not None else get_metrics()
     roots = tracer.roots if tracer is not None else []
+    epoch = min((root.start for root in roots), default=None)
     return {
         "version": TRACE_FORMAT_VERSION,
-        "spans": [span_to_dict(root) for root in roots],
+        "spans": [span_to_dict(root, epoch) for root in roots],
         "metrics": metrics.snapshot(),
     }
 
@@ -136,3 +153,95 @@ def render_tree(payload: dict[str, Any]) -> str:
                     f"  {name}  count={h['count']} sum={h['sum']:g} mean={mean:g}"
                 )
     return "\n".join(lines)
+
+
+def _walk_nodes(node: dict[str, Any]):
+    yield node
+    for child in node.get("children", ()):
+        yield from _walk_nodes(child)
+
+
+def hot_spans(payload: dict[str, Any], top: int = 10) -> list[dict[str, Any]]:
+    """The ``top`` span names by total wall time, aggregated over a trace.
+
+    Each entry carries ``name``, ``count``, ``total_s`` (summed span
+    durations), ``self_s`` (total minus time spent in child spans — the
+    number that says *this* stage is hot, not its substages), and
+    ``max_s`` (the slowest single occurrence). Sorted by ``total_s``
+    descending; ties break by name so reports are stable.
+    """
+    agg: dict[str, dict[str, Any]] = {}
+    for root in payload.get("spans", ()):
+        for node in _walk_nodes(root):
+            duration = node.get("duration_s", 0.0)
+            children = sum(
+                c.get("duration_s", 0.0) for c in node.get("children", ())
+            )
+            entry = agg.setdefault(
+                node["name"],
+                {"name": node["name"], "count": 0, "total_s": 0.0,
+                 "self_s": 0.0, "max_s": 0.0},
+            )
+            entry["count"] += 1
+            entry["total_s"] += duration
+            entry["self_s"] += max(0.0, duration - children)
+            entry["max_s"] = max(entry["max_s"], duration)
+    ranked = sorted(agg.values(), key=lambda e: (-e["total_s"], e["name"]))
+    return ranked[: max(0, top)]
+
+
+def render_hot_spans(payload: dict[str, Any], top: int = 10) -> str:
+    """The hot-span aggregate as an aligned text table."""
+    entries = hot_spans(payload, top)
+    if not entries:
+        return "no spans recorded"
+    width = max(len(e["name"]) for e in entries)
+    lines = [
+        f"top {len(entries)} spans by total wall time:",
+        f"  {'span':<{width}}  {'count':>5}  {'total':>9}  "
+        f"{'self':>9}  {'max':>9}",
+    ]
+    for e in entries:
+        lines.append(
+            f"  {e['name']:<{width}}  {e['count']:>5}  "
+            f"{_format_duration(e['total_s']):>9}  "
+            f"{_format_duration(e['self_s']):>9}  "
+            f"{_format_duration(e['max_s']):>9}"
+        )
+    return "\n".join(lines)
+
+
+def render_phase_timeline(payload: dict[str, Any], width: int = 48) -> str:
+    """An ASCII timeline of each root span's direct children (the phases).
+
+    Bars are positioned with ``start_s`` when the trace carries it;
+    otherwise phases are laid end-to-end in recorded order. Concurrent
+    phases (e.g. grafted worker subtrees) visibly overlap.
+    """
+    lines: list[str] = []
+    for root in payload.get("spans", ()):
+        total = root.get("duration_s", 0.0)
+        lines.append(
+            f"{root['name']}  {_format_duration(total)}"
+        )
+        children = root.get("children", ())
+        if not children or total <= 0:
+            continue
+        root_start = root.get("start_s", 0.0)
+        name_width = max(len(c["name"]) for c in children)
+        cursor = 0.0
+        for child in children:
+            offset = child.get("start_s")
+            offset = (offset - root_start) if offset is not None else cursor
+            duration = child.get("duration_s", 0.0)
+            cursor = offset + duration
+            begin = min(width, int(offset / total * width))
+            length = max(1, round(duration / total * width))
+            length = min(length, width - begin) or 1
+            bar = " " * begin + "#" * length
+            lines.append(
+                f"  {child['name']:<{name_width}}  |{bar:<{width}}|  "
+                f"+{_format_duration(max(0.0, offset))} "
+                f"{_format_duration(duration)}"
+            )
+    return "\n".join(lines) if lines else "no spans recorded"

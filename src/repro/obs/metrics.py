@@ -14,6 +14,13 @@ an add per event::
 instrument identity, so pre-bound module-level instruments survive a
 reset (important for benchmarks and tests that reset between runs).
 
+Instruments are thread-safe: every mutation happens under a small
+per-instrument lock, so concurrent ``inc()``/``observe()`` calls — from
+pipeline threads or the background :mod:`repro.obs.sampler` — never lose
+updates. Events in hot loops are still accounted in batch
+(``inc(len(level))``), so the lock is taken at stage granularity, not
+per tuple.
+
 Naming conventions are documented in ``docs/observability.md``.
 """
 
@@ -44,17 +51,20 @@ DEFAULT_BUCKETS: tuple[float, ...] = (
 class Counter:
     """Monotonically increasing count of events."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value: float = 0
+        self._lock = threading.Lock()
 
     def inc(self, value: float = 1) -> None:
-        self.value += value
+        with self._lock:
+            self.value += value
 
     def _reset(self) -> None:
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
     def _snapshot(self) -> float:
         return self.value
@@ -63,23 +73,27 @@ class Counter:
 class Gauge:
     """A value that goes up and down (cache sizes, active names)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value: float = 0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         self.value = value
 
     def inc(self, value: float = 1) -> None:
-        self.value += value
+        with self._lock:
+            self.value += value
 
     def dec(self, value: float = 1) -> None:
-        self.value -= value
+        with self._lock:
+            self.value -= value
 
     def _reset(self) -> None:
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
     def _snapshot(self) -> float:
         return self.value
@@ -93,7 +107,7 @@ class Histogram:
     ``count`` track the exact total alongside the bucketed distribution.
     """
 
-    __slots__ = ("name", "buckets", "counts", "sum", "count")
+    __slots__ = ("name", "buckets", "counts", "sum", "count", "_lock")
 
     def __init__(self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
         if not buckets or list(buckets) != sorted(buckets):
@@ -103,20 +117,23 @@ class Histogram:
         self.counts = [0] * (len(self.buckets) + 1)
         self.sum: float = 0.0
         self.count: int = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.counts[bisect.bisect_left(self.buckets, value)] += 1
-        self.sum += value
-        self.count += 1
+        with self._lock:
+            self.counts[bisect.bisect_left(self.buckets, value)] += 1
+            self.sum += value
+            self.count += 1
 
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
     def _reset(self) -> None:
-        self.counts = [0] * (len(self.buckets) + 1)
-        self.sum = 0.0
-        self.count = 0
+        with self._lock:
+            self.counts = [0] * (len(self.buckets) + 1)
+            self.sum = 0.0
+            self.count = 0
 
     def _snapshot(self) -> dict:
         return {

@@ -39,12 +39,21 @@ REGISTERED_METRICS: dict[str, str] = {
     "dblp.records_parsed": "counter",
     "dblp.records_skipped": "counter",
     # evaluation loop (repro.eval.runner)
+    "experiment.name_seconds": "histogram",
     "experiment.names_failed": "counter",
     "experiment.names_scored": "counter",
     # vectorized kernels (repro.core.features)
     "features.vectorized.pairs": "counter",
     # pipeline facade (repro.core.distinct)
     "names.resolved": "counter",
+    # resource sampler (repro.obs.sampler)
+    "obs.sampler.cpu_seconds": "gauge",
+    "obs.sampler.gc_collections": "gauge",
+    "obs.sampler.peak_rss_bytes": "gauge",
+    "obs.sampler.rss_bytes": "gauge",
+    "obs.sampler.rss_sample_bytes": "histogram",
+    "obs.sampler.ticks": "counter",
+    # pipeline facade (repro.core.distinct)
     "pairs.scored": "counter",
     # path enumeration (repro.paths.enumerate)
     "paths.enumerated": "counter",
@@ -54,6 +63,8 @@ REGISTERED_METRICS: dict[str, str] = {
     "perf.fanout.misses": "counter",
     "perf.fanout.size": "gauge",
     # process-pool map (repro.perf.parallel)
+    "perf.parallel.spans_grafted": "counter",
+    "perf.parallel.task_seconds": "histogram",
     "perf.parallel.tasks_failed": "counter",
     "perf.parallel.tasks_inlined": "counter",
     "perf.parallel.tasks_interrupted": "counter",

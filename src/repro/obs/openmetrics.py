@@ -1,0 +1,152 @@
+"""OpenMetrics/Prometheus text exposition of a metrics snapshot.
+
+:func:`render_openmetrics` turns a :meth:`MetricsRegistry.snapshot`
+(live or loaded back from a saved trace document) into the OpenMetrics
+text format — the lingua franca of Prometheus scrapers, so the whole
+registry can be pasted into any standard metrics stack:
+
+.. code-block:: text
+
+    # TYPE repro_pairs_scored counter
+    repro_pairs_scored_total 630
+    # TYPE repro_resolve_seconds histogram
+    repro_resolve_seconds_bucket{le="0.1"} 4
+    repro_resolve_seconds_bucket{le="+Inf"} 5
+    repro_resolve_seconds_sum 1.25
+    repro_resolve_seconds_count 5
+    # EOF
+
+Dots in the registry's ``subsystem.event`` names become underscores
+(OpenMetrics names admit ``[a-zA-Z0-9_:]`` only) and everything is
+prefixed ``repro_``. Histogram bucket counts are exposed cumulatively
+with inclusive ``le`` upper bounds plus the mandated ``+Inf`` bucket,
+exactly as Prometheus expects.
+
+:func:`parse_openmetrics` reads the exposition back into snapshot shape
+(keyed by the exposed metric names); the round-trip is exercised by the
+test suite so the exposition stays parseable by construction.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry, get_metrics
+
+__all__ = [
+    "metric_name",
+    "parse_openmetrics",
+    "render_openmetrics",
+]
+
+#: Prepended to every exposed metric name (after sanitization).
+DEFAULT_PREFIX = "repro_"
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{le="(?P<le>[^"]*)"\})?'
+    r'\s+(?P<value>\S+)$'
+)
+
+
+def metric_name(name: str, prefix: str = DEFAULT_PREFIX) -> str:
+    """The exposed (sanitized, prefixed) form of a registry metric name."""
+    return prefix + _INVALID_CHARS.sub("_", name)
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_openmetrics(
+    snapshot: dict[str, Any] | None = None,
+    registry: MetricsRegistry | None = None,
+    prefix: str = DEFAULT_PREFIX,
+) -> str:
+    """The OpenMetrics text exposition of a metrics snapshot.
+
+    Pass an explicit ``snapshot`` (e.g. the ``metrics`` section of a
+    saved trace document) or a ``registry`` to snapshot now; the default
+    is the process-global registry. Families are emitted sorted by
+    exposed name, counters first, then gauges, then histograms.
+    """
+    if snapshot is None:
+        snapshot = (registry if registry is not None else get_metrics()).snapshot()
+    lines: list[str] = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        exposed = metric_name(name, prefix)
+        lines.append(f"# TYPE {exposed} counter")
+        lines.append(f"{exposed}_total {_format_value(value)}")
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        exposed = metric_name(name, prefix)
+        lines.append(f"# TYPE {exposed} gauge")
+        lines.append(f"{exposed} {_format_value(value)}")
+    for name, hist in sorted(snapshot.get("histograms", {}).items()):
+        exposed = metric_name(name, prefix)
+        lines.append(f"# TYPE {exposed} histogram")
+        cumulative = 0
+        for bound, count in zip(hist["buckets"], hist["counts"]):
+            cumulative += count
+            lines.append(
+                f'{exposed}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
+            )
+        cumulative += hist["counts"][-1]
+        lines.append(f'{exposed}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{exposed}_sum {_format_value(hist['sum'])}")
+        lines.append(f"{exposed}_count {hist['count']}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def parse_openmetrics(text: str) -> dict[str, Any]:
+    """Parse an exposition back into snapshot shape.
+
+    Returns ``{"counters": ..., "gauges": ..., "histograms": ...}`` keyed
+    by the *exposed* names (the registry's dotted names are not
+    recoverable from a sanitized exposition). Histogram bucket counts are
+    de-cumulated back to per-bucket counts, so a snapshot survives
+    ``render -> parse`` with its values intact. Raises ``ValueError`` on
+    lines that are neither comments nor well-formed samples.
+    """
+    out: dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+    types: dict[str, str] = {}
+    buckets: dict[str, list[tuple[float, float]]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable exposition line {lineno}: {line!r}")
+        sample, le, value = match["name"], match["le"], float(match["value"])
+        if le is not None and sample.endswith("_bucket"):
+            family = sample[: -len("_bucket")]
+            bound = float("inf") if le == "+Inf" else float(le)
+            buckets.setdefault(family, []).append((bound, value))
+        elif sample.endswith("_total") and types.get(sample[:-6]) == "counter":
+            out["counters"][sample[:-6]] = value
+        elif sample.endswith("_sum") and types.get(sample[:-4]) == "histogram":
+            out["histograms"].setdefault(sample[:-4], {})["sum"] = value
+        elif sample.endswith("_count") and types.get(sample[:-6]) == "histogram":
+            out["histograms"].setdefault(sample[:-6], {})["count"] = int(value)
+        else:
+            out["gauges"][sample] = value
+    for family, entries in buckets.items():
+        entries.sort(key=lambda pair: pair[0])
+        bounds = [bound for bound, _ in entries[:-1]]  # +Inf is the overflow
+        cumulative = [count for _, count in entries]
+        counts = [int(b - a) for a, b in zip([0.0] + cumulative[:-1], cumulative)]
+        hist = out["histograms"].setdefault(family, {})
+        hist["buckets"] = bounds
+        hist["counts"] = counts
+    return out

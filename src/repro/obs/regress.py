@@ -1,0 +1,223 @@
+"""Perf-regression observatory over ``BENCH_history.jsonl``.
+
+``benchmarks/bench_perf_kernels.py`` appends one provenance-stamped
+summary line per run (git sha, timestamp, per-section speedups over the
+scalar reference). This module is the machine that actually *reads* that
+trajectory: :func:`compare_latest` takes the newest run, builds a
+trailing baseline per section (the median of up to ``window`` prior
+comparable runs — same corpus size, same ``tiny`` flag), and flags any
+section whose speedup fell below ``baseline * (1 - tolerance)``.
+
+Speedups, not wall times, are compared: they are already normalized to
+the scalar reference measured on the same hardware in the same run, so
+the verdict is robust to CI machines of different speeds. Tolerances are
+configurable per section (``thresholds={"pair_kernels": 0.5}``); the
+default is deliberately loose because shared CI runners are noisy.
+
+The CLI front-end is ``repro report --regress``: report-only by default
+(CI uploads the verdict as an artifact after bench-smoke) and a build
+gate under ``--strict``. A run whose equivalence gate failed
+(``equivalent: false``) is always a regression — a fast wrong kernel is
+not an improvement.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from statistics import median
+from typing import Any
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "DEFAULT_WINDOW",
+    "RegressionReport",
+    "SectionVerdict",
+    "compare_latest",
+    "load_history",
+]
+
+#: Prior comparable runs folded into the baseline median.
+DEFAULT_WINDOW = 5
+
+#: Allowed fractional drop below the baseline speedup before a section
+#: is flagged (0.35 = latest may be up to 35% below the median).
+DEFAULT_TOLERANCE = 0.35
+
+#: Section statuses.
+OK = "ok"
+REGRESSION = "regression"
+NO_BASELINE = "no-baseline"
+
+
+@dataclass(frozen=True)
+class SectionVerdict:
+    """One bench section's latest value against its trailing baseline."""
+
+    section: str
+    latest: float
+    baseline: float | None
+    tolerance: float
+    status: str
+    n_baseline: int = 0
+
+    @property
+    def ratio(self) -> float | None:
+        if self.baseline is None or self.baseline == 0:
+            return None
+        return self.latest / self.baseline
+
+
+@dataclass
+class RegressionReport:
+    """The observatory's verdict for the newest history line."""
+
+    sections: list[SectionVerdict] = field(default_factory=list)
+    latest: dict[str, Any] = field(default_factory=dict)
+    n_comparable: int = 0
+    window: int = DEFAULT_WINDOW
+
+    @property
+    def regressions(self) -> list[SectionVerdict]:
+        return [v for v in self.sections if v.status == REGRESSION]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "n_comparable": self.n_comparable,
+            "window": self.window,
+            "latest": {
+                key: self.latest.get(key)
+                for key in ("timestamp", "git_sha", "tiny")
+            },
+            "sections": [
+                {
+                    "section": v.section,
+                    "latest": v.latest,
+                    "baseline": v.baseline,
+                    "ratio": v.ratio,
+                    "tolerance": v.tolerance,
+                    "status": v.status,
+                    "n_baseline": v.n_baseline,
+                }
+                for v in self.sections
+            ],
+        }
+
+    def render(self) -> str:
+        """Human-readable verdict table."""
+        head = self.latest
+        lines = [
+            "perf-regression observatory"
+            f" (run {head.get('timestamp', '?')},"
+            f" sha {str(head.get('git_sha', 'unknown'))[:12]},"
+            f" baseline = median of {self.n_comparable} prior run(s),"
+            f" window {self.window})"
+        ]
+        width = max((len(v.section) for v in self.sections), default=7)
+        for v in self.sections:
+            if v.baseline is None:
+                detail = "no comparable baseline yet"
+            else:
+                detail = (
+                    f"latest {v.latest:6.2f}x  baseline {v.baseline:6.2f}x  "
+                    f"ratio {v.ratio:.2f}  floor {1 - v.tolerance:.2f}"
+                )
+            marker = "REGRESSED" if v.status == REGRESSION else v.status
+            lines.append(f"  {v.section:<{width}}  {marker:<11} {detail}")
+        lines.append(
+            "verdict: " + ("OK" if self.ok else
+                           f"{len(self.regressions)} section(s) regressed")
+        )
+        return "\n".join(lines)
+
+
+def load_history(path: str | Path) -> list[dict[str, Any]]:
+    """The parsed lines of a ``BENCH_history.jsonl`` file, oldest first.
+
+    Blank lines are ignored; a malformed line raises ``ValueError`` with
+    its line number (history files are append-only machine output, so
+    corruption should fail loudly, not skew a baseline silently).
+    """
+    runs: list[dict[str, Any]] = []
+    text = Path(path).read_text()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{lineno}: malformed history line") from exc
+        if not isinstance(entry, dict):
+            raise ValueError(f"{path}:{lineno}: history line is not an object")
+        runs.append(entry)
+    return runs
+
+
+def _comparable(run: dict[str, Any], latest: dict[str, Any]) -> bool:
+    """Same corpus shape: only like runs feed a baseline."""
+    if bool(run.get("tiny")) != bool(latest.get("tiny")):
+        return False
+    run_refs = (run.get("config") or {}).get("n_refs")
+    latest_refs = (latest.get("config") or {}).get("n_refs")
+    return run_refs == latest_refs
+
+
+def compare_latest(
+    history: list[dict[str, Any]],
+    window: int = DEFAULT_WINDOW,
+    tolerance: float = DEFAULT_TOLERANCE,
+    thresholds: dict[str, float] | None = None,
+) -> RegressionReport:
+    """Verdict for the newest run of ``history`` against its baseline.
+
+    ``tolerance`` is the default allowed fractional drop; ``thresholds``
+    overrides it per section name. Sections present in the latest run
+    but absent from every baseline run report ``no-baseline`` (never a
+    failure: new benches need runs before they can regress).
+    """
+    if not history:
+        raise ValueError("history is empty: run the bench at least once")
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    latest = history[-1]
+    thresholds = thresholds or {}
+    prior = [run for run in history[:-1] if _comparable(run, latest)]
+    prior = prior[-window:]
+    report = RegressionReport(
+        latest=latest, n_comparable=len(prior), window=window
+    )
+    for section, value in (latest.get("speedups") or {}).items():
+        tol = float(thresholds.get(section, tolerance))
+        samples = [
+            float(run["speedups"][section])
+            for run in prior
+            if section in (run.get("speedups") or {})
+        ]
+        if not samples:
+            verdict = SectionVerdict(
+                section=section, latest=float(value), baseline=None,
+                tolerance=tol, status=NO_BASELINE,
+            )
+        else:
+            baseline = median(samples)
+            regressed = float(value) < baseline * (1.0 - tol)
+            verdict = SectionVerdict(
+                section=section, latest=float(value), baseline=baseline,
+                tolerance=tol, status=REGRESSION if regressed else OK,
+                n_baseline=len(samples),
+            )
+        report.sections.append(verdict)
+    if latest.get("equivalent") is False:
+        report.sections.append(
+            SectionVerdict(
+                section="equivalence", latest=0.0, baseline=1.0,
+                tolerance=0.0, status=REGRESSION, n_baseline=len(prior),
+            )
+        )
+    return report

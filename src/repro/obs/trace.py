@@ -14,6 +14,15 @@ paths can stay instrumented permanently.
 tracing is off (e.g. the numbers feeding ``FitReport``): it always
 measures wall time, and additionally records a real span when tracing is
 enabled.
+
+Spans also cross process boundaries: :func:`span_to_wire` /
+:func:`span_from_wire` serialize a closed subtree to plain data (JSON-
+and pickle-safe), and :meth:`Tracer.graft` re-attaches a reconstructed
+subtree under the current open span. ``start``/``end`` stay in
+``perf_counter`` time — a system-wide monotonic clock on every supported
+platform — so worker spans land at their true position on the parent's
+timeline. :mod:`repro.perf.parallel` uses exactly this to ship each
+worker task's span subtree home inside its ``TaskOutcome``.
 """
 
 from __future__ import annotations
@@ -31,6 +40,8 @@ __all__ = [
     "enable_tracing",
     "get_tracer",
     "span",
+    "span_from_wire",
+    "span_to_wire",
     "timed",
     "tracing_enabled",
 ]
@@ -145,7 +156,12 @@ class _SpanContext:
     def __exit__(self, exc_type: object, *exc: object) -> bool:
         assert self._span is not None
         if exc_type is not None:
+            # The span failed: close it with the exception type on record
+            # instead of pretending the stage completed normally.
             self._span.attrs["error"] = True
+            self._span.attrs["error_type"] = getattr(
+                exc_type, "__name__", str(exc_type)
+            )
         self._tracer.finish(self._span)
         return False
 
@@ -197,6 +213,22 @@ class Tracer:
     def current(self) -> Span | _NoopSpan:
         stack = self._stack()
         return stack[-1] if stack else NOOP_SPAN
+
+    def graft(self, sp: Span) -> Span:
+        """Attach an already-closed span subtree under the current span.
+
+        Used to merge a subtree recorded elsewhere (another process,
+        deserialized via :func:`span_from_wire`) into this trace: the
+        subtree becomes a child of this thread's innermost open span, or
+        a new root when none is open. The grafted span is returned.
+        """
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(sp)
+        else:
+            with self._lock:
+                self.roots.append(sp)
+        return sp
 
 
 _tracer: Tracer | None = None
@@ -283,3 +315,36 @@ def timed(name: str, /, **attrs: Any) -> "_SpanContext | _Timed":
     if tracer is None:
         return _Timed()
     return tracer.span(name, **attrs)
+
+
+def span_to_wire(sp: Span) -> dict[str, Any]:
+    """Plain-data form of a span subtree for crossing a process boundary.
+
+    Unlike :func:`repro.obs.export.span_to_dict` (the on-disk report
+    shape), the wire form keeps the raw ``perf_counter`` ``start``/``end``
+    so a receiver on the same machine can place the subtree at its true
+    position on the timeline. A still-open span is serialized as if it
+    ended now.
+    """
+    return {
+        "name": sp.name,
+        "start": sp.start,
+        "end": sp.end if sp.end is not None else time.perf_counter(),
+        "attrs": dict(sp.attrs),
+        "counters": dict(sp.counters),
+        "children": [span_to_wire(child) for child in sp.children],
+    }
+
+
+def span_from_wire(payload: dict[str, Any]) -> Span:
+    """Reconstruct a closed :class:`Span` subtree from its wire form."""
+    sp = Span(payload["name"], payload.get("attrs"))
+    sp.start = float(payload["start"])
+    sp.end = float(payload["end"])
+    sp.counters = {
+        str(k): float(v) for k, v in (payload.get("counters") or {}).items()
+    }
+    sp.children = [
+        span_from_wire(child) for child in payload.get("children", ())
+    ]
+    return sp

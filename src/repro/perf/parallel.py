@@ -11,7 +11,13 @@ naive ``ProcessPoolExecutor.map`` loses, this module keeps:
   registry before and after, returns the delta, and the parent merges it
   on join — ``propagation.tuples_visited`` and friends keep counting
   across process boundaries (gauges and histograms are per-process and
-  are not merged).
+  are not merged). When the parent has tracing enabled, each worker task
+  additionally runs under its own fresh tracer, serializes its span
+  subtree (:func:`repro.obs.span_to_wire`), and ships it home in the
+  task result; the parent grafts the subtree into its trace annotated
+  with ``worker`` (a stable sequential id) and ``worker_pid``, so a
+  ``--trace-out`` of a parallel run shows real per-worker spans at their
+  true timeline positions instead of an opaque gap.
 - **Failure transparency.** Worker exceptions travel back as structured
   ``{"type", "message"}`` payloads in the :class:`TaskOutcome` instead of
   poisoning the pool, so the caller can apply its error policy per item,
@@ -44,17 +50,30 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from concurrent.futures import CancelledError, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Sequence
 
-from repro.obs import counter, get_metrics
+from repro.obs import (
+    counter,
+    disable_tracing,
+    enable_tracing,
+    get_metrics,
+    get_tracer,
+    histogram,
+    span_from_wire,
+    span_to_wire,
+    tracing_enabled,
+)
 
 _TASKS_OK = counter("perf.parallel.tasks_ok")
 _TASKS_FAILED = counter("perf.parallel.tasks_failed")
 _TASKS_INTERRUPTED = counter("perf.parallel.tasks_interrupted")
 _TASKS_INLINED = counter("perf.parallel.tasks_inlined")
+_SPANS_GRAFTED = counter("perf.parallel.spans_grafted")
+_TASK_SECONDS = histogram("perf.parallel.task_seconds")
 
 #: Below this estimated per-task cost (seconds), process-pool dispatch
 #: overhead (pickling, IPC, scheduler wakeups) dominates the work itself
@@ -63,6 +82,9 @@ DEFAULT_MIN_TASK_COST = 0.05
 
 #: Worker-side payload installed by the pool initializer.
 _PAYLOAD: Any = None
+
+#: Worker-side flag: record a span subtree per task and ship it home.
+_TRACE: bool = False
 
 
 class RemoteTaskError(RuntimeError):
@@ -79,12 +101,19 @@ class RemoteTaskError(RuntimeError):
 
 @dataclass
 class TaskOutcome:
-    """One item's result: a value, a worker error, or an interruption."""
+    """One item's result: a value, a worker error, or an interruption.
+
+    ``seconds`` and ``worker_pid`` are telemetry, not results: they are
+    excluded from equality so outcome lists stay comparable across
+    pool/chunked/inline runs whose timings necessarily differ.
+    """
 
     item: Any
     value: Any = None
     error: dict | None = None
     interrupted: bool = False
+    seconds: float = field(default=0.0, compare=False)
+    worker_pid: int | None = field(default=None, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -97,9 +126,15 @@ class TaskOutcome:
         return self.value
 
 
-def _init_worker(payload: Any) -> None:
-    global _PAYLOAD
+def _init_worker(payload: Any, trace: bool = False) -> None:
+    global _PAYLOAD, _TRACE
     _PAYLOAD = payload
+    _TRACE = trace
+    # Under ``fork`` the worker inherits the parent's live tracer (and its
+    # whole span forest). Spans recorded there would be silently lost —
+    # each task instead runs under a fresh tracer and ships its subtree
+    # home explicitly.
+    disable_tracing()
 
 
 def _counter_values() -> dict[str, float]:
@@ -107,21 +142,33 @@ def _counter_values() -> dict[str, float]:
 
 
 def _run_task(fn: Callable[[Any, Any], Any], item: Any) -> tuple:
-    """Worker-side wrapper: run one item, capture errors + counter deltas."""
+    """Worker-side wrapper: run one item, capture errors + counter deltas
+    + (when tracing) the task's span subtree in wire form."""
     before = _counter_values()
+    tracer = enable_tracing() if _TRACE else None
     value = None
     error = None
+    start = time.perf_counter()
     try:
         value = fn(_PAYLOAD, item)
     except Exception as exc:  # travels back as data, not as pool poison
         error = {"type": type(exc).__name__, "message": str(exc)}
+    seconds = time.perf_counter() - start
+    trace = None
+    if tracer is not None:
+        if tracer.roots:
+            trace = {
+                "pid": os.getpid(),
+                "spans": [span_to_wire(sp) for sp in tracer.roots],
+            }
+        disable_tracing()
     after = _counter_values()
     deltas = {
         name: after[name] - before.get(name, 0.0)
         for name in after
         if after[name] != before.get(name, 0.0)
     }
-    return value, error, deltas
+    return value, error, deltas, seconds, trace
 
 
 def _run_chunk(fn: Callable[[Any, Any], Any], chunk: list) -> list[tuple]:
@@ -208,16 +255,19 @@ def _inline_map(fn, payload, items, deadline) -> Iterator[TaskOutcome]:
             continue
         value = None
         error = None
+        start = time.perf_counter()
         try:
             value = fn(payload, item)
         except Exception as exc:  # mirror the worker boundary: error as data
             error = {"type": type(exc).__name__, "message": str(exc)}
+        seconds = time.perf_counter() - start
+        _TASK_SECONDS.observe(seconds)
         _TASKS_INLINED.inc()
         if error is not None:
             _TASKS_FAILED.inc()
         else:
             _TASKS_OK.inc()
-        yield TaskOutcome(item=item, value=value, error=error)
+        yield TaskOutcome(item=item, value=value, error=error, seconds=seconds)
 
 
 def _ordered_map(
@@ -229,7 +279,7 @@ def _ordered_map(
         max_workers=workers,
         mp_context=_pool_context(),
         initializer=_init_worker,
-        initargs=(payload,),
+        initargs=(payload, tracing_enabled()),
     ) as pool:
         futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
         try:
@@ -240,7 +290,26 @@ def _ordered_map(
             pool.shutdown(wait=True, cancel_futures=True)
 
 
+def _graft_trace(trace: dict, tracer, worker_ids: dict[int, int]) -> None:
+    """Attach one task's wire-form span subtrees to the parent trace.
+
+    Each worker pid gets a stable sequential ``worker`` id (order of
+    first completed task), so traces read ``worker=0..n-1`` regardless of
+    the pids the OS handed out.
+    """
+    pid = int(trace["pid"])
+    worker = worker_ids.setdefault(pid, len(worker_ids))
+    for wire in trace["spans"]:
+        sp = span_from_wire(wire)
+        sp.attrs["worker"] = worker
+        sp.attrs["worker_pid"] = pid
+        tracer.graft(sp)
+        _SPANS_GRAFTED.inc()
+
+
 def _consume(futures, chunks, deadline, registry) -> Iterator[TaskOutcome]:
+    tracer = get_tracer()
+    worker_ids: dict[int, int] = {}
     interrupted = False
     for chunk, future in zip(chunks, futures):
         if not interrupted and deadline is not None and deadline.expired():
@@ -263,11 +332,20 @@ def _consume(futures, chunks, deadline, registry) -> Iterator[TaskOutcome]:
             for item in chunk:
                 yield TaskOutcome(item=item, interrupted=True)
             continue
-        for item, (value, error, deltas) in zip(chunk, results):
+        for item, (value, error, deltas, seconds, trace) in zip(chunk, results):
             for name, delta in deltas.items():
                 registry.counter(name).inc(delta)
+            _TASK_SECONDS.observe(seconds)
+            worker_pid = None
+            if trace is not None:
+                worker_pid = int(trace["pid"])
+                if tracer is not None:
+                    _graft_trace(trace, tracer, worker_ids)
             if error is not None:
                 _TASKS_FAILED.inc()
             else:
                 _TASKS_OK.inc()
-            yield TaskOutcome(item=item, value=value, error=error)
+            yield TaskOutcome(
+                item=item, value=value, error=error,
+                seconds=seconds, worker_pid=worker_pid,
+            )

@@ -15,6 +15,7 @@ from repro.core.variants import variant_by_key
 from repro.eval.persistence import experiment_result_to_dict
 from repro.eval.runner import run_resilient
 from repro.ml.calibration import calibrate_min_sim
+from repro.obs import disable_tracing, enable_tracing
 from repro.resilience import ErrorCollector, FaultPlan, fault_plan
 
 
@@ -73,6 +74,41 @@ class TestParallelExperiment:
                 fitted.config.min_sim,
                 workers=0,
             )
+
+
+class TestParallelTracing:
+    @pytest.fixture(autouse=True)
+    def clean_tracer(self):
+        disable_tracing()
+        yield
+        disable_tracing()
+
+    def test_worker_spans_grafted_and_results_unchanged(
+        self, fitted, small_db, names
+    ):
+        _, truth = small_db
+        variant = variant_by_key("distinct")
+        min_sim = fitted.config.min_sim
+        serial = run_resilient(fitted, truth, names, variant, min_sim)
+
+        tracer = enable_tracing()
+        parallel = run_resilient(
+            fitted, truth, names, variant, min_sim, workers=4
+        )
+        assert _result_bytes(serial) == _result_bytes(parallel)
+
+        (root,) = [r for r in tracer.roots if r.name == "experiment.resilient"]
+        grafted = [c for c in root.children if "worker" in c.attrs]
+        assert grafted, "no worker subtrees landed in the parent trace"
+        assert {sp.attrs["worker"] for sp in grafted} <= set(range(4))
+        assert all(sp.attrs["worker_pid"] > 0 for sp in grafted)
+        # The subtrees are the real per-name pipeline spans, not stubs.
+        prepared = [sp for sp in grafted if sp.find("resolve.prepare")]
+        assert len(prepared) == len(names)
+        traced_names = {
+            sp.find("resolve.prepare").attrs["name"] for sp in prepared
+        }
+        assert traced_names == set(names)
 
 
 class TestParallelCalibration:

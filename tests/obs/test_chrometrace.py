@@ -1,0 +1,134 @@
+"""Chrome trace-event export: event shape, worker tracks, timeline layout."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import disable_tracing, enable_tracing, span, trace_payload
+from repro.obs.chrometrace import MAIN_PID, chrome_trace_events, write_chrome_trace
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    disable_tracing()
+    yield
+    disable_tracing()
+
+
+def recorded_payload() -> dict:
+    enable_tracing()
+    with span("resolve", name="Wei Wang"):
+        with span("resolve.prepare") as sp:
+            sp.add("pairs.scored", 3)
+        with span("resolve.cluster"):
+            pass
+    return trace_payload()
+
+
+def events_of(doc: dict, name: str) -> list[dict]:
+    return [e for e in doc["traceEvents"] if e.get("name") == name]
+
+
+class TestEventShape:
+    def test_one_complete_event_per_span(self):
+        doc = chrome_trace_events(recorded_payload())
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in complete} == {
+            "resolve", "resolve.prepare", "resolve.cluster",
+        }
+
+    def test_microsecond_ts_and_dur(self):
+        payload = recorded_payload()
+        doc = chrome_trace_events(payload)
+        root = events_of(doc, "resolve")[0]
+        assert root["dur"] == pytest.approx(
+            payload["spans"][0]["duration_s"] * 1e6, rel=1e-6
+        )
+        prepare = events_of(doc, "resolve.prepare")[0]
+        assert prepare["ts"] >= root["ts"]
+        assert prepare["ts"] + prepare["dur"] <= root["ts"] + root["dur"] + 1
+
+    def test_attrs_and_counters_in_args(self):
+        doc = chrome_trace_events(recorded_payload())
+        root = events_of(doc, "resolve")[0]
+        assert root["args"]["name"] == "Wei Wang"
+        prepare = events_of(doc, "resolve.prepare")[0]
+        assert prepare["args"]["counter.pairs.scored"] == 3
+
+    def test_main_process_metadata(self):
+        doc = chrome_trace_events(recorded_payload())
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert {"pid": MAIN_PID, "args": {"name": "repro"}}.items() <= {
+            "pid": meta[0]["pid"], "args": meta[0]["args"],
+        }.items()
+
+    def test_display_time_unit(self):
+        assert chrome_trace_events({"spans": []})["displayTimeUnit"] == "ms"
+
+
+class TestWorkerTracks:
+    def worker_payload(self) -> dict:
+        # The shape perf.parallel grafting produces: a worker subtree
+        # annotated with worker/worker_pid under the parent span.
+        return {
+            "version": 1,
+            "spans": [{
+                "name": "experiment.resilient", "start_s": 0.0,
+                "duration_s": 1.0,
+                "children": [
+                    {"name": "task", "start_s": 0.1, "duration_s": 0.4,
+                     "attrs": {"worker": 0, "worker_pid": 4242},
+                     "children": [
+                         {"name": "task.inner", "start_s": 0.2,
+                          "duration_s": 0.1, "children": []},
+                     ]},
+                ],
+            }],
+            "metrics": {},
+        }
+
+    def test_worker_subtree_gets_its_own_pid_track(self):
+        doc = chrome_trace_events(self.worker_payload())
+        assert events_of(doc, "experiment.resilient")[0]["pid"] == MAIN_PID
+        assert events_of(doc, "task")[0]["pid"] == 4242
+        # Children inherit the worker track without repeating the attr.
+        assert events_of(doc, "task.inner")[0]["pid"] == 4242
+
+    def test_worker_track_labeled(self):
+        doc = chrome_trace_events(self.worker_payload())
+        labels = {
+            e["pid"]: e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M"
+        }
+        assert labels[4242] == "worker 4242"
+        assert labels[MAIN_PID] == "repro"
+
+
+class TestFallbackLayout:
+    def test_spans_without_start_s_laid_end_to_end(self):
+        payload = {
+            "version": 1,
+            "spans": [{
+                "name": "root", "duration_s": 1.0,
+                "children": [
+                    {"name": "a", "duration_s": 0.25, "children": []},
+                    {"name": "b", "duration_s": 0.5, "children": []},
+                ],
+            }],
+            "metrics": {},
+        }
+        doc = chrome_trace_events(payload)
+        a = events_of(doc, "a")[0]
+        b = events_of(doc, "b")[0]
+        assert a["ts"] == 0.0
+        assert b["ts"] == pytest.approx(0.25e6)
+
+
+class TestWrite:
+    def test_written_file_is_loadable_json(self, tmp_path):
+        path = write_chrome_trace(tmp_path / "sub" / "t.json", recorded_payload())
+        doc = json.loads(path.read_text())
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])

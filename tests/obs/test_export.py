@@ -1,4 +1,4 @@
-"""JSON export round-trip and the human-readable tree report."""
+"""JSON export round-trip, tree report, hot spans, and phase timeline."""
 
 import json
 
@@ -6,7 +6,10 @@ import pytest
 
 from repro.obs.export import (
     TRACE_FORMAT_VERSION,
+    hot_spans,
     load_trace,
+    render_hot_spans,
+    render_phase_timeline,
     render_tree,
     span_to_dict,
     trace_payload,
@@ -97,3 +100,97 @@ class TestRenderTree:
             pass
         text = render_tree(trace_payload(tracer, metrics))
         assert "never.incremented" not in text
+
+
+class TestStartOffsets:
+    def test_spans_carry_start_s_offsets_from_trace_epoch(self):
+        tracer, metrics = _sample_run()
+        payload = trace_payload(tracer, metrics)
+        root = payload["spans"][0]
+        assert root["start_s"] == 0.0  # the earliest root is the epoch
+        children = root["children"]
+        assert 0.0 <= children[0]["start_s"] <= children[1]["start_s"]
+        assert children[1]["start_s"] <= root["duration_s"] + 1e-6
+
+    def test_span_to_dict_without_epoch_omits_start_s(self):
+        tracer, _ = _sample_run()
+        assert "start_s" not in span_to_dict(tracer.roots[0])
+
+
+TIMELINE_PAYLOAD = {
+    "version": 1,
+    "spans": [{
+        "name": "experiment", "start_s": 0.0, "duration_s": 1.0,
+        "children": [
+            {"name": "prepare", "start_s": 0.0, "duration_s": 0.6,
+             "children": [
+                 {"name": "kernel", "start_s": 0.1, "duration_s": 0.5,
+                  "children": []},
+             ]},
+            {"name": "cluster", "start_s": 0.6, "duration_s": 0.2,
+             "children": []},
+            {"name": "cluster", "start_s": 0.8, "duration_s": 0.2,
+             "children": []},
+        ],
+    }],
+    "metrics": {},
+}
+
+
+class TestHotSpans:
+    def test_aggregates_by_name_sorted_by_total(self):
+        entries = hot_spans(TIMELINE_PAYLOAD)
+        assert [e["name"] for e in entries] == [
+            "experiment", "prepare", "kernel", "cluster",
+        ]
+        cluster = entries[-1]
+        assert cluster["count"] == 2
+        assert cluster["total_s"] == pytest.approx(0.4)
+        assert cluster["max_s"] == pytest.approx(0.2)
+
+    def test_self_time_excludes_children(self):
+        entries = {e["name"]: e for e in hot_spans(TIMELINE_PAYLOAD)}
+        assert entries["experiment"]["self_s"] == pytest.approx(0.0)
+        assert entries["prepare"]["self_s"] == pytest.approx(0.1)
+        assert entries["kernel"]["self_s"] == pytest.approx(0.5)
+
+    def test_top_truncates(self):
+        assert len(hot_spans(TIMELINE_PAYLOAD, top=2)) == 2
+
+    def test_render_table(self):
+        text = render_hot_spans(TIMELINE_PAYLOAD, top=3)
+        assert text.splitlines()[0] == "top 3 spans by total wall time:"
+        assert "experiment" in text
+        assert "cluster" not in text  # truncated at 3
+
+    def test_empty_payload(self):
+        assert render_hot_spans({"spans": []}) == "no spans recorded"
+
+
+class TestPhaseTimeline:
+    def test_bars_positioned_by_start_offset(self):
+        text = render_phase_timeline(TIMELINE_PAYLOAD, width=10)
+        lines = text.splitlines()
+        assert lines[0].startswith("experiment")
+        prepare = next(l for l in lines if "prepare" in l)
+        cluster = next(l for l in lines if "cluster" in l)
+        # prepare starts at the left edge; the first cluster at 60%.
+        assert "|######" in prepare
+        assert "|      ##" in cluster
+
+    def test_fallback_layout_without_start_s(self):
+        payload = {
+            "spans": [{
+                "name": "root", "duration_s": 1.0,
+                "children": [
+                    {"name": "a", "duration_s": 0.5, "children": []},
+                    {"name": "b", "duration_s": 0.5, "children": []},
+                ],
+            }],
+        }
+        lines = render_phase_timeline(payload, width=8).splitlines()
+        assert "|####    |" in lines[1]
+        assert "|    ####|" in lines[2]
+
+    def test_empty_payload(self):
+        assert render_phase_timeline({"spans": []}) == "no spans recorded"

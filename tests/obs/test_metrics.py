@@ -1,5 +1,7 @@
 """Counter / gauge / histogram semantics and registry behavior."""
 
+import threading
+
 import pytest
 
 from repro.obs.metrics import (
@@ -59,6 +61,52 @@ class TestHistogram:
     def test_empty_histogram_mean(self):
         assert Histogram("h").mean == 0.0
 
+    def test_value_exactly_on_bucket_bound_lands_in_that_bucket(self):
+        # ``le`` semantics: the bound belongs to its own bucket, not the
+        # next one — this is what OpenMetrics exposition assumes.
+        h = Histogram("h", buckets=(1.0, 2.0))
+        h.observe(1.0)
+        h.observe(2.0)
+        assert h.counts == [1, 1, 0]
+
+
+class TestThreadSafety:
+    N_THREADS = 8
+    PER_THREAD = 2000
+
+    def _hammer(self, fn):
+        threads = [
+            threading.Thread(target=fn) for _ in range(self.N_THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    def test_concurrent_counter_incs_are_not_lost(self):
+        c = Counter("c")
+        self._hammer(lambda: [c.inc() for _ in range(self.PER_THREAD)])
+        assert c.value == self.N_THREADS * self.PER_THREAD
+
+    def test_concurrent_gauge_inc_dec_balances(self):
+        g = Gauge("g")
+
+        def work():
+            for _ in range(self.PER_THREAD):
+                g.inc(3)
+                g.dec(3)
+
+        self._hammer(work)
+        assert g.value == 0
+
+    def test_concurrent_histogram_observes_consistent(self):
+        h = Histogram("h", buckets=(0.5,))
+        self._hammer(lambda: [h.observe(1.0) for _ in range(self.PER_THREAD)])
+        total = self.N_THREADS * self.PER_THREAD
+        assert h.count == total
+        assert h.counts == [0, total]
+        assert h.sum == pytest.approx(float(total))
+
 
 class TestRegistry:
     def test_snapshot_shape(self):
@@ -93,6 +141,35 @@ class TestRegistry:
         assert h.count == 0 and h.sum == 0.0
         c.inc()
         assert reg.snapshot()["counters"]["c"] == 1
+
+    def test_reset_preserves_identity_under_a_live_sampler(self):
+        # The sampler binds its instruments at import time; a registry
+        # reset mid-run must zero them without orphaning those bindings.
+        from repro.obs.sampler import ResourceSampler
+
+        reg = get_metrics()
+        saved = reg.snapshot()
+        sampler = ResourceSampler(interval=60.0)
+        try:
+            sampler.sample_once()
+            assert reg.counter("obs.sampler.ticks").value >= 1
+            reg.reset()
+            assert reg.counter("obs.sampler.ticks").value == 0
+            sampler.sample_once()
+            snap = reg.snapshot()
+            assert snap["counters"]["obs.sampler.ticks"] == 1
+            assert snap["gauges"]["obs.sampler.rss_bytes"] > 0
+        finally:
+            # Other tests assert on cumulative global counters; put the
+            # pre-test values back (histograms stay zeroed — nothing
+            # asserts on their cumulative global state).
+            reg.reset()
+            for name, value in saved["counters"].items():
+                if value:
+                    reg.counter(name).inc(value)
+            for name, value in saved["gauges"].items():
+                if value:
+                    reg.gauge(name).set(value)
 
 
 class TestPipelineCounters:

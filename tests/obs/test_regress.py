@@ -1,0 +1,191 @@
+"""Perf-regression observatory: baselines, verdicts, history parsing."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.regress import (
+    DEFAULT_TOLERANCE,
+    NO_BASELINE,
+    OK,
+    REGRESSION,
+    compare_latest,
+    load_history,
+)
+
+REPO_HISTORY = Path(__file__).resolve().parents[2] / "BENCH_history.jsonl"
+
+
+def run(speedups: dict[str, float], tiny: bool = True, n_refs: int = 40,
+        **extra) -> dict:
+    entry = {
+        "timestamp": "2026-08-07T00:00:00+00:00",
+        "git_sha": "deadbeef",
+        "tiny": tiny,
+        "config": {"n_refs": n_refs},
+        "speedups": speedups,
+        "equivalent": True,
+    }
+    entry.update(extra)
+    return entry
+
+
+def history_with_slowdown(factor: float) -> list[dict]:
+    """Five steady runs, then a latest whose kernels slowed by ``factor``."""
+    steady = {"pair_kernels": 10.0, "propagation": 4.0}
+    slowed = {k: v / factor for k, v in steady.items()}
+    return [run(steady) for _ in range(5)] + [run(slowed)]
+
+
+def by_section(report) -> dict:
+    return {v.section: v for v in report.sections}
+
+
+class TestVerdicts:
+    def test_synthetic_2x_slowdown_is_flagged(self):
+        report = compare_latest(history_with_slowdown(2.0))
+        verdicts = by_section(report)
+        assert verdicts["pair_kernels"].status == REGRESSION
+        assert verdicts["propagation"].status == REGRESSION
+        assert verdicts["pair_kernels"].ratio == pytest.approx(0.5)
+        assert not report.ok
+
+    def test_steady_history_passes(self):
+        report = compare_latest(history_with_slowdown(1.0))
+        assert report.ok
+        assert all(v.status == OK for v in report.sections)
+
+    def test_drop_within_tolerance_passes(self):
+        # 25% below baseline < default 35% tolerance.
+        report = compare_latest(history_with_slowdown(1.0 / 0.75))
+        assert report.ok
+
+    def test_improvement_never_flags(self):
+        report = compare_latest(history_with_slowdown(0.5))
+        assert report.ok
+
+    def test_baseline_is_median_not_mean(self):
+        # One absurd outlier run must not drag the baseline.
+        history = [run({"pair_kernels": 10.0}) for _ in range(4)]
+        history.append(run({"pair_kernels": 1000.0}))
+        history.append(run({"pair_kernels": 8.0}))
+        report = compare_latest(history)
+        assert by_section(report)["pair_kernels"].baseline == 10.0
+        assert report.ok
+
+
+class TestBaselineSelection:
+    def test_single_run_history_is_no_baseline_and_ok(self):
+        report = compare_latest([run({"pair_kernels": 10.0})])
+        assert by_section(report)["pair_kernels"].status == NO_BASELINE
+        assert report.ok
+
+    def test_incomparable_runs_excluded(self):
+        # Full-corpus history must not judge a tiny run (and vice versa).
+        history = [run({"pair_kernels": 50.0}, tiny=False, n_refs=150)
+                   for _ in range(5)]
+        history.append(run({"pair_kernels": 5.0}, tiny=True, n_refs=40))
+        report = compare_latest(history)
+        assert by_section(report)["pair_kernels"].status == NO_BASELINE
+        assert report.n_comparable == 0
+
+    def test_window_limits_baseline_depth(self):
+        old = [run({"pair_kernels": 100.0}) for _ in range(5)]
+        recent = [run({"pair_kernels": 10.0}) for _ in range(3)]
+        report = compare_latest(old + recent + [run({"pair_kernels": 9.0})],
+                                window=3)
+        assert by_section(report)["pair_kernels"].baseline == 10.0
+        assert report.ok
+
+    def test_new_section_in_latest_is_no_baseline(self):
+        history = [run({"pair_kernels": 10.0}) for _ in range(3)]
+        history.append(run({"pair_kernels": 10.0, "brand_new": 2.0}))
+        report = compare_latest(history)
+        assert by_section(report)["brand_new"].status == NO_BASELINE
+        assert report.ok
+
+    def test_empty_history_raises(self):
+        with pytest.raises(ValueError):
+            compare_latest([])
+
+    def test_bad_window_raises(self):
+        with pytest.raises(ValueError):
+            compare_latest([run({})], window=0)
+
+
+class TestThresholds:
+    def test_per_section_override(self):
+        report = compare_latest(
+            history_with_slowdown(2.0),
+            thresholds={"pair_kernels": 0.6},  # 50% drop allowed here
+        )
+        verdicts = by_section(report)
+        assert verdicts["pair_kernels"].status == OK
+        assert verdicts["propagation"].status == REGRESSION
+
+    def test_global_tolerance(self):
+        assert compare_latest(history_with_slowdown(2.0), tolerance=0.6).ok
+
+    def test_default_tolerance_flags_2x_but_not_modest_noise(self):
+        assert DEFAULT_TOLERANCE < 0.5
+        assert DEFAULT_TOLERANCE >= 0.2
+
+
+class TestEquivalenceGate:
+    def test_failed_equivalence_is_always_a_regression(self):
+        history = history_with_slowdown(1.0)
+        history[-1]["equivalent"] = False
+        report = compare_latest(history)
+        assert by_section(report)["equivalence"].status == REGRESSION
+        assert not report.ok
+
+
+class TestRendering:
+    def test_render_marks_regressions(self):
+        text = compare_latest(history_with_slowdown(2.0)).render()
+        assert "REGRESSED" in text
+        assert "regressed" in text.splitlines()[-1]
+
+    def test_render_ok_verdict(self):
+        text = compare_latest(history_with_slowdown(1.0)).render()
+        assert text.splitlines()[-1] == "verdict: OK"
+
+    def test_to_dict_is_json_serializable(self):
+        payload = compare_latest(history_with_slowdown(2.0)).to_dict()
+        assert json.loads(json.dumps(payload))["ok"] is False
+
+
+class TestLoadHistory:
+    def test_reads_jsonl_oldest_first(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        lines = [run({"pair_kernels": float(i)}) for i in range(3)]
+        path.write_text("\n".join(json.dumps(entry) for entry in lines) + "\n")
+        loaded = load_history(path)
+        assert [e["speedups"]["pair_kernels"] for e in loaded] == [0.0, 1.0, 2.0]
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text("\n" + json.dumps(run({})) + "\n\n")
+        assert len(load_history(path)) == 1
+
+    def test_malformed_line_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text(json.dumps(run({})) + "\n{not json\n")
+        with pytest.raises(ValueError, match=":2:"):
+            load_history(path)
+
+    def test_non_object_line_rejected(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(ValueError):
+            load_history(path)
+
+
+@pytest.mark.skipif(not REPO_HISTORY.exists(), reason="no repo bench history")
+def test_real_repo_history_passes():
+    """The acceptance gate: the observatory must pass on the actual history."""
+    report = compare_latest(load_history(REPO_HISTORY))
+    assert report.ok, report.render()

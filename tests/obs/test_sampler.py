@@ -1,0 +1,121 @@
+"""Resource sampler: stdlib readings, gauges, per-span peak attribution."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.obs import disable_tracing, enable_tracing, get_metrics, span
+from repro.obs.sampler import (
+    ResourceSampler,
+    cpu_seconds,
+    current_rss_bytes,
+    gc_collections,
+    peak_rss_bytes,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    disable_tracing()
+    get_metrics().reset()
+    yield
+    disable_tracing()
+    get_metrics().reset()
+
+
+class TestReadings:
+    def test_rss_is_positive(self):
+        assert current_rss_bytes() > 0
+        assert peak_rss_bytes() > 0
+
+    def test_peak_is_at_least_current(self):
+        # ru_maxrss is a lifetime high-water mark; the instantaneous
+        # reading can never exceed it.
+        assert peak_rss_bytes() >= current_rss_bytes() * 0.5
+
+    def test_cpu_seconds_monotone(self):
+        a = cpu_seconds()
+        sum(i * i for i in range(200_000))
+        assert cpu_seconds() >= a >= 0.0
+
+    def test_gc_collections_nonnegative(self):
+        assert gc_collections() >= 0
+
+
+class TestSampleOnce:
+    def test_publishes_gauges_and_histogram(self):
+        sampler = ResourceSampler(interval=10.0)
+        rss = sampler.sample_once()
+        snap = get_metrics().snapshot()
+        assert snap["gauges"]["obs.sampler.rss_bytes"] == rss
+        assert snap["gauges"]["obs.sampler.peak_rss_bytes"] > 0
+        assert snap["gauges"]["obs.sampler.cpu_seconds"] > 0
+        assert snap["gauges"]["obs.sampler.gc_collections"] >= 0
+        assert snap["counters"]["obs.sampler.ticks"] == 1
+        assert snap["histograms"]["obs.sampler.rss_sample_bytes"]["count"] == 1
+
+    def test_attributes_peak_rss_to_open_spans_only(self):
+        enable_tracing()
+        sampler = ResourceSampler(interval=10.0)
+        with span("outer"):
+            with span("closed.child"):
+                pass
+            with span("open.child") as inner:
+                rss = sampler.sample_once()
+                assert inner.attrs["peak_rss_bytes"] >= rss * 0.5
+            closed = inner
+        # The child that was already closed at sample time is untouched.
+        from repro.obs import get_tracer
+
+        root = get_tracer().roots[0]
+        assert root.attrs["peak_rss_bytes"] > 0
+        assert "peak_rss_bytes" not in root.children[0].attrs
+        assert "peak_rss_bytes" in closed.attrs
+
+    def test_peak_attr_only_raises(self):
+        enable_tracing()
+        sampler = ResourceSampler(interval=10.0)
+        with span("stage") as sp:
+            sampler.sample_once()
+            first = sp.attrs["peak_rss_bytes"]
+            sp.attrs["peak_rss_bytes"] = first * 100  # simulate a larger peak
+            sampler.sample_once()
+            assert sp.attrs["peak_rss_bytes"] == first * 100
+
+    def test_no_tracer_is_fine(self):
+        assert ResourceSampler(interval=10.0).sample_once() > 0
+
+
+class TestLifecycle:
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ResourceSampler(interval=0.0)
+
+    def test_context_manager_samples_at_least_once(self):
+        with ResourceSampler(interval=60.0) as sampler:
+            assert sampler.running
+        assert not sampler.running
+        # stop() takes a final sample even when no tick elapsed.
+        assert get_metrics().snapshot()["counters"]["obs.sampler.ticks"] >= 1
+
+    def test_background_thread_ticks(self):
+        with ResourceSampler(interval=0.005):
+            time.sleep(0.05)
+        assert get_metrics().snapshot()["counters"]["obs.sampler.ticks"] >= 2
+
+    def test_start_stop_idempotent(self):
+        sampler = ResourceSampler(interval=60.0)
+        assert sampler.start() is sampler.start()
+        sampler.stop()
+        sampler.stop()
+        assert not sampler.running
+
+    def test_restartable(self):
+        sampler = ResourceSampler(interval=60.0)
+        sampler.start()
+        sampler.stop()
+        sampler.start()
+        assert sampler.running
+        sampler.stop()

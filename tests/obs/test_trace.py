@@ -1,4 +1,4 @@
-"""Span nesting, timing, no-op mode, and thread isolation."""
+"""Span nesting, timing, no-op mode, thread isolation, wire transport."""
 
 import threading
 import time
@@ -13,6 +13,8 @@ from repro.obs.trace import (
     enable_tracing,
     get_tracer,
     span,
+    span_from_wire,
+    span_to_wire,
     timed,
     tracing_enabled,
 )
@@ -100,8 +102,27 @@ class TestTiming:
                 raise RuntimeError("boom")
         (root,) = tracer.roots
         assert root.attrs.get("error") is True
+        assert root.attrs.get("error_type") == "RuntimeError"
         assert root.end is not None
         assert current_span() is NOOP_SPAN
+
+    def test_exception_marks_only_the_failing_frame_is_exception_typed(self):
+        tracer = enable_tracing()
+        with pytest.raises(KeyError):
+            with span("outer"):
+                with span("inner"):
+                    raise KeyError("missing")
+        (root,) = tracer.roots
+        # Both spans were open when the exception unwound through them.
+        assert root.attrs["error_type"] == "KeyError"
+        assert root.children[0].attrs["error_type"] == "KeyError"
+
+    def test_clean_exit_has_no_error_attrs(self):
+        enable_tracing()
+        with span("fine") as sp:
+            pass
+        assert "error" not in sp.attrs
+        assert "error_type" not in sp.attrs
 
 
 class TestNoopMode:
@@ -188,3 +209,64 @@ class TestTracerApi:
         tracer.finish(sp)
         assert sp.children == [child]
         assert sp.end is not None
+
+
+class TestWire:
+    def recorded_root(self):
+        tracer = enable_tracing()
+        with span("task", item=7) as root:
+            root.add("pairs", 3)
+            with span("task.inner"):
+                time.sleep(0.002)
+        return tracer.roots[0]
+
+    def test_round_trip_preserves_structure_and_timing(self):
+        root = self.recorded_root()
+        back = span_from_wire(span_to_wire(root))
+        assert back.name == "task"
+        assert back.attrs == {"item": 7}
+        assert back.counters == {"pairs": 3.0}
+        assert back.start == root.start
+        assert back.end == root.end
+        assert [c.name for c in back.children] == ["task.inner"]
+        assert back.children[0].duration == pytest.approx(
+            root.children[0].duration
+        )
+
+    def test_wire_form_is_plain_data(self):
+        import json
+
+        payload = span_to_wire(self.recorded_root())
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_open_span_serialized_as_if_closed(self):
+        tracer = Tracer()
+        sp = tracer.start("open")
+        time.sleep(0.002)
+        wire = span_to_wire(sp)
+        assert wire["end"] >= wire["start"]
+        assert span_from_wire(wire).end is not None
+
+
+class TestGraft:
+    def test_graft_under_open_span(self):
+        tracer = enable_tracing()
+        subtree = span_from_wire(span_to_wire(Tracer().start("worker.task")))
+        with span("parent") as parent:
+            assert tracer.graft(subtree) is subtree
+        assert parent.children == [subtree]
+
+    def test_graft_without_open_span_becomes_root(self):
+        tracer = enable_tracing()
+        subtree = span_from_wire(span_to_wire(Tracer().start("worker.task")))
+        tracer.graft(subtree)
+        assert subtree in tracer.roots
+
+    def test_graft_does_not_disturb_the_open_stack(self):
+        tracer = enable_tracing()
+        subtree = span_from_wire(span_to_wire(Tracer().start("worker.task")))
+        with span("parent") as parent:
+            tracer.graft(subtree)
+            with span("sibling") as sib:
+                pass
+        assert parent.children == [subtree, sib]

@@ -10,7 +10,7 @@ import time
 
 import pytest
 
-from repro.obs import counter, get_metrics
+from repro.obs import counter, disable_tracing, enable_tracing, get_metrics, span
 from repro.perf import RemoteTaskError, TaskOutcome, ordered_process_map, should_inline
 from repro.resilience import Deadline
 
@@ -33,6 +33,13 @@ def _bump_counter(payload, item):
 def _sleepy(payload, item):
     time.sleep(item)
     return item
+
+
+def _traced_work(payload, item):
+    with span("worker.item", item=item):
+        with span("worker.item.inner"):
+            time.sleep(0.001)
+    return item * 2
 
 
 class TestOrderedProcessMap:
@@ -151,6 +158,68 @@ class TestInlineDispatch:
         )
         assert outcomes[0].ok
         assert outcomes[1].interrupted and outcomes[2].interrupted
+
+
+class TestTraceGrafting:
+    @pytest.fixture(autouse=True)
+    def clean_tracer(self):
+        disable_tracing()
+        yield
+        disable_tracing()
+
+    def test_worker_spans_grafted_into_parent_trace(self):
+        tracer = enable_tracing()
+        grafted0 = get_metrics().counter("perf.parallel.spans_grafted").value
+        with span("driver") as parent:
+            outcomes = list(
+                ordered_process_map(_traced_work, None, [1, 2, 3], workers=2)
+            )
+        assert [o.value for o in outcomes] == [2, 4, 6]
+        worker_roots = [c for c in parent.children if c.name == "worker.item"]
+        assert len(worker_roots) == 3
+        assert {sp.attrs["item"] for sp in worker_roots} == {1, 2, 3}
+        for sp in worker_roots:
+            assert sp.attrs["worker"] in (0, 1)
+            assert sp.attrs["worker_pid"] > 0
+            assert [c.name for c in sp.children] == ["worker.item.inner"]
+            assert sp.end is not None
+        assert tracer.roots == [parent]  # grafts landed under the open span
+        delta = get_metrics().counter("perf.parallel.spans_grafted").value - grafted0
+        assert delta == 3
+
+    def test_results_identical_with_and_without_tracing(self):
+        plain = list(ordered_process_map(_traced_work, None, [3, 1, 2], workers=2))
+        enable_tracing()
+        traced = list(ordered_process_map(_traced_work, None, [3, 1, 2], workers=2))
+        assert traced == plain  # seconds/worker_pid are compare=False
+
+    def test_no_grafting_when_tracing_disabled(self):
+        grafted0 = get_metrics().counter("perf.parallel.spans_grafted").value
+        outcomes = list(ordered_process_map(_traced_work, None, [1, 2], workers=2))
+        assert [o.value for o in outcomes] == [2, 4]
+        assert (
+            get_metrics().counter("perf.parallel.spans_grafted").value == grafted0
+        )
+
+    def test_task_seconds_populated(self):
+        enable_tracing()
+        outcomes = list(ordered_process_map(_traced_work, None, [1], workers=1))
+        assert outcomes[0].seconds > 0.0
+        assert outcomes[0].worker_pid is not None
+
+    def test_inline_map_keeps_spans_local(self):
+        tracer = enable_tracing()
+        with span("driver") as parent:
+            list(
+                ordered_process_map(
+                    _traced_work, None, [1, 2], workers=2, inline=True
+                )
+            )
+        names = [c.name for c in parent.children]
+        assert names == ["worker.item", "worker.item"]
+        # Inline spans are recorded directly, not round-tripped over the wire.
+        assert all("worker" not in c.attrs for c in parent.children)
+        assert tracer.roots == [parent]
 
 
 class TestShouldInline:

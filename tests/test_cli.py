@@ -259,6 +259,28 @@ class TestObservabilityFlags:
         assert code == 0
         assert not tracing_enabled()
 
+    def test_sample_resources_feeds_sampler_metrics_into_trace(
+        self, world_dir, model_dir, tmp_path
+    ):
+        from repro.obs.export import load_trace
+
+        trace_path = tmp_path / "trace.json"
+        code = main(
+            [
+                "resolve",
+                "--db", str(world_dir),
+                "--models", str(model_dir),
+                "--name", "Rakesh Kumar",
+                "--trace-out", str(trace_path),
+                "--sample-resources", "0.01",
+            ]
+        )
+        assert code == 0
+        metrics = load_trace(trace_path)["metrics"]
+        assert metrics["counters"]["obs.sampler.ticks"] >= 1
+        assert metrics["gauges"]["obs.sampler.rss_bytes"] > 0
+        assert metrics["gauges"]["obs.sampler.cpu_seconds"] > 0
+
     def test_flags_accepted_before_subcommand(self, world_dir, capsys):
         code = main(["--log-level", "ERROR", "stats", "--db", str(world_dir)])
         assert code == 0
@@ -354,3 +376,133 @@ class TestResilienceFlags:
         assert code == 0
         assert ckpt.exists()
         assert "best min-sim:" in capsys.readouterr().out
+
+class TestReportCommand:
+    @pytest.fixture(scope="class")
+    def trace_path(self, world_dir, model_dir, tmp_path_factory):
+        path = tmp_path_factory.mktemp("report") / "trace.json"
+        code = main(
+            [
+                "resolve",
+                "--db", str(world_dir),
+                "--models", str(model_dir),
+                "--name", "Rakesh Kumar",
+                "--trace-out", str(path),
+            ]
+        )
+        assert code == 0
+        return path
+
+    def _history(self, tmp_path, factor: float):
+        """Five steady bench runs then one whose kernels slowed by factor."""
+        steady = {"pair_kernels": 10.0, "propagation": 4.0}
+        entries = [
+            {
+                "timestamp": "2026-08-07T00:00:00+00:00",
+                "git_sha": "deadbeef",
+                "tiny": True,
+                "config": {"n_refs": 40},
+                "speedups": speedups,
+                "equivalent": True,
+            }
+            for speedups in [steady] * 5
+            + [{k: v / factor for k, v in steady.items()}]
+        ]
+        path = tmp_path / "history.jsonl"
+        path.write_text("\n".join(json.dumps(e) for e in entries) + "\n")
+        return path
+
+    def test_no_inputs_is_usage_error(self, capsys):
+        assert main(["report"]) == 2
+        assert "nothing to report" in capsys.readouterr().err
+
+    def test_trace_summary_prints_hot_spans_and_timeline(
+        self, trace_path, capsys
+    ):
+        assert main(["report", "--trace", str(trace_path), "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "top 5 spans by total wall time:" in out
+        assert "resolve.prepare" in out
+        assert "#" in out  # timeline bars
+
+    def test_exporter_outputs(self, trace_path, tmp_path, capsys):
+        from repro.obs import parse_openmetrics
+
+        chrome = tmp_path / "chrome.json"
+        om = tmp_path / "metrics.om"
+        code = main(
+            [
+                "report",
+                "--trace", str(trace_path),
+                "--chrome-out", str(chrome),
+                "--openmetrics-out", str(om),
+            ]
+        )
+        assert code == 0
+        doc = json.loads(chrome.read_text())
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+        text = om.read_text()
+        assert text.rstrip().endswith("# EOF")
+        parsed = parse_openmetrics(text)
+        assert parsed["counters"]["repro_pairs_scored"] > 0
+
+    def test_unreadable_trace_is_exit_2(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert main(["report", "--trace", str(missing)]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_regress_flags_synthetic_slowdown_report_only(
+        self, tmp_path, capsys
+    ):
+        history = self._history(tmp_path, factor=2.0)
+        code = main(["report", "--regress", "--history", str(history)])
+        assert code == 0  # report-only mode never gates
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+        assert "pair_kernels" in out
+
+    def test_regress_strict_gates_on_slowdown(self, tmp_path, capsys):
+        history = self._history(tmp_path, factor=2.0)
+        code = main(
+            ["report", "--regress", "--history", str(history), "--strict"]
+        )
+        assert code == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_regress_strict_passes_steady_history(self, tmp_path, capsys):
+        history = self._history(tmp_path, factor=1.0)
+        code = main(
+            ["report", "--regress", "--history", str(history), "--strict"]
+        )
+        assert code == 0
+        assert "verdict: OK" in capsys.readouterr().out
+
+    def test_threshold_override_waives_a_section(self, tmp_path, capsys):
+        history = self._history(tmp_path, factor=2.0)
+        code = main(
+            [
+                "report", "--regress", "--history", str(history), "--strict",
+                "--threshold", "pair_kernels=0.6",
+                "--threshold", "propagation=0.6",
+            ]
+        )
+        assert code == 0
+        assert "verdict: OK" in capsys.readouterr().out
+
+    def test_bad_threshold_is_usage_error(self, tmp_path, capsys):
+        history = self._history(tmp_path, factor=1.0)
+        code = main(
+            [
+                "report", "--regress", "--history", str(history),
+                "--threshold", "nonsense",
+            ]
+        )
+        assert code == 2
+        assert "SECTION=FRAC" in capsys.readouterr().err
+
+    def test_missing_history_is_exit_2(self, tmp_path, capsys):
+        code = main(
+            ["report", "--regress", "--history", str(tmp_path / "no.jsonl")]
+        )
+        assert code == 2
+        assert "cannot compare bench history" in capsys.readouterr().err
