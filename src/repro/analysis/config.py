@@ -82,6 +82,7 @@ DEFAULT_CONFIG_FLAG_MAP: dict[str, str] = {
     "similarity_backend": "--backend",
     "propagation_backend": "--propagation",
     "pair_pruning": "--pair-pruning",
+    "degradation": "--degradation",
 }
 
 #: DistinctConfig fields deliberately not exposed as CLI flags; each must

@@ -54,6 +54,7 @@ from repro.obs import (
     span,
 )
 from repro.obs.export import write_trace
+from repro.perf import DEFAULT_TASK_RETRIES
 from repro.reldb.csvio import load_database, save_database
 from repro.resilience import Deadline, ErrorCollector, Policy
 
@@ -159,6 +160,14 @@ def _add_perf_options(p: argparse.ArgumentParser, workers: bool = False) -> None
         help="skip similarity evaluation for pairs with disjoint neighbor "
              "supports on every path (lossless; clustering is unchanged)",
     )
+    group.add_argument(
+        "--degradation",
+        choices=("strict", "fallback"),
+        default=None,
+        help="what to do when a fast backend fails at runtime (default: the "
+             "config's, strict); fallback recomputes the failed batch on the "
+             "scalar reference path instead of failing the run",
+    )
     if workers:
         group.add_argument(
             "--workers",
@@ -167,6 +176,15 @@ def _add_perf_options(p: argparse.ArgumentParser, workers: bool = False) -> None
             metavar="N",
             help="process-pool size for the per-name loop (default 1 = "
                  "in-process; results are identical for any N)",
+        )
+        group.add_argument(
+            "--task-retries",
+            type=int,
+            default=DEFAULT_TASK_RETRIES,
+            metavar="K",
+            help="re-dispatch budget per task when a pool worker dies "
+                 f"(default {DEFAULT_TASK_RETRIES}); past the budget the task "
+                 "fails as WorkerCrashed under the --on-error policy",
         )
 
 
@@ -434,6 +452,8 @@ def cmd_fit(args) -> int:
         config = config.with_options(propagation_backend=args.propagation)
     if args.pair_pruning:
         config = config.with_options(pair_pruning=True)
+    if args.degradation:
+        config = config.with_options(degradation=args.degradation)
     distinct = Distinct(config).fit(db)
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
@@ -469,6 +489,7 @@ def _load_pipeline(
     backend: str | None = None,
     propagation: str | None = None,
     pair_pruning: bool | None = None,
+    degradation: str | None = None,
 ) -> Distinct:
     db = _open_database(db_dir)
     models = Path(model_dir)
@@ -481,6 +502,8 @@ def _load_pipeline(
         config = config.with_options(propagation_backend=propagation)
     if pair_pruning:
         config = config.with_options(pair_pruning=True)
+    if degradation:
+        config = config.with_options(degradation=degradation)
     return Distinct.from_models(
         db,
         PathWeightModel.load(models / "resem_model.json"),
@@ -492,7 +515,7 @@ def _load_pipeline(
 def cmd_resolve(args) -> int:
     distinct = _load_pipeline(
         args.db, args.models, args.min_sim, args.backend,
-        args.propagation, args.pair_pruning,
+        args.propagation, args.pair_pruning, args.degradation,
     )
     resolution = distinct.resolve(args.name)
     print(
@@ -583,7 +606,7 @@ def cmd_calibrate(args) -> int:
 
     distinct = _load_pipeline(
         args.db, args.models, None, args.backend,
-        args.propagation, args.pair_pruning,
+        args.propagation, args.pair_pruning, args.degradation,
     )
     kwargs, collector = _resilience_kwargs(
         args,
@@ -595,6 +618,7 @@ def cmd_calibrate(args) -> int:
     result = calibrate_min_sim(
         distinct, n_names=args.names, members=args.members, seed=args.seed,
         workers=args.workers,
+        task_retries=args.task_retries,
         **kwargs,
     )
     rows = [
@@ -754,7 +778,7 @@ def _ambiguous_names(db_dir: str, names_arg: str | None) -> list[str]:
 def cmd_experiment(args) -> int:
     distinct = _load_pipeline(
         args.db, args.models, args.min_sim, args.backend,
-        args.propagation, args.pair_pruning,
+        args.propagation, args.pair_pruning, args.degradation,
     )
     truth = load_ground_truth(args.truth)
     names = _ambiguous_names(args.db, args.names)
@@ -771,6 +795,7 @@ def cmd_experiment(args) -> int:
         variant_by_key("distinct"),
         min_sim,
         workers=args.workers,
+        task_retries=args.task_retries,
         **kwargs,
     )
     result = outcome.result

@@ -99,7 +99,9 @@ def kmedoids(
             )
         return medoids
 
-    medoids = retry(swap, budget=retries + 1, retry_on=ConvergenceError)
+    # seed=0: this engine is documented deterministic, so the retry
+    # schedule (jitter stream) must not depend on global random state.
+    medoids = retry(swap, budget=retries + 1, retry_on=ConvergenceError, seed=0)
 
     assignment = np.array(medoids)[np.argmin(dissim[:, medoids], axis=1)]
     # Under ties (duplicate items, zero dissimilarity) argmin may route a

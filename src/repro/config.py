@@ -129,6 +129,15 @@ class DistinctConfig:
     # disjoint on every path (:mod:`repro.perf.blocking`). Lossless: both
     # measures are exactly zero there, so clustering output is unchanged.
     pair_pruning: bool = False
+    # What to do when a fast backend (vectorized kernels, batched
+    # propagation, pair pruning) fails at runtime — e.g. a MemoryError on
+    # an oversized name or a SciPy sparse failure. ``"strict"`` (default)
+    # propagates the error; ``"fallback"`` recomputes that batch on the
+    # scalar reference path instead, so the run degrades to
+    # slower-but-correct rather than failing. Fallbacks are counted
+    # (``resilience.degraded.*``) and annotated on the similarity span,
+    # never silent.
+    degradation: str = "strict"
 
     # determinism
     seed: int = 0

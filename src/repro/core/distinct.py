@@ -222,6 +222,7 @@ class Distinct:
             pair_chunk=self.config.similarity_pair_chunk,
             propagation=self.config.propagation_backend,
             prune=self.config.pair_pruning,
+            degradation=self.config.degradation,
         )
 
     def _train_measure(
@@ -343,7 +344,7 @@ class Distinct:
                 backend=self.config.similarity_backend,
                 propagation=self.config.propagation_backend,
                 prune=self.config.pair_pruning,
-            ):
+            ) as sim_span:
                 features = compute_pair_features(
                     builder,
                     pairs,
@@ -351,7 +352,10 @@ class Distinct:
                     pair_chunk=self.config.similarity_pair_chunk,
                     propagation=self.config.propagation_backend,
                     prune=self.config.pair_pruning,
+                    degradation=self.config.degradation,
                 )
+                if features.degraded:
+                    sim_span.annotate(degraded=True)
             _PAIRS_SCORED.inc(len(pairs))
             prep_span.annotate(n_refs=len(refs.rows), n_pairs=len(pairs))
         log.debug("prepared %r: %d references, %d pairs", name, len(refs.rows),

@@ -28,18 +28,29 @@ profiles are never materialized.
 supports are disjoint on every path (:mod:`repro.perf.blocking`): both
 measures are *exactly* zero there, so the skipped rows are zero-filled
 and downstream clustering output is unchanged.
+
+``degradation`` is the graceful-degradation ladder: under
+``"fallback"``, a fast route that raises at runtime (``MemoryError`` on
+an oversized name, a SciPy sparse failure) is retried per batch on the
+scalar reference path — slower but correct — instead of failing the
+run. Every fallback increments ``resilience.degraded.features`` /
+``.pairs`` and flags the returned :class:`PairFeatures`, so silent
+slowdowns are impossible. ``"strict"`` (the default) propagates the
+error unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.obs import counter
+from repro.errors import DeadlineExceeded
+from repro.obs import counter, get_logger
 from repro.paths.joinpath import JoinPath
 from repro.perf.blocking import intersecting_pair_mask
 from repro.paths.profiles import ProfileBuilder
+from repro.resilience import fault_check
 from repro.similarity.combine import PathWeights, normalize_feature_rows
 from repro.similarity.randomwalk import walk_probability
 from repro.similarity.resemblance import set_resemblance
@@ -50,12 +61,19 @@ from repro.similarity.vectorized import (
     profile_matrices,
 )
 
+log = get_logger("core.features")
+
 BACKENDS = ("scalar", "vectorized")
 PROPAGATION_BACKENDS = ("scalar", "batched")
+DEGRADATION_POLICIES = ("strict", "fallback")
 
 #: Pairs evaluated through the vectorized backend (scalar pairs are
 #: tracked per call by ``similarity.resemblance.calls`` / ``.walk.calls``).
 _VECTORIZED_PAIRS = counter("features.vectorized.pairs")
+#: Fast-backend failures absorbed by ``degradation="fallback"`` (one per
+#: degraded compute_pair_features call / per affected pair).
+_DEGRADED = counter("resilience.degraded.features")
+_DEGRADED_PAIRS = counter("resilience.degraded.pairs")
 
 
 @dataclass
@@ -71,6 +89,11 @@ class PairFeatures:
     pairs: list[tuple[int, int]]
     resemblance: np.ndarray
     walk: np.ndarray
+    #: True when a fast backend failed and the values were recomputed on
+    #: the scalar reference path (``degradation="fallback"``). Telemetry,
+    #: not a result: excluded from equality so degraded and non-degraded
+    #: runs of the same inputs stay comparable.
+    degraded: bool = field(default=False, compare=False)
 
     @property
     def n_pairs(self) -> int:
@@ -103,6 +126,7 @@ def compute_pair_features(
     pair_chunk: int = DEFAULT_PAIR_CHUNK,
     propagation: str = "scalar",
     prune: bool = False,
+    degradation: str = "strict",
 ) -> PairFeatures:
     """Compute both measures for every pair along every path of ``builder``.
 
@@ -114,7 +138,9 @@ def compute_pair_features(
     module docstring). ``pair_chunk`` bounds the matrix kernels'
     per-slice working set. ``prune=True`` zero-fills pairs with disjoint
     supports on every path instead of evaluating them (their features
-    are exactly zero either way).
+    are exactly zero either way). ``degradation="fallback"`` absorbs a
+    fast-route failure by recomputing this batch on the scalar reference
+    path (see module docstring); ``"strict"`` propagates it.
     """
     if backend not in BACKENDS:
         raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
@@ -122,12 +148,41 @@ def compute_pair_features(
         raise ValueError(
             f"propagation must be one of {PROPAGATION_BACKENDS}, got {propagation!r}"
         )
-    if propagation == "batched":
-        return _batched_pair_features(builder, pairs, pair_chunk, prune)
-    if prune:
-        return _pruned_pair_features(builder, pairs, backend, pair_chunk)
-    if backend == "vectorized":
+    if degradation not in DEGRADATION_POLICIES:
+        raise ValueError(
+            f"degradation must be one of {DEGRADATION_POLICIES}, "
+            f"got {degradation!r}"
+        )
+    if propagation != "batched" and backend != "vectorized" and not prune:
+        return _scalar_pair_features(builder, pairs)
+    try:
+        fault_check("features.backend")
+        if propagation == "batched":
+            return _batched_pair_features(builder, pairs, pair_chunk, prune)
+        if prune:
+            return _pruned_pair_features(builder, pairs, backend, pair_chunk)
         return _vectorized_pair_features(builder, pairs, pair_chunk)
+    except (DeadlineExceeded, KeyboardInterrupt):
+        raise  # control flow, never a degradation trigger
+    except Exception as exc:
+        if degradation != "fallback":
+            raise
+        _DEGRADED.inc()
+        _DEGRADED_PAIRS.inc(len(pairs))
+        log.warning(
+            "fast backend failed (%s: %s); degrading %d pair(s) to the "
+            "scalar reference path (backend=%s propagation=%s prune=%s)",
+            type(exc).__name__, exc, len(pairs), backend, propagation, prune,
+        )
+        features = _scalar_pair_features(builder, pairs)
+        features.degraded = True
+        return features
+
+
+def _scalar_pair_features(
+    builder: ProfileBuilder, pairs: list[tuple[int, int]]
+) -> PairFeatures:
+    """The reference implementation: one kernel call per (pair, path)."""
     paths = builder.paths
     resem = np.zeros((len(pairs), len(paths)))
     walk = np.zeros((len(pairs), len(paths)))

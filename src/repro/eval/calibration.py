@@ -28,7 +28,7 @@ from repro.eval.metrics import pairwise_scores
 from repro.ml.trainingset import build_training_set
 from repro.obs import get_logger, span
 from repro.paths.profiles import ProfileBuilder
-from repro.perf import RemoteTaskError, ordered_process_map
+from repro.perf import DEFAULT_TASK_RETRIES, RemoteTaskError, ordered_process_map
 from repro.resilience import (
     CheckpointStore,
     Deadline,
@@ -147,6 +147,7 @@ def prepare_synthetic(distinct: Distinct, synthetic: SyntheticName) -> NamePrepa
         pair_chunk=config.similarity_pair_chunk,
         propagation=config.propagation_backend,
         prune=config.pair_pruning,
+        degradation=config.degradation,
     )
     return NamePreparation(
         name="+".join(synthetic.member_names), rows=synthetic.rows, features=features
@@ -209,6 +210,7 @@ def calibrate_min_sim(
     checkpoint: CheckpointStore | None = None,
     deadline: Deadline | None = None,
     workers: int = 1,
+    task_retries: int = DEFAULT_TASK_RETRIES,
 ) -> CalibrationResult:
     """Pick the f-maximizing min-sim over synthetic ambiguous names.
 
@@ -241,8 +243,9 @@ def calibrate_min_sim(
 
     done: dict[str, list[float]] = {}
     if checkpoint is not None and checkpoint.exists():
-        payload = checkpoint.load()
-        done = {entry["key"]: entry["f1"] for entry in payload["completed"]}
+        payload = checkpoint.load()  # None: corrupt file was quarantined
+        if payload is not None:
+            done = {entry["key"]: entry["f1"] for entry in payload["completed"]}
 
     completed: list[dict] = []
     per_name_f1: list[list[float]] = []
@@ -272,6 +275,7 @@ def calibrate_min_sim(
                 pending,
                 workers=workers,
                 deadline=deadline,
+                task_retries=task_retries,
             )
         try:
             for syn in synthetic:

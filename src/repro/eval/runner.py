@@ -36,7 +36,7 @@ from repro.errors import DeadlineExceeded
 from repro.eval.experiment import ExperimentResult, NameResult, score_resolution
 from repro.eval.persistence import name_result_from_dict, name_result_to_dict
 from repro.obs import counter, get_logger, histogram, span
-from repro.perf import RemoteTaskError, ordered_process_map
+from repro.perf import DEFAULT_TASK_RETRIES, RemoteTaskError, ordered_process_map
 from repro.resilience import (
     CheckpointStore,
     Deadline,
@@ -121,6 +121,7 @@ def run_resilient(
     checkpoint: CheckpointStore | None = None,
     deadline: Deadline | None = None,
     workers: int = 1,
+    task_retries: int = DEFAULT_TASK_RETRIES,
 ) -> ExperimentRunOutcome:
     """Score ``names`` under ``variant``, one name at a time.
 
@@ -134,7 +135,10 @@ def run_resilient(
     ``workers > 1`` scores the not-yet-checkpointed names on a process
     pool while preserving every serial guarantee (ordering, policies,
     checkpoints, deadline, merged obs counters) — see the module
-    docstring.
+    docstring. A name whose worker dies is re-dispatched up to
+    ``task_retries`` times; past the budget it surfaces as a
+    ``WorkerCrashed`` failure under the same ``policy`` as any other
+    name failure.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -147,16 +151,17 @@ def run_resilient(
 
     done: dict[str, NameResult] = {}
     if checkpoint is not None and checkpoint.exists():
-        payload = checkpoint.load()
-        done = {
-            entry["name"]: name_result_from_dict(entry)
-            for entry in payload["completed"]
-        }
-        for entry in payload.get("errors", ()):
-            log.info(
-                "checkpointed failure carried over: [%s] %s: %s",
-                entry.get("stage"), entry.get("item"), entry.get("message"),
-            )
+        payload = checkpoint.load()  # None: corrupt file was quarantined
+        if payload is not None:
+            done = {
+                entry["name"]: name_result_from_dict(entry)
+                for entry in payload["completed"]
+            }
+            for entry in payload.get("errors", ()):
+                log.info(
+                    "checkpointed failure carried over: [%s] %s: %s",
+                    entry.get("stage"), entry.get("item"), entry.get("message"),
+                )
 
     def save_progress(complete: bool = False) -> None:
         if checkpoint is not None:
@@ -182,6 +187,7 @@ def run_resilient(
                 pending,
                 workers=workers,
                 deadline=deadline,
+                task_retries=task_retries,
             )
         try:
             for name in names:

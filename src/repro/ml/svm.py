@@ -147,7 +147,12 @@ class LinearSVM:
                     seed=self.seed + k,
                 )
 
-            retry(attempt, budget=self.retries + 1, retry_on=ConvergenceError)
+            retry(
+                attempt,
+                budget=self.retries + 1,
+                retry_on=ConvergenceError,
+                seed=self.seed,
+            )
             sp.annotate(epochs=self.n_epochs_, attempts=self.n_fit_attempts_)
         _FITS.inc()
         _ITERATIONS.inc(self.n_epochs_ or 0)

@@ -24,6 +24,7 @@ REGISTERED_METRICS: dict[str, str] = {
     "blocking.pairs_kept": "counter",
     "blocking.pairs_pruned": "counter",
     # checkpointing (repro.resilience.checkpoint)
+    "checkpoint.corrupt_quarantined": "counter",
     "checkpoint.items_resumed": "counter",
     "checkpoint.writes": "counter",
     # clustering (repro.cluster.agglomerative)
@@ -69,6 +70,8 @@ REGISTERED_METRICS: dict[str, str] = {
     "perf.parallel.tasks_inlined": "counter",
     "perf.parallel.tasks_interrupted": "counter",
     "perf.parallel.tasks_ok": "counter",
+    "perf.parallel.tasks_redispatched": "counter",
+    "perf.parallel.worker_deaths": "counter",
     # transition compilation (repro.perf.transitions)
     "perf.transitions.built": "counter",
     "perf.transitions.reused": "counter",
@@ -84,6 +87,9 @@ REGISTERED_METRICS: dict[str, str] = {
     "propagation.runs": "counter",
     "propagation.steps": "counter",
     "propagation.tuples_visited": "counter",
+    # graceful degradation ladder (repro.core.features)
+    "resilience.degraded.features": "counter",
+    "resilience.degraded.pairs": "counter",
     # error policies and retries (repro.resilience.policy / .retry)
     "resilience.errors_collected": "counter",
     "resilience.items_skipped": "counter",

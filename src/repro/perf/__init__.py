@@ -35,6 +35,7 @@ from repro.perf.blocking import candidate_pairs, intersecting_pair_mask
 from repro.perf.chunking import chunk_slices, rows_per_block
 from repro.perf.memo import FanoutMemo
 from repro.perf.parallel import (
+    DEFAULT_TASK_RETRIES,
     RemoteTaskError,
     TaskOutcome,
     ordered_process_map,
@@ -43,6 +44,7 @@ from repro.perf.parallel import (
 from repro.perf.transitions import Transition, TransitionCache, build_transition
 
 __all__ = [
+    "DEFAULT_TASK_RETRIES",
     "FanoutMemo",
     "RemoteTaskError",
     "TaskOutcome",

@@ -22,6 +22,18 @@ naive ``ProcessPoolExecutor.map`` loses, this module keeps:
   ``{"type", "message"}`` payloads in the :class:`TaskOutcome` instead of
   poisoning the pool, so the caller can apply its error policy per item,
   exactly like a serial loop under :func:`repro.resilience.guard`.
+- **Worker-death recovery.** A worker killed mid-task (OOM killer,
+  SIGKILL, segfault) breaks the whole ``ProcessPoolExecutor``; instead of
+  propagating ``BrokenProcessPool``, the map respawns the pool and
+  re-dispatches the lost chunks, so one transient kill costs only the
+  lost work. Lost chunks re-run one at a time ("probation") before
+  normal dispatch resumes, which pins the blame precisely: a chunk that
+  breaks the pool while running *alone* is the killer. Each chunk may be
+  re-dispatched at most ``task_retries`` times; past that budget its
+  items are surfaced as ordinary ``TaskOutcome`` errors (``type:
+  "WorkerCrashed"``) so the caller's error policy decides, and the run
+  never hangs. Pool deaths and re-dispatches are counted
+  (``perf.parallel.worker_deaths`` / ``.tasks_redispatched``).
 - **Deadlines.** An expired :class:`~repro.resilience.Deadline` stops
   consuming results; remaining tasks are cancelled and reported as
   ``interrupted`` outcomes in order.
@@ -51,8 +63,9 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from concurrent.futures import CancelledError, ProcessPoolExecutor
+from concurrent.futures import CancelledError, Future, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Sequence
 
@@ -74,11 +87,24 @@ _TASKS_INTERRUPTED = counter("perf.parallel.tasks_interrupted")
 _TASKS_INLINED = counter("perf.parallel.tasks_inlined")
 _SPANS_GRAFTED = counter("perf.parallel.spans_grafted")
 _TASK_SECONDS = histogram("perf.parallel.task_seconds")
+_WORKER_DEATHS = counter("perf.parallel.worker_deaths")
+_TASKS_REDISPATCHED = counter("perf.parallel.tasks_redispatched")
 
 #: Below this estimated per-task cost (seconds), process-pool dispatch
 #: overhead (pickling, IPC, scheduler wakeups) dominates the work itself
 #: and :func:`should_inline` recommends the in-process path.
 DEFAULT_MIN_TASK_COST = 0.05
+
+#: How many times one chunk may be re-dispatched after a pool break
+#: before its items are surfaced as ``WorkerCrashed`` errors. The default
+#: survives any single worker death and surfaces a task that kills its
+#: worker twice.
+DEFAULT_TASK_RETRIES = 1
+
+#: In-flight dispatch window, in multiples of the pool size. Bounding the
+#: window keeps workers saturated while limiting how many chunks a single
+#: pool break can take down (every in-flight chunk is lost with the pool).
+_WINDOW_FACTOR = 2
 
 #: Worker-side payload installed by the pool initializer.
 _PAYLOAD: Any = None
@@ -219,6 +245,7 @@ def ordered_process_map(
     deadline=None,
     chunk_size: int = 1,
     inline: bool = False,
+    task_retries: int = DEFAULT_TASK_RETRIES,
 ) -> Iterator[TaskOutcome]:
     """Run ``fn(payload, item)`` for every item; yield outcomes in input order.
 
@@ -229,7 +256,10 @@ def ordered_process_map(
     expired, pending tasks are cancelled and yielded as ``interrupted``
     outcomes. ``chunk_size`` batches that many items per worker dispatch
     (outcomes stay per item); ``inline=True`` runs everything in-process
-    with identical outcome semantics.
+    with identical outcome semantics. ``task_retries`` bounds how many
+    times one chunk is re-dispatched after a worker death before its
+    items are surfaced as ``WorkerCrashed`` errors (see module
+    docstring; 0 disables re-dispatch entirely).
 
     Counter deltas from each task are merged into this process's registry
     as the task's outcome is yielded, so obs totals match a serial run.
@@ -238,9 +268,13 @@ def ordered_process_map(
         raise ValueError("workers must be >= 1")
     if chunk_size < 1:
         raise ValueError("chunk_size must be >= 1")
+    if task_retries < 0:
+        raise ValueError("task_retries must be >= 0")
     if inline:
         return _inline_map(fn, payload, list(items), deadline)
-    return _ordered_map(fn, payload, list(items), workers, deadline, chunk_size)
+    return _ordered_map(
+        fn, payload, list(items), workers, deadline, chunk_size, task_retries
+    )
 
 
 def _inline_map(fn, payload, items, deadline) -> Iterator[TaskOutcome]:
@@ -270,24 +304,159 @@ def _inline_map(fn, payload, items, deadline) -> Iterator[TaskOutcome]:
         yield TaskOutcome(item=item, value=value, error=error, seconds=seconds)
 
 
-def _ordered_map(
-    fn, payload, items, workers, deadline, chunk_size
-) -> Iterator[TaskOutcome]:
-    registry = get_metrics()
-    chunks = [items[i:i + chunk_size] for i in range(0, len(items), chunk_size)]
-    with ProcessPoolExecutor(
+def _new_pool(payload, workers) -> ProcessPoolExecutor:
+    return ProcessPoolExecutor(
         max_workers=workers,
         mp_context=_pool_context(),
         initializer=_init_worker,
         initargs=(payload, tracing_enabled()),
-    ) as pool:
-        futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
-        try:
-            yield from _consume(futures, chunks, deadline, registry)
-        finally:
-            # Also reached when the consumer abandons the iterator early:
-            # cancel queued tasks so pool teardown doesn't run them all.
-            pool.shutdown(wait=True, cancel_futures=True)
+    )
+
+
+def _crash_error(chunk: list, losses: int) -> dict:
+    items = ", ".join(repr(item) for item in chunk)
+    return {
+        "type": "WorkerCrashed",
+        "message": (
+            f"worker process died {losses} time(s) while this task was "
+            f"in flight; re-dispatch budget exhausted (items: {items})"
+        ),
+    }
+
+
+def _ordered_map(
+    fn, payload, items, workers, deadline, chunk_size, task_retries
+) -> Iterator[TaskOutcome]:
+    """The pool path: windowed dispatch, ordered assembly, crash recovery.
+
+    State per chunk index: not yet submitted (``idx >= next_submit`` and
+    not lost), in flight (``futures``), harvested (``results``), or
+    surfaced as a crash error (``crashed``). Chunks lost to a pool break
+    wait in ``probation`` and re-run one at a time so a poisonous chunk
+    is blamed precisely instead of taking innocent neighbors past their
+    retry budget.
+    """
+    registry = get_metrics()
+    chunks = [items[i:i + chunk_size] for i in range(0, len(items), chunk_size)]
+    n = len(chunks)
+    window = max(workers * _WINDOW_FACTOR, 1)
+    tracer = get_tracer()
+    worker_ids: dict[int, int] = {}
+
+    pool = _new_pool(payload, workers)
+    futures: dict[int, Future] = {}
+    results: dict[int, list[tuple]] = {}
+    crashed: dict[int, dict] = {}
+    losses = [0] * n
+    probation: set[int] = set()
+    dispatched: set[int] = set()
+    next_submit = 0
+
+    def submit(idx: int) -> None:
+        if idx in dispatched:
+            _TASKS_REDISPATCHED.inc(len(chunks[idx]))
+        dispatched.add(idx)
+        futures[idx] = pool.submit(_run_chunk, fn, chunks[idx])
+
+    def fill_window() -> None:
+        nonlocal next_submit
+        if probation:
+            # One suspect at a time: the only chunk allowed in flight is
+            # the next lost one, so a repeat break has exactly one culprit.
+            head = min(probation)
+            if head not in futures and not futures:
+                submit(head)
+            return
+        while next_submit < n and len(futures) < window:
+            submit(next_submit)
+            next_submit += 1
+
+    def handle_break() -> None:
+        nonlocal pool
+        _WORKER_DEATHS.inc()
+        pool.shutdown(wait=False, cancel_futures=True)
+        # lint: allow[determinism/unkeyed-sort] chunk indices are ints
+        for idx in sorted(futures):
+            future = futures[idx]
+            if future.cancelled():
+                # Never ran (queued behind the break): requeue, no blame.
+                probation.add(idx)
+                continue
+            # Results delivered before the break are intact; keep them.
+            if future.done() and future.exception() is None:
+                results[idx] = future.result()
+                probation.discard(idx)
+                continue
+            losses[idx] += 1
+            if losses[idx] > task_retries:
+                crashed[idx] = _crash_error(chunks[idx], losses[idx])
+                probation.discard(idx)
+            else:
+                probation.add(idx)
+        futures.clear()
+        pool = _new_pool(payload, workers)
+
+    interrupted = False
+    try:
+        for idx, chunk in enumerate(chunks):
+            if not interrupted and deadline is not None and deadline.expired():
+                interrupted = True
+            while (
+                not interrupted
+                and idx not in results
+                and idx not in crashed
+            ):
+                try:
+                    fill_window()
+                    future = futures[idx]
+                    remaining = (
+                        deadline.remaining() if deadline is not None else None
+                    )
+                    if remaining is not None:
+                        results[idx] = future.result(timeout=max(0.0, remaining))
+                    else:
+                        results[idx] = future.result()
+                except BrokenProcessPool:
+                    handle_break()
+                    continue
+                except (FutureTimeout, CancelledError):
+                    interrupted = True
+                    break
+                del futures[idx]
+                probation.discard(idx)
+            if interrupted:
+                _TASKS_INTERRUPTED.inc(len(chunk))
+                for item in chunk:
+                    yield TaskOutcome(item=item, interrupted=True)
+                continue
+            if idx in crashed:
+                _TASKS_FAILED.inc(len(chunk))
+                for item in chunk:
+                    yield TaskOutcome(item=item, error=dict(crashed[idx]))
+                continue
+            for item, (value, error, deltas, seconds, trace) in zip(
+                chunk, results.pop(idx)
+            ):
+                for name, delta in deltas.items():
+                    registry.counter(name).inc(delta)
+                _TASK_SECONDS.observe(seconds)
+                worker_pid = None
+                if trace is not None:
+                    worker_pid = int(trace["pid"])
+                    if tracer is not None:
+                        _graft_trace(trace, tracer, worker_ids)
+                if error is not None:
+                    _TASKS_FAILED.inc()
+                else:
+                    _TASKS_OK.inc()
+                yield TaskOutcome(
+                    item=item, value=value, error=error,
+                    seconds=seconds, worker_pid=worker_pid,
+                )
+    finally:
+        # Also reached when the consumer abandons the iterator early:
+        # cancel queued tasks so pool teardown doesn't run them all.
+        pool.shutdown(wait=True, cancel_futures=True)
 
 
 def _graft_trace(trace: dict, tracer, worker_ids: dict[int, int]) -> None:
@@ -307,45 +476,3 @@ def _graft_trace(trace: dict, tracer, worker_ids: dict[int, int]) -> None:
         _SPANS_GRAFTED.inc()
 
 
-def _consume(futures, chunks, deadline, registry) -> Iterator[TaskOutcome]:
-    tracer = get_tracer()
-    worker_ids: dict[int, int] = {}
-    interrupted = False
-    for chunk, future in zip(chunks, futures):
-        if not interrupted and deadline is not None and deadline.expired():
-            interrupted = True
-        if interrupted:
-            future.cancel()
-            _TASKS_INTERRUPTED.inc(len(chunk))
-            for item in chunk:
-                yield TaskOutcome(item=item, interrupted=True)
-            continue
-        try:
-            if deadline is not None and deadline.remaining() is not None:
-                results = future.result(timeout=max(0.0, deadline.remaining()))
-            else:
-                results = future.result()
-        except (FutureTimeout, CancelledError):
-            interrupted = True
-            future.cancel()
-            _TASKS_INTERRUPTED.inc(len(chunk))
-            for item in chunk:
-                yield TaskOutcome(item=item, interrupted=True)
-            continue
-        for item, (value, error, deltas, seconds, trace) in zip(chunk, results):
-            for name, delta in deltas.items():
-                registry.counter(name).inc(delta)
-            _TASK_SECONDS.observe(seconds)
-            worker_pid = None
-            if trace is not None:
-                worker_pid = int(trace["pid"])
-                if tracer is not None:
-                    _graft_trace(trace, tracer, worker_ids)
-            if error is not None:
-                _TASKS_FAILED.inc()
-            else:
-                _TASKS_OK.inc()
-            yield TaskOutcome(
-                item=item, value=value, error=error,
-                seconds=seconds, worker_pid=worker_pid,
-            )

@@ -21,6 +21,8 @@ metrics registry (see ``docs/robustness.md``).
 from repro.resilience.checkpoint import (
     CHECKPOINT_VERSION,
     CheckpointStore,
+    attach_checksum,
+    verify_checksum,
     write_json_atomic,
 )
 from repro.resilience.faults import (
@@ -29,7 +31,9 @@ from repro.resilience.faults import (
     clear_fault_plan,
     fault_check,
     fault_plan,
+    flip_byte,
     install_fault_plan,
+    truncate_file,
 )
 from repro.resilience.policy import ErrorCollector, ErrorRecord, Policy, guard
 from repro.resilience.retry import Deadline, retry
@@ -43,11 +47,15 @@ __all__ = [
     "FaultInjected",
     "FaultPlan",
     "Policy",
+    "attach_checksum",
     "clear_fault_plan",
     "fault_check",
     "fault_plan",
+    "flip_byte",
     "guard",
     "install_fault_plan",
     "retry",
+    "truncate_file",
+    "verify_checksum",
     "write_json_atomic",
 ]

@@ -2,28 +2,40 @@
 
 A checkpoint records which items of a long run (the per-name loop of
 ``experiment``, the per-synthetic-name loop of ``calibrate``) are already
-done, plus any collected errors. Writes go through tmp-file + ``os.replace``
-so a crash mid-write leaves either the previous complete checkpoint or the
-new one — never a torn file. Each file carries a ``format_version``, a
-``kind``, and the *signature* of the run that produced it (names, grid,
-thresholds …); resuming validates all three so a checkpoint from a
-different run, or a corrupt file, fails fast with
-:class:`~repro.errors.CheckpointError` instead of silently mixing results.
+done, plus any collected errors. Writes go through tmp-file + fsync +
+``os.replace`` + directory fsync, so a crash — even a power failure —
+leaves either the previous complete checkpoint or the new one, never a
+torn file. Each file carries a ``format_version``, a ``kind``, the
+*signature* of the run that produced it (names, grid, thresholds …), and
+a sha256 checksum over its own canonical content.
+
+On resume, :meth:`CheckpointStore.load` distinguishes two failure
+classes. *Corruption* — unreadable JSON, a non-object payload, a missing
+or mismatched checksum (truncation, bit rot, a partial write from a
+pre-atomic tool) — quarantines the file to ``<name>.corrupt`` and
+returns ``None``: the run restarts from nothing rather than crash or
+trust garbage. *Semantic mismatch* — an intact file from a different
+format version, kind, or run signature — still raises
+:class:`~repro.errors.CheckpointError`: the file is fine, resuming from
+it would silently mix results, and overwriting it may destroy a valid
+checkpoint of some other run.
 
 File layout::
 
     {
-      "format_version": 1,
+      "format_version": 2,
       "kind": "experiment",
       "signature": {...},          # run parameters, compared on resume
       "completed": [...],          # per-item payloads, insertion order
       "errors": [...],             # ErrorCollector.to_dicts()
-      "complete": false            # true once the run finished all items
+      "complete": false,           # true once the run finished all items
+      "checksum": "sha256:..."     # over the canonical JSON minus this key
     }
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from pathlib import Path
@@ -31,23 +43,75 @@ from pathlib import Path
 from repro.errors import CheckpointError
 from repro.obs import counter, get_logger
 
-__all__ = ["CHECKPOINT_VERSION", "CheckpointStore", "write_json_atomic"]
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointStore",
+    "attach_checksum",
+    "verify_checksum",
+    "write_json_atomic",
+]
 
 log = get_logger("resilience.checkpoint")
 
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
 
 _WRITES = counter("checkpoint.writes")
 _RESUMED = counter("checkpoint.items_resumed")
+_QUARANTINED = counter("checkpoint.corrupt_quarantined")
+
+_CHECKSUM_KEY = "checksum"
+
+
+def _payload_digest(payload: dict) -> str:
+    """sha256 over the canonical JSON form, ``checksum`` key excluded."""
+    body = {k: v for k, v in payload.items() if k != _CHECKSUM_KEY}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return "sha256:" + hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def attach_checksum(payload: dict) -> dict:
+    """A copy of ``payload`` with its ``checksum`` field (re)computed."""
+    out = dict(payload)
+    out[_CHECKSUM_KEY] = _payload_digest(payload)
+    return out
+
+
+def verify_checksum(payload: dict) -> bool:
+    """True when ``payload`` carries a checksum matching its own content."""
+    return payload.get(_CHECKSUM_KEY) == _payload_digest(payload)
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Flush a directory entry; best-effort on filesystems that refuse."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # e.g. directories not opened for reading on some OSes
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 def write_json_atomic(path: str | Path, payload: object) -> Path:
-    """Serialize ``payload`` to ``path`` via tmp file + atomic rename."""
+    """Serialize ``payload`` to ``path`` durably and atomically.
+
+    The tmp file is fsynced before ``os.replace`` (its bytes reach disk
+    before the rename can), and the parent directory is fsynced after
+    (the rename itself reaches disk), so a crash or power failure at any
+    point leaves either the old file or the complete new one.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(json.dumps(payload, indent=2))
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.flush()
+        os.fsync(handle.fileno())
     os.replace(tmp, path)
+    _fsync_dir(path.parent)
     return path
 
 
@@ -56,8 +120,9 @@ class CheckpointStore:
 
     ``save`` is called after every completed item (cheap: the payloads are
     per-item score dicts, not features); ``load`` returns the completed
-    payloads of a compatible previous run, or raises
-    :class:`CheckpointError` when the file cannot be trusted.
+    payloads of a compatible previous run, ``None`` after quarantining a
+    corrupt file, or raises :class:`CheckpointError` when an intact file
+    belongs to a different run.
     """
 
     def __init__(self, path: str | Path, kind: str, signature: dict) -> None:
@@ -68,23 +133,61 @@ class CheckpointStore:
     def exists(self) -> bool:
         return self.path.exists()
 
-    def load(self) -> dict:
+    @property
+    def quarantine_path(self) -> Path:
+        return self.path.with_name(self.path.name + ".corrupt")
+
+    def _quarantine(self, reason: str) -> None:
+        """Move the untrusted file aside so the run restarts from nothing.
+
+        The bad bytes are preserved (for forensics) at
+        :attr:`quarantine_path`, replacing any previous quarantined file.
+        """
+        _QUARANTINED.inc()
+        target = self.quarantine_path
+        try:
+            os.replace(self.path, target)
+        except OSError as exc:
+            raise CheckpointError(
+                f"corrupt checkpoint ({reason}) could not be quarantined: {exc}",
+                self.path,
+            ) from exc
+        log.warning(
+            "corrupt checkpoint quarantined to %s (%s); restarting from nothing",
+            target, reason,
+        )
+
+    def load(self) -> dict | None:
         """Validated payload of an existing checkpoint file.
 
-        Raises :class:`CheckpointError` on unreadable/corrupt JSON, an
-        unknown ``format_version``, a different ``kind``, or a signature
-        that does not match this run's parameters.
+        Returns ``None`` after quarantining a corrupt/truncated file
+        (resume from nothing). Raises :class:`CheckpointError` when the
+        file cannot be read at all, or is intact but belongs to a
+        different run (unknown ``format_version``, other ``kind``, or a
+        signature that does not match this run's parameters).
         """
         try:
             raw = self.path.read_text()
         except OSError as exc:
             raise CheckpointError(f"cannot read checkpoint: {exc}", self.path) from exc
+        except UnicodeDecodeError as exc:
+            # Bit rot can land inside a multi-byte sequence, breaking the
+            # file before JSON parsing even starts.
+            self._quarantine(f"undecodable bytes: {exc}")
+            return None
         try:
             payload = json.loads(raw)
         except json.JSONDecodeError as exc:
-            raise CheckpointError(f"corrupt checkpoint JSON: {exc}", self.path) from exc
+            self._quarantine(f"invalid JSON: {exc}")
+            return None
         if not isinstance(payload, dict):
-            raise CheckpointError("checkpoint is not a JSON object", self.path)
+            self._quarantine("payload is not a JSON object")
+            return None
+        if not verify_checksum(payload):
+            self._quarantine(
+                "checksum mismatch (truncated, bit-flipped, or checksum-less)"
+            )
+            return None
 
         version = payload.get("format_version")
         if version != CHECKPOINT_VERSION:
@@ -118,7 +221,8 @@ class CheckpointStore:
             )
         completed = payload.get("completed")
         if not isinstance(completed, list):
-            raise CheckpointError("checkpoint has no 'completed' list", self.path)
+            self._quarantine("no 'completed' list despite a valid checksum")
+            return None
         _RESUMED.inc(len(completed))
         log.info(
             "resuming from %s: %d item(s) already completed",
@@ -135,13 +239,15 @@ class CheckpointStore:
         """Atomically persist the current progress."""
         write_json_atomic(
             self.path,
-            {
-                "format_version": CHECKPOINT_VERSION,
-                "kind": self.kind,
-                "signature": self.signature,
-                "completed": completed,
-                "errors": errors or [],
-                "complete": complete,
-            },
+            attach_checksum(
+                {
+                    "format_version": CHECKPOINT_VERSION,
+                    "kind": self.kind,
+                    "signature": self.signature,
+                    "completed": completed,
+                    "errors": errors or [],
+                    "complete": complete,
+                }
+            ),
         )
         _WRITES.inc()

@@ -80,6 +80,7 @@ def retry(
     max_backoff: float = 30.0,
     jitter: float = 0.5,
     seed: int | None = None,
+    rng: random.Random | None = None,
     sleep: Callable[[float], None] = time.sleep,
 ) -> T:
     """Call ``fn(attempt)`` up to ``budget`` times with jittered backoff.
@@ -92,14 +93,20 @@ def retry(
 
     The delay before attempt ``k`` (k >= 1) is
     ``min(backoff * 2**(k-1), max_backoff)`` scaled by a random factor in
-    ``[1, 1+jitter]`` (``seed`` pins the jitter stream for tests;
-    ``backoff=0`` disables sleeping entirely). A ``deadline`` bounds the
-    whole retry loop: once expired, :class:`DeadlineExceeded` is raised
-    (chained to the last failure, if any).
+    ``[1, 1+jitter]``. Jitter randomness never touches the module-global
+    generator: pass an explicit ``rng`` to share a caller's seeded stream
+    (so retry schedules are reproducible under ``--seed``), or ``seed``
+    to pin a private one; with neither, a fresh unseeded ``Random`` is
+    used. ``backoff=0`` disables sleeping entirely. A ``deadline`` bounds
+    the whole retry loop: once expired, :class:`DeadlineExceeded` is
+    raised (chained to the last failure, if any).
     """
     if budget < 1:
         raise ValueError("retry budget must be at least 1")
-    rng = random.Random(seed)
+    if rng is not None and seed is not None:
+        raise ValueError("pass either rng or seed, not both")
+    if rng is None:
+        rng = random.Random(seed)
     last_exc: BaseException | None = None
     for attempt in range(budget):
         if deadline is not None and deadline.expired():

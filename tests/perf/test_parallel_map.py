@@ -6,6 +6,8 @@ the pool's call queue).
 
 from __future__ import annotations
 
+import os
+import signal
 import time
 
 import pytest
@@ -40,6 +42,29 @@ def _traced_work(payload, item):
         with span("worker.item.inner"):
             time.sleep(0.001)
     return item * 2
+
+
+def _kill_worker_once(payload, item):
+    """SIGKILL this worker on item 3, once across the whole run.
+
+    ``payload`` is a latch path: the O_CREAT|O_EXCL claim makes exactly
+    one process die even though every forked worker runs this code.
+    """
+    if item == 3:
+        try:
+            os.close(os.open(payload, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+        except FileExistsError:
+            pass
+        else:
+            os.kill(os.getpid(), signal.SIGKILL)
+    return item * 10
+
+
+def _kill_worker_always(payload, item):
+    """Item 3 is poisonous: it kills its worker on every dispatch."""
+    if item == 3:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return item * 10
 
 
 class TestOrderedProcessMap:
@@ -89,6 +114,95 @@ class TestOrderedProcessMap:
         first = next(results)
         assert first == TaskOutcome(item=0, value=0)
         results.close()  # must not hang or raise
+
+
+class TestWorkerDeathRecovery:
+    def _deaths(self):
+        return get_metrics().counter("perf.parallel.worker_deaths").value
+
+    def _redispatched(self):
+        return get_metrics().counter("perf.parallel.tasks_redispatched").value
+
+    def test_single_death_recovers_with_identical_results(self, tmp_path):
+        items = list(range(8))
+        serial = list(
+            ordered_process_map(_scale, 10, items, workers=2, inline=True)
+        )
+        deaths0 = self._deaths()
+        latch = tmp_path / "latch"
+        outcomes = list(
+            ordered_process_map(_kill_worker_once, str(latch), items, workers=2)
+        )
+        assert self._deaths() - deaths0 == 1
+        assert all(o.ok for o in outcomes)
+        assert [o.item for o in outcomes] == items
+        assert [o.value for o in outcomes] == [o.value for o in serial]
+
+    def test_redispatch_counted(self, tmp_path):
+        redisp0 = self._redispatched()
+        list(
+            ordered_process_map(
+                _kill_worker_once, str(tmp_path / "latch"), list(range(8)),
+                workers=2,
+            )
+        )
+        assert self._redispatched() > redisp0
+
+    def test_repeat_killer_surfaces_as_worker_crashed(self):
+        deaths0 = self._deaths()
+        outcomes = list(
+            ordered_process_map(
+                _kill_worker_always, None, [1, 2, 3, 4], workers=2,
+                task_retries=1,
+            )
+        )
+        by_item = {o.item: o for o in outcomes}
+        assert by_item[1].ok and by_item[2].ok and by_item[4].ok
+        failed = by_item[3]
+        assert not failed.ok
+        assert failed.error["type"] == "WorkerCrashed"
+        with pytest.raises(RemoteTaskError, match="WorkerCrashed"):
+            failed.unwrap()
+        # First death shared with innocents, second alone on probation.
+        assert self._deaths() - deaths0 == 2
+
+    def test_zero_retries_fails_fast(self):
+        outcomes = list(
+            ordered_process_map(
+                _kill_worker_always, None, [3], workers=1, task_retries=0
+            )
+        )
+        assert outcomes[0].error["type"] == "WorkerCrashed"
+        assert "died 1 time(s)" in outcomes[0].error["message"]
+
+    def test_chunked_dispatch_survives_death(self, tmp_path):
+        items = list(range(8))
+        latch = tmp_path / "latch"
+        outcomes = list(
+            ordered_process_map(
+                _kill_worker_once, str(latch), items, workers=2, chunk_size=3
+            )
+        )
+        assert all(o.ok for o in outcomes)
+        assert [o.value for o in outcomes] == [i * 10 for i in items]
+
+    def test_chunked_repeat_killer_blames_whole_chunk(self):
+        outcomes = list(
+            ordered_process_map(
+                _kill_worker_always, None, [1, 2, 3, 4], workers=2,
+                chunk_size=2, task_retries=1,
+            )
+        )
+        by_item = {o.item: o for o in outcomes}
+        # The killer's chunk-mate shares its fate (they die together);
+        # the other chunk completes.
+        assert by_item[1].ok and by_item[2].ok
+        assert by_item[3].error["type"] == "WorkerCrashed"
+        assert by_item[4].error["type"] == "WorkerCrashed"
+
+    def test_rejects_negative_task_retries(self):
+        with pytest.raises(ValueError):
+            ordered_process_map(_scale, 1, [1], workers=1, task_retries=-1)
 
 
 class TestChunkedDispatch:

@@ -1,11 +1,21 @@
-"""Checkpoint files: atomic writes, versioning, and resume validation."""
+"""Checkpoint files: durable atomic writes, checksums, quarantine, resume."""
 
 import json
+from unittest import mock
 
 import pytest
 
 from repro.errors import CheckpointError
-from repro.resilience import CHECKPOINT_VERSION, CheckpointStore, write_json_atomic
+from repro.obs import get_metrics
+from repro.resilience import (
+    CHECKPOINT_VERSION,
+    CheckpointStore,
+    attach_checksum,
+    flip_byte,
+    truncate_file,
+    verify_checksum,
+    write_json_atomic,
+)
 
 
 @pytest.fixture()
@@ -36,6 +46,65 @@ class TestWriteJsonAtomic:
         write_json_atomic(target, {"v": 2})
         assert json.loads(target.read_text()) == {"v": 2}
 
+    def test_fsyncs_tmp_file_before_rename(self, tmp_path):
+        """The tmp file's bytes must be on disk before os.replace publishes
+        them — otherwise a power failure can expose an empty renamed file."""
+        synced = []
+        renamed = []
+        real_fsync = __import__("os").fsync
+
+        def recording_fsync(fd):
+            synced.append(len(renamed))
+            return real_fsync(fd)
+
+        def recording_replace(src, dst):
+            renamed.append(src)
+            return __import__("os").rename(src, dst)
+
+        with mock.patch(
+            "repro.resilience.checkpoint.os.fsync", side_effect=recording_fsync
+        ), mock.patch(
+            "repro.resilience.checkpoint.os.replace", side_effect=recording_replace
+        ):
+            write_json_atomic(tmp_path / "out.json", {"x": 1})
+        # At least one fsync (the tmp file's) happened strictly before the
+        # rename; the directory fsync follows it.
+        assert synced and synced[0] == 0
+        assert len(synced) >= 2  # file + directory
+
+    def test_directory_fsync_failure_is_tolerated(self, tmp_path):
+        """Filesystems that refuse directory fsync must not break writes."""
+        real_open = __import__("os").open
+
+        def failing_dir_open(path, flags, *a, **kw):
+            if str(path) == str(tmp_path):
+                raise OSError("directory fds not supported")
+            return real_open(path, flags, *a, **kw)
+
+        with mock.patch(
+            "repro.resilience.checkpoint.os.open", side_effect=failing_dir_open
+        ):
+            path = write_json_atomic(tmp_path / "out.json", {"x": 1})
+        assert json.loads(path.read_text()) == {"x": 1}
+
+
+class TestChecksum:
+    def test_attach_and_verify_round_trip(self):
+        payload = attach_checksum({"a": 1, "b": [2, 3]})
+        assert payload["checksum"].startswith("sha256:")
+        assert verify_checksum(payload)
+
+    def test_verify_rejects_tampering(self):
+        payload = attach_checksum({"a": 1})
+        payload["a"] = 2
+        assert not verify_checksum(payload)
+
+    def test_checksum_independent_of_key_order(self):
+        assert (
+            attach_checksum({"a": 1, "b": 2})["checksum"]
+            == attach_checksum({"b": 2, "a": 1})["checksum"]
+        )
+
 
 class TestCheckpointStore:
     def test_save_load_round_trip(self, store):
@@ -47,21 +116,19 @@ class TestCheckpointStore:
         assert payload["completed"] == [{"name": "a", "f1": 0.5}]
         assert payload["complete"] is False
 
+    def test_saved_file_carries_valid_checksum(self, store):
+        store.save([{"name": "a"}])
+        assert verify_checksum(json.loads(store.path.read_text()))
+
     def test_complete_flag_persisted(self, store):
         store.save([], complete=True)
         assert store.load()["complete"] is True
-
-    def test_corrupt_json_raises_checkpoint_error_with_path(self, store):
-        store.path.write_text("{not json")
-        with pytest.raises(CheckpointError) as excinfo:
-            store.load()
-        assert "ckpt.json" in str(excinfo.value)
 
     def test_unknown_version_rejected(self, store):
         store.save([])
         payload = json.loads(store.path.read_text())
         payload["format_version"] = 99
-        store.path.write_text(json.dumps(payload))
+        store.path.write_text(json.dumps(attach_checksum(payload)))
         with pytest.raises(CheckpointError, match="format_version"):
             store.load()
 
@@ -83,16 +150,85 @@ class TestCheckpointStore:
         with pytest.raises(CheckpointError, match="min_sim"):
             other.load()
 
-    def test_non_object_payload_rejected(self, store):
-        store.path.write_text("[1, 2, 3]")
-        with pytest.raises(CheckpointError, match="JSON object"):
-            store.load()
+    def test_semantic_mismatch_does_not_quarantine(self, store):
+        """An intact file from another run must be left in place."""
+        store.save([])
+        other = CheckpointStore(
+            store.path, kind="calibrate", signature=store.signature
+        )
+        with pytest.raises(CheckpointError):
+            other.load()
+        assert store.path.exists()
+        assert not store.quarantine_path.exists()
 
-    def test_missing_completed_list_rejected(self, store):
+
+class TestQuarantine:
+    def _quarantine_count(self):
+        return get_metrics().counter("checkpoint.corrupt_quarantined").value
+
+    def assert_quarantined(self, store):
+        assert not store.path.exists()
+        assert store.quarantine_path.exists()
+
+    def test_corrupt_json_quarantined_and_resumed_from_nothing(self, store):
+        store.path.parent.mkdir(parents=True, exist_ok=True)
+        store.path.write_text("{not json")
+        before = self._quarantine_count()
+        assert store.load() is None
+        self.assert_quarantined(store)
+        assert self._quarantine_count() - before == 1
+
+    def test_non_object_payload_quarantined(self, store):
+        store.path.parent.mkdir(parents=True, exist_ok=True)
+        store.path.write_text("[1, 2, 3]")
+        assert store.load() is None
+        self.assert_quarantined(store)
+
+    def test_truncated_file_quarantined(self, store):
+        store.save([{"name": "a", "f1": 0.5}])
+        truncate_file(store.path, store.path.stat().st_size // 2)
+        assert store.load() is None
+        self.assert_quarantined(store)
+
+    def test_bit_flip_quarantined(self, store):
+        store.save([{"name": "a", "f1": 0.5}])
+        raw = store.path.read_text()
+        flip_byte(store.path, raw.index('"f1"') + len('"f1": 0.'))
+        assert store.load() is None
+        self.assert_quarantined(store)
+
+    def test_valid_json_tamper_caught_by_checksum_alone(self, store):
+        """A value edit that keeps the JSON well-formed is invisible to the
+        parser and the schema checks — only the checksum catches it."""
+        store.save([{"name": "a", "f1": 0.5}])
+        payload = json.loads(store.path.read_text())
+        payload["completed"][0]["f1"] = 0.9
+        store.path.write_text(json.dumps(payload))
+        assert store.load() is None
+        self.assert_quarantined(store)
+
+    def test_checksumless_legacy_file_quarantined(self, store):
+        """A pre-checksum (v1-era) file cannot be trusted byte-for-byte."""
         write_json_atomic(store.path, {
-            "format_version": CHECKPOINT_VERSION,
+            "format_version": 1,
             "kind": "experiment",
             "signature": store.signature,
+            "completed": [],
+            "errors": [],
+            "complete": False,
         })
-        with pytest.raises(CheckpointError, match="completed"):
-            store.load()
+        assert store.load() is None
+        self.assert_quarantined(store)
+
+    def test_quarantined_bytes_preserved_for_forensics(self, store):
+        store.path.parent.mkdir(parents=True, exist_ok=True)
+        store.path.write_text("{torn")
+        store.load()
+        assert store.quarantine_path.read_text() == "{torn"
+
+    def test_save_after_quarantine_starts_fresh(self, store):
+        store.path.parent.mkdir(parents=True, exist_ok=True)
+        store.path.write_text("garbage")
+        assert store.load() is None
+        store.save([{"name": "a"}])
+        assert store.load()["completed"] == [{"name": "a"}]

@@ -1,5 +1,8 @@
 """The FaultPlan injection machinery itself."""
 
+import signal
+from unittest import mock
+
 import pytest
 
 from repro.resilience import (
@@ -8,7 +11,9 @@ from repro.resilience import (
     clear_fault_plan,
     fault_check,
     fault_plan,
+    flip_byte,
     install_fault_plan,
+    truncate_file,
 )
 from repro.resilience.faults import active_fault_plan
 
@@ -58,6 +63,69 @@ class TestFaultPlan:
             plan.check("profile", "X")
         (trigger,) = plan.triggered
         assert (trigger.site, trigger.item) == ("profile", "X")
+
+
+class TestProcessFaults:
+    def test_signal_fault_sends_to_current_process(self):
+        plan = FaultPlan().fail_at("site", signal=signal.SIGUSR1, times=1)
+        with mock.patch("repro.resilience.faults.os.kill") as kill:
+            plan.check("site")
+        kill.assert_called_once()
+        (pid, sig), _ = kill.call_args
+        assert sig == signal.SIGUSR1
+        assert len(plan.triggered) == 1
+
+    def test_kill_at_defaults_to_sigkill(self):
+        plan = FaultPlan().kill_at("site")
+        with mock.patch("repro.resilience.faults.os.kill") as kill:
+            plan.check("site")
+        assert kill.call_args[0][1] == signal.SIGKILL
+
+    def test_once_path_latch_fires_exactly_once(self, tmp_path):
+        latch = tmp_path / "latch"
+        plan = FaultPlan().kill_at("site", once_path=latch)
+        with mock.patch("repro.resilience.faults.os.kill") as kill:
+            for _ in range(5):
+                plan.check("site")
+        kill.assert_called_once()
+        assert latch.exists()
+
+    def test_once_path_latch_shared_across_plans(self, tmp_path):
+        """Two plans (as in two forked workers) share one latch file."""
+        latch = tmp_path / "latch"
+        first = FaultPlan().kill_at("site", once_path=latch)
+        second = FaultPlan().kill_at("site", once_path=latch)
+        with mock.patch("repro.resilience.faults.os.kill") as kill:
+            first.check("site")
+            second.check("site")
+        kill.assert_called_once()
+
+    def test_exception_fault_honors_once_path(self, tmp_path):
+        latch = tmp_path / "latch"
+        plan = FaultPlan().fail_at("site", times=-1, once_path=latch)
+        with pytest.raises(FaultInjected):
+            plan.check("site")
+        plan.check("site")  # latch already claimed: silent
+
+
+class TestFileCorruptors:
+    def test_truncate_file(self, tmp_path):
+        target = tmp_path / "f"
+        target.write_bytes(b"0123456789")
+        truncate_file(target, 4)
+        assert target.read_bytes() == b"0123"
+
+    def test_flip_byte(self, tmp_path):
+        target = tmp_path / "f"
+        target.write_bytes(b"\x00\x0f\xff")
+        flip_byte(target, 1)
+        assert target.read_bytes() == b"\x00\xf0\xff"
+
+    def test_flip_byte_rejects_out_of_range_offset(self, tmp_path):
+        target = tmp_path / "f"
+        target.write_bytes(b"ab")
+        with pytest.raises(ValueError, match="offset"):
+            flip_byte(target, 5)
 
 
 class TestGlobalHook:

@@ -1,5 +1,7 @@
 """The retry helper (budget, backoff, jitter) and the Deadline clock."""
 
+import random
+
 import pytest
 
 from repro.errors import ConvergenceError, DeadlineExceeded
@@ -90,6 +92,42 @@ class TestRetry:
     def test_budget_must_be_positive(self):
         with pytest.raises(ValueError):
             retry(lambda k: None, budget=0)
+
+    def _delay_schedule(self, **kwargs):
+        delays = []
+
+        def always(attempt):
+            raise ValueError("x")
+
+        with pytest.raises(ValueError):
+            retry(
+                always, budget=4, backoff=0.1, jitter=0.5,
+                sleep=delays.append, **kwargs,
+            )
+        return delays
+
+    def test_same_seed_reproduces_the_jitter_schedule(self):
+        assert self._delay_schedule(seed=7) == self._delay_schedule(seed=7)
+        assert self._delay_schedule(seed=7) != self._delay_schedule(seed=8)
+
+    def test_explicit_rng_drives_jitter(self):
+        """An injected Random must produce the same schedule as an equally
+        seeded private one — the caller's stream is actually used."""
+        assert (
+            self._delay_schedule(rng=random.Random(7))
+            == self._delay_schedule(seed=7)
+        )
+
+    def test_jitter_never_touches_global_random(self):
+        random.seed(123)
+        before = random.random()
+        random.seed(123)
+        self._delay_schedule(seed=None)
+        assert random.random() == before
+
+    def test_rng_and_seed_are_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            retry(lambda k: None, rng=random.Random(0), seed=1)
 
     def test_attempts_counted_in_obs_registry(self):
         attempts = get_metrics().counter("resilience.retry_attempts")
