@@ -82,6 +82,10 @@ DEFAULT_CONFIG_FLAG_MAP: dict[str, str] = {
     "similarity_backend": "--backend",
     "propagation_backend": "--propagation",
     "pair_pruning": "--pair-pruning",
+    "minhash_bands": "--minhash-bands",
+    "minhash_rows": "--minhash-rows",
+    "shared_memory": "--shared-memory",
+    "shard_strategy": "--shard-strategy",
     "degradation": "--degradation",
 }
 

@@ -155,10 +155,29 @@ def _add_perf_options(p: argparse.ArgumentParser, workers: bool = False) -> None
     )
     group.add_argument(
         "--pair-pruning",
-        action="store_true",
+        nargs="?",
+        const="exact",
+        choices=("off", "exact", "minhash"),
         default=None,
-        help="skip similarity evaluation for pairs with disjoint neighbor "
-             "supports on every path (lossless; clustering is unchanged)",
+        help="candidate blocking mode (default: the config's, off). exact "
+             "skips pairs with disjoint neighbor supports on every path "
+             "(lossless; bare --pair-pruning means exact); minhash narrows "
+             "to banded-LSH candidates first and exact-rechecks survivors",
+    )
+    group.add_argument(
+        "--minhash-bands",
+        type=int,
+        default=None,
+        metavar="B",
+        help="LSH bands for --pair-pruning minhash (default: the config's, 32)",
+    )
+    group.add_argument(
+        "--minhash-rows",
+        type=int,
+        default=None,
+        metavar="R",
+        help="rows per LSH band for --pair-pruning minhash "
+             "(default: the config's, 2)",
     )
     group.add_argument(
         "--degradation",
@@ -176,6 +195,22 @@ def _add_perf_options(p: argparse.ArgumentParser, workers: bool = False) -> None
             metavar="N",
             help="process-pool size for the per-name loop (default 1 = "
                  "in-process; results are identical for any N)",
+        )
+        group.add_argument(
+            "--shared-memory",
+            action="store_true",
+            default=None,
+            help="dispatch the worker payload through one read-only "
+                 "shared-memory segment instead of per-worker copies "
+                 "(zero-copy; results are unchanged)",
+        )
+        group.add_argument(
+            "--shard-strategy",
+            choices=("static", "cost"),
+            default=None,
+            help="how the parallel loop orders dispatch (default: the "
+                 "config's, static); cost dispatches cost-balanced shards "
+                 "heaviest-first so idle workers steal the stragglers",
         )
         group.add_argument(
             "--task-retries",
@@ -446,14 +481,7 @@ def cmd_fit(args) -> int:
     config = DistinctConfig(
         n_positive=args.positive, n_negative=args.negative, svm_C=args.svm_c
     )
-    if args.backend:
-        config = config.with_options(similarity_backend=args.backend)
-    if args.propagation:
-        config = config.with_options(propagation_backend=args.propagation)
-    if args.pair_pruning:
-        config = config.with_options(pair_pruning=True)
-    if args.degradation:
-        config = config.with_options(degradation=args.degradation)
+    config = _apply_perf_overrides(config, args)
     distinct = Distinct(config).fit(db)
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
@@ -482,28 +510,44 @@ def cmd_fit(args) -> int:
     return 0
 
 
+def _apply_perf_overrides(config: DistinctConfig, args) -> DistinctConfig:
+    """Apply the optional performance flags on top of ``config``.
+
+    Uses ``getattr`` defaults because not every subcommand carries every
+    perf flag (e.g. the pool flags exist only where ``--workers`` does).
+    """
+    if getattr(args, "backend", None):
+        config = config.with_options(similarity_backend=args.backend)
+    if getattr(args, "propagation", None):
+        config = config.with_options(propagation_backend=args.propagation)
+    if getattr(args, "pair_pruning", None) is not None:
+        config = config.with_options(pair_pruning=args.pair_pruning)
+    if getattr(args, "minhash_bands", None) is not None:
+        config = config.with_options(minhash_bands=args.minhash_bands)
+    if getattr(args, "minhash_rows", None) is not None:
+        config = config.with_options(minhash_rows=args.minhash_rows)
+    if getattr(args, "shared_memory", None):
+        config = config.with_options(shared_memory=True)
+    if getattr(args, "shard_strategy", None):
+        config = config.with_options(shard_strategy=args.shard_strategy)
+    if getattr(args, "degradation", None):
+        config = config.with_options(degradation=args.degradation)
+    return config
+
+
 def _load_pipeline(
     db_dir: str,
     model_dir: str,
     min_sim: float | None,
-    backend: str | None = None,
-    propagation: str | None = None,
-    pair_pruning: bool | None = None,
-    degradation: str | None = None,
+    args=None,
 ) -> Distinct:
     db = _open_database(db_dir)
     models = Path(model_dir)
     config = DistinctConfig()
     if min_sim is not None:
         config = config.with_options(min_sim=min_sim)
-    if backend:
-        config = config.with_options(similarity_backend=backend)
-    if propagation:
-        config = config.with_options(propagation_backend=propagation)
-    if pair_pruning:
-        config = config.with_options(pair_pruning=True)
-    if degradation:
-        config = config.with_options(degradation=degradation)
+    if args is not None:
+        config = _apply_perf_overrides(config, args)
     return Distinct.from_models(
         db,
         PathWeightModel.load(models / "resem_model.json"),
@@ -513,10 +557,7 @@ def _load_pipeline(
 
 
 def cmd_resolve(args) -> int:
-    distinct = _load_pipeline(
-        args.db, args.models, args.min_sim, args.backend,
-        args.propagation, args.pair_pruning, args.degradation,
-    )
+    distinct = _load_pipeline(args.db, args.models, args.min_sim, args)
     resolution = distinct.resolve(args.name)
     print(
         f"{args.name!r}: {len(resolution.rows)} references -> "
@@ -604,10 +645,7 @@ def cmd_calibrate(args) -> int:
         calibration_checkpoint,
     )
 
-    distinct = _load_pipeline(
-        args.db, args.models, None, args.backend,
-        args.propagation, args.pair_pruning, args.degradation,
-    )
+    distinct = _load_pipeline(args.db, args.models, None, args)
     kwargs, collector = _resilience_kwargs(
         args,
         lambda path: calibration_checkpoint(
@@ -776,10 +814,7 @@ def _ambiguous_names(db_dir: str, names_arg: str | None) -> list[str]:
 
 
 def cmd_experiment(args) -> int:
-    distinct = _load_pipeline(
-        args.db, args.models, args.min_sim, args.backend,
-        args.propagation, args.pair_pruning, args.degradation,
-    )
+    distinct = _load_pipeline(args.db, args.models, args.min_sim, args)
     truth = load_ground_truth(args.truth)
     names = _ambiguous_names(args.db, args.names)
 

@@ -24,6 +24,7 @@ from repro.config import DistinctConfig
 from repro.core.features import (
     PairFeatures,
     all_pairs,
+    coerce_pruning,
     compute_pair_features,
     pair_matrix,
 )
@@ -223,6 +224,9 @@ class Distinct:
             propagation=self.config.propagation_backend,
             prune=self.config.pair_pruning,
             degradation=self.config.degradation,
+            minhash_bands=self.config.minhash_bands,
+            minhash_rows=self.config.minhash_rows,
+            minhash_seed=self.config.seed,
         )
 
     def _train_measure(
@@ -343,7 +347,7 @@ class Distinct:
                 n_pairs=len(pairs),
                 backend=self.config.similarity_backend,
                 propagation=self.config.propagation_backend,
-                prune=self.config.pair_pruning,
+                prune=coerce_pruning(self.config.pair_pruning),
             ) as sim_span:
                 features = compute_pair_features(
                     builder,
@@ -353,6 +357,9 @@ class Distinct:
                     propagation=self.config.propagation_backend,
                     prune=self.config.pair_pruning,
                     degradation=self.config.degradation,
+                    minhash_bands=self.config.minhash_bands,
+                    minhash_rows=self.config.minhash_rows,
+                    minhash_seed=self.config.seed,
                 )
                 if features.degraded:
                     sim_span.annotate(degraded=True)

@@ -24,10 +24,17 @@ the pair kernels — with batched propagation the similarity stage always
 runs the matrix kernels, whatever ``backend`` says, since per-pair dict
 profiles are never materialized.
 
-``prune=True`` additionally skips evaluation of pairs whose neighbor
-supports are disjoint on every path (:mod:`repro.perf.blocking`): both
-measures are *exactly* zero there, so the skipped rows are zero-filled
-and downstream clustering output is unchanged.
+``prune`` selects the candidate-blocking mode (``"off"`` | ``"exact"``
+| ``"minhash"``; booleans coerce for back-compat). ``"exact"`` skips
+evaluation of pairs whose neighbor supports are disjoint on every path
+(:mod:`repro.perf.blocking`): both measures are *exactly* zero there, so
+the skipped rows are zero-filled and downstream clustering output is
+unchanged. ``"minhash"`` first narrows the pair list to banded-LSH
+candidates (:mod:`repro.perf.minhash`, tuned by ``minhash_bands`` /
+``minhash_rows`` / ``minhash_seed``) and exact-rechecks the survivors:
+every evaluated pair provably intersects, evaluation cost drops further
+on ambient-overlap worlds, and the residual risk is bounded by the
+measured-recall property suite.
 
 ``degradation`` is the graceful-degradation ladder: under
 ``"fallback"``, a fast route that raises at runtime (``MemoryError`` on
@@ -49,6 +56,7 @@ from repro.errors import DeadlineExceeded
 from repro.obs import counter, get_logger
 from repro.paths.joinpath import JoinPath
 from repro.perf.blocking import intersecting_pair_mask
+from repro.perf.minhash import DEFAULT_BANDS, DEFAULT_ROWS, minhash_refined_mask
 from repro.paths.profiles import ProfileBuilder
 from repro.resilience import fault_check
 from repro.similarity.combine import PathWeights, normalize_feature_rows
@@ -66,6 +74,55 @@ log = get_logger("core.features")
 BACKENDS = ("scalar", "vectorized")
 PROPAGATION_BACKENDS = ("scalar", "batched")
 DEGRADATION_POLICIES = ("strict", "fallback")
+PRUNING_MODES = ("off", "exact", "minhash")
+
+
+def coerce_pruning(value: bool | str | None) -> str:
+    """Normalize a ``pair_pruning`` value to one of :data:`PRUNING_MODES`.
+
+    Booleans are the historical surface (``False`` -> ``"off"``,
+    ``True`` -> ``"exact"``); ``None`` means off.
+    """
+    if value is None or value is False:
+        return "off"
+    if value is True:
+        return "exact"
+    if value not in PRUNING_MODES:
+        raise ValueError(
+            f"pair pruning mode must be one of {PRUNING_MODES}, got {value!r}"
+        )
+    return value
+
+@dataclass(frozen=True)
+class _MinHashParams:
+    """LSH banding knobs threaded into the pruning routes."""
+
+    bands: int = DEFAULT_BANDS
+    rows: int = DEFAULT_ROWS
+    seed: int = 0
+
+
+def _keep_mask(
+    prune_mode: str,
+    forwards: list,
+    idx_a: np.ndarray,
+    idx_b: np.ndarray,
+    pair_chunk: int,
+    minhash: _MinHashParams,
+) -> np.ndarray:
+    """The blocking mask for the selected mode over stacked supports."""
+    if prune_mode == "minhash":
+        return minhash_refined_mask(
+            forwards,
+            idx_a,
+            idx_b,
+            bands=minhash.bands,
+            rows=minhash.rows,
+            seed=minhash.seed,
+            pair_chunk=pair_chunk,
+        )
+    return intersecting_pair_mask(forwards, idx_a, idx_b, pair_chunk=pair_chunk)
+
 
 #: Pairs evaluated through the vectorized backend (scalar pairs are
 #: tracked per call by ``similarity.resemblance.calls`` / ``.walk.calls``).
@@ -125,8 +182,11 @@ def compute_pair_features(
     backend: str = "scalar",
     pair_chunk: int = DEFAULT_PAIR_CHUNK,
     propagation: str = "scalar",
-    prune: bool = False,
+    prune: bool | str = False,
     degradation: str = "strict",
+    minhash_bands: int = DEFAULT_BANDS,
+    minhash_rows: int = DEFAULT_ROWS,
+    minhash_seed: int = 0,
 ) -> PairFeatures:
     """Compute both measures for every pair along every path of ``builder``.
 
@@ -136,11 +196,13 @@ def compute_pair_features(
     ``propagation="batched"`` the whole batch propagates as sparse
     matrix products and the matrix pair kernels evaluate the list (see
     module docstring). ``pair_chunk`` bounds the matrix kernels'
-    per-slice working set. ``prune=True`` zero-fills pairs with disjoint
-    supports on every path instead of evaluating them (their features
-    are exactly zero either way). ``degradation="fallback"`` absorbs a
-    fast-route failure by recomputing this batch on the scalar reference
-    path (see module docstring); ``"strict"`` propagates it.
+    per-slice working set. ``prune`` selects the blocking mode (see
+    module docstring): pairs blocked out are zero-filled instead of
+    evaluated; under ``"minhash"`` the LSH banding is tuned by
+    ``minhash_bands``/``minhash_rows``/``minhash_seed``.
+    ``degradation="fallback"`` absorbs a fast-route failure by
+    recomputing this batch on the scalar reference path (see module
+    docstring); ``"strict"`` propagates it.
     """
     if backend not in BACKENDS:
         raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
@@ -153,14 +215,20 @@ def compute_pair_features(
             f"degradation must be one of {DEGRADATION_POLICIES}, "
             f"got {degradation!r}"
         )
-    if propagation != "batched" and backend != "vectorized" and not prune:
+    prune_mode = coerce_pruning(prune)
+    minhash = _MinHashParams(minhash_bands, minhash_rows, minhash_seed)
+    if propagation != "batched" and backend != "vectorized" and prune_mode == "off":
         return _scalar_pair_features(builder, pairs)
     try:
         fault_check("features.backend")
         if propagation == "batched":
-            return _batched_pair_features(builder, pairs, pair_chunk, prune)
-        if prune:
-            return _pruned_pair_features(builder, pairs, backend, pair_chunk)
+            return _batched_pair_features(
+                builder, pairs, pair_chunk, prune_mode, minhash
+            )
+        if prune_mode != "off":
+            return _pruned_pair_features(
+                builder, pairs, backend, pair_chunk, prune_mode, minhash
+            )
         return _vectorized_pair_features(builder, pairs, pair_chunk)
     except (DeadlineExceeded, KeyboardInterrupt):
         raise  # control flow, never a degradation trigger
@@ -172,7 +240,8 @@ def compute_pair_features(
         log.warning(
             "fast backend failed (%s: %s); degrading %d pair(s) to the "
             "scalar reference path (backend=%s propagation=%s prune=%s)",
-            type(exc).__name__, exc, len(pairs), backend, propagation, prune,
+            type(exc).__name__, exc, len(pairs), backend, propagation,
+            prune_mode,
         )
         features = _scalar_pair_features(builder, pairs)
         features.degraded = True
@@ -212,13 +281,14 @@ def _batched_pair_features(
     builder: ProfileBuilder,
     pairs: list[tuple[int, int]],
     pair_chunk: int,
-    prune: bool,
+    prune_mode: str,
+    minhash: _MinHashParams,
 ) -> PairFeatures:
     """Batched-propagation route: SpMM profiles, matrix pair kernels.
 
-    The batched matrices double as the pruning index: when ``prune`` is
-    set, the support-intersection mask comes for free from the forward
-    patterns and only surviving pairs reach the kernels.
+    The batched matrices double as the blocking index: under
+    ``"exact"``/``"minhash"`` pruning, the keep mask comes straight from
+    the forward patterns and only surviving pairs reach the kernels.
     """
     paths = builder.paths
     resem = np.zeros((len(pairs), len(paths)))
@@ -228,12 +298,14 @@ def _batched_pair_features(
 
     rows, idx_a, idx_b = _pair_index_arrays(pairs)
     matrices = builder.matrices_for(rows)
-    if prune:
-        keep = intersecting_pair_mask(
+    if prune_mode != "off":
+        keep = _keep_mask(
+            prune_mode,
             [matrices[path].forward for path in paths],
             idx_a,
             idx_b,
-            pair_chunk=pair_chunk,
+            pair_chunk,
+            minhash,
         )
         selected = np.flatnonzero(keep)
     else:
@@ -257,6 +329,8 @@ def _pruned_pair_features(
     pairs: list[tuple[int, int]],
     backend: str,
     pair_chunk: int,
+    prune_mode: str,
+    minhash: _MinHashParams,
 ) -> PairFeatures:
     """Scalar-propagation pruning route: mask, evaluate survivors, scatter.
 
@@ -276,7 +350,7 @@ def _pruned_pair_features(
     for path in paths:
         forward, _ = profile_matrices([profiles_by_row[row][path] for row in rows])
         forwards.append(forward)
-    keep = intersecting_pair_mask(forwards, idx_a, idx_b, pair_chunk=pair_chunk)
+    keep = _keep_mask(prune_mode, forwards, idx_a, idx_b, pair_chunk, minhash)
     selected = np.flatnonzero(keep)
     kept_pairs = [pairs[int(k)] for k in selected]
     survivors = compute_pair_features(

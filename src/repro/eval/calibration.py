@@ -28,7 +28,13 @@ from repro.eval.metrics import pairwise_scores
 from repro.ml.trainingset import build_training_set
 from repro.obs import get_logger, span
 from repro.paths.profiles import ProfileBuilder
-from repro.perf import DEFAULT_TASK_RETRIES, RemoteTaskError, ordered_process_map
+from repro.perf import (
+    DEFAULT_TASK_RETRIES,
+    RemoteTaskError,
+    SharedPayload,
+    name_cost,
+    ordered_process_map,
+)
 from repro.resilience import (
     CheckpointStore,
     Deadline,
@@ -148,6 +154,9 @@ def prepare_synthetic(distinct: Distinct, synthetic: SyntheticName) -> NamePrepa
         propagation=config.propagation_backend,
         prune=config.pair_pruning,
         degradation=config.degradation,
+        minhash_bands=config.minhash_bands,
+        minhash_rows=config.minhash_rows,
+        minhash_seed=config.seed,
     )
     return NamePreparation(
         name="+".join(synthetic.member_names), rows=synthetic.rows, features=features
@@ -269,13 +278,23 @@ def calibrate_min_sim(
                 syn for syn in synthetic
                 if "+".join(syn.member_names) not in done
             ]
+            payload = (distinct, grid)
+            if distinct.config.shared_memory:
+                # One shared segment instead of per-worker payload copies
+                # (zero-copy numpy views; see repro.perf.shm).
+                payload = SharedPayload.wrap(payload)
+            costs = None
+            if distinct.config.shard_strategy == "cost":
+                costs = [name_cost(len(syn.rows)) for syn in pending]
             results_iter = ordered_process_map(
                 _calibrate_name_task,
-                (distinct, grid),
+                payload,
                 pending,
                 workers=workers,
                 deadline=deadline,
                 task_retries=task_retries,
+                costs=costs,
+                shard_strategy=distinct.config.shard_strategy,
             )
         try:
             for syn in synthetic:

@@ -30,13 +30,20 @@ import time
 from dataclasses import dataclass, field
 
 from repro.core.distinct import Distinct
+from repro.core.references import extract_references
 from repro.core.variants import VariantSpec
 from repro.data.world import GroundTruth
 from repro.errors import DeadlineExceeded
 from repro.eval.experiment import ExperimentResult, NameResult, score_resolution
 from repro.eval.persistence import name_result_from_dict, name_result_to_dict
 from repro.obs import counter, get_logger, histogram, span
-from repro.perf import DEFAULT_TASK_RETRIES, RemoteTaskError, ordered_process_map
+from repro.perf import (
+    DEFAULT_TASK_RETRIES,
+    RemoteTaskError,
+    SharedPayload,
+    name_cost,
+    ordered_process_map,
+)
 from repro.resilience import (
     CheckpointStore,
     Deadline,
@@ -179,15 +186,29 @@ def run_resilient(
         workers=workers,
     ) as sp:
         results_iter = None
+        payload_handle = None
         if workers > 1:
             pending = [n for n in names if n not in done]
+            payload = (distinct, truth, variant, min_sim)
+            if distinct.config.shared_memory:
+                # One shared segment instead of per-worker payload copies
+                # (zero-copy numpy views; see repro.perf.shm).
+                payload = payload_handle = SharedPayload.wrap(payload)
+            costs = None
+            if distinct.config.shard_strategy == "cost":
+                costs = [
+                    name_cost(len(extract_references(distinct.db, n, distinct.config).rows))
+                    for n in pending
+                ]
             results_iter = ordered_process_map(
                 _score_name_task,
-                (distinct, truth, variant, min_sim),
+                payload,
                 pending,
                 workers=workers,
                 deadline=deadline,
                 task_retries=task_retries,
+                costs=costs,
+                shard_strategy=distinct.config.shard_strategy,
             )
         try:
             for name in names:
@@ -252,6 +273,11 @@ def run_resilient(
                 # Cancels still-queued tasks when the loop exits early
                 # (deadline, raise policy); no-op after full consumption.
                 results_iter.close()
+            if payload_handle is not None:
+                # close() on a never-started generator skips its finally
+                # (a deadline can expire before the first next()), so the
+                # segment owner releases here too — exactly-once guarded.
+                payload_handle.release()
         sp.annotate(
             n_completed=outcome.n_completed,
             n_failed=len(collector),

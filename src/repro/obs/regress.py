@@ -160,7 +160,9 @@ def load_history(path: str | Path) -> list[dict[str, Any]]:
 
 
 def _comparable(run: dict[str, Any], latest: dict[str, Any]) -> bool:
-    """Same corpus shape: only like runs feed a baseline."""
+    """Same bench and corpus shape: only like runs feed a baseline."""
+    if run.get("bench") != latest.get("bench"):
+        return False
     if bool(run.get("tiny")) != bool(latest.get("tiny")):
         return False
     run_refs = (run.get("config") or {}).get("n_refs")

@@ -20,20 +20,40 @@ machinery that accelerates them without changing results:
   compiled from exclusion-filtered join fanouts, the building block of
   the batched propagation backend (:mod:`repro.paths.batch`);
 - :mod:`repro.perf.blocking` — the inverted neighbor index: lossless
-  zero-overlap pair pruning over stacked support matrices.
+  zero-overlap pair pruning over stacked support matrices;
+- :mod:`repro.perf.minhash` — banded MinHash/LSH candidate blocking over
+  the same support sets, with an exact re-check of survivors
+  (``pair_pruning="minhash"``) and a measured-recall knob;
+- :mod:`repro.perf.shm` — zero-copy payload dispatch: protocol-5
+  out-of-band buffers packed into one ``multiprocessing.shared_memory``
+  segment that workers map read-only (:class:`~repro.perf.shm.SharedPayload`),
+  plus the pickled baseline handle benchmarks compare against;
+- :mod:`repro.perf.sharding` — cost-model shard planning (LPT order,
+  cost ≈ refs² per name) that the parallel map's shared queue
+  work-steals from, keeping input-ordered assembly.
 
 The vectorized similarity kernels themselves live in
 :mod:`repro.similarity.vectorized`; the ``similarity_backend`` /
-``propagation_backend`` / ``pair_pruning`` switches in
-:class:`repro.config.DistinctConfig` route the pipeline through them.
-``benchmarks/bench_perf_kernels.py`` tracks the scalar/vectorized/
-batched/parallel trajectory in ``BENCH_perf.json`` (history in
+``propagation_backend`` / ``pair_pruning`` / ``shared_memory`` /
+``shard_strategy`` switches in :class:`repro.config.DistinctConfig`
+route the pipeline through them. ``benchmarks/bench_perf_kernels.py``
+tracks the scalar/vectorized/batched/parallel trajectory in
+``BENCH_perf.json``; ``benchmarks/bench_scale.py`` tracks the
+scale-out trajectory (shared-memory dispatch, work-stealing shards,
+MinHash blocking) in ``BENCH_scale.json`` (history in
 ``BENCH_history.jsonl``).
 """
 
 from repro.perf.blocking import candidate_pairs, intersecting_pair_mask
 from repro.perf.chunking import chunk_slices, rows_per_block
 from repro.perf.memo import FanoutMemo
+from repro.perf.minhash import (
+    blocking_recall,
+    minhash_candidate_pairs,
+    minhash_pair_mask,
+    minhash_refined_mask,
+    minhash_signatures,
+)
 from repro.perf.parallel import (
     DEFAULT_TASK_RETRIES,
     RemoteTaskError,
@@ -41,20 +61,39 @@ from repro.perf.parallel import (
     ordered_process_map,
     should_inline,
 )
+from repro.perf.sharding import SHARD_STRATEGIES, name_cost, plan_shards
+from repro.perf.shm import (
+    PayloadHandle,
+    PickledPayload,
+    SharedPayload,
+    active_segments,
+)
 from repro.perf.transitions import Transition, TransitionCache, build_transition
 
 __all__ = [
     "DEFAULT_TASK_RETRIES",
     "FanoutMemo",
+    "PayloadHandle",
+    "PickledPayload",
     "RemoteTaskError",
+    "SHARD_STRATEGIES",
+    "SharedPayload",
     "TaskOutcome",
     "Transition",
     "TransitionCache",
+    "active_segments",
+    "blocking_recall",
     "build_transition",
     "candidate_pairs",
     "chunk_slices",
     "intersecting_pair_mask",
+    "minhash_candidate_pairs",
+    "minhash_pair_mask",
+    "minhash_refined_mask",
+    "minhash_signatures",
+    "name_cost",
     "ordered_process_map",
+    "plan_shards",
     "rows_per_block",
     "should_inline",
 ]

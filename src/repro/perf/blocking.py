@@ -39,6 +39,11 @@ _PAIRS_KEPT = counter("blocking.pairs_kept")
 #: Pair-mask evaluation processes pairs in slices of this many rows.
 DEFAULT_PAIR_CHUNK = 8192
 
+#: ``candidate_pairs`` joins the inverted index in blocks of this many
+#: reference rows, bounding the working set to (chunk x n) instead of
+#: the full n x n product.
+DEFAULT_ROW_CHUNK = 2048
+
 
 def _pattern(matrix: sparse.spmatrix) -> sparse.csr_matrix:
     """Boolean support pattern of a weighted support matrix."""
@@ -85,25 +90,40 @@ def intersecting_pair_mask(
 
 def candidate_pairs(
     support_matrices: list[sparse.spmatrix],
+    *,
+    row_chunk: int = DEFAULT_ROW_CHUNK,
 ) -> list[tuple[int, int]]:
     """All (i < j) row-index pairs with a non-empty support intersection.
 
-    The inverted-index join in matrix form: accumulate ``P @ P.T`` over
-    the per-path patterns and read off the upper triangle. Equivalent to
-    evaluating :func:`intersecting_pair_mask` on the full pair grid, but
-    emits only the surviving pairs — the right shape when the caller has
-    not yet materialized an all-pairs list.
+    The inverted-index join in matrix form: ``P @ P.T`` over the
+    per-path patterns, evaluated ``row_chunk`` reference rows at a time
+    so the working set is one (chunk x n) sparse block — never the full
+    n x n product, which at 100K+ references would not fit in memory
+    even sparse (the ambient graph makes most pairs overlap somewhere).
+    Equivalent to evaluating :func:`intersecting_pair_mask` on the full
+    pair grid, but emits only the surviving pairs — the right shape when
+    the caller has not yet materialized an all-pairs list.
     """
     if not support_matrices:
         return []
+    if row_chunk < 1:
+        raise ValueError("row_chunk must be >= 1")
     n = support_matrices[0].shape[0]
-    accumulated: sparse.csr_matrix | None = None
-    for matrix in support_matrices:
-        pattern = _pattern(matrix)
-        joined = (pattern @ pattern.T).tocsr()
-        accumulated = joined if accumulated is None else accumulated + joined
-    upper = sparse.triu(accumulated, k=1).tocoo()
-    pairs = [(int(i), int(j)) for i, j in zip(upper.row, upper.col)]
+    patterns = [_pattern(matrix) for matrix in support_matrices]
+    transposed = [pattern.T.tocsr() for pattern in patterns]
+    pairs: list[tuple[int, int]] = []
+    for sl in chunk_slices(n, row_chunk):
+        block: sparse.csr_matrix | None = None
+        for pattern, pattern_t in zip(patterns, transposed):
+            joined = pattern[sl] @ pattern_t
+            block = joined if block is None else block + joined
+        coo = block.tocoo()
+        rows = coo.row.astype(np.int64) + sl.start
+        cols = coo.col.astype(np.int64)
+        keep = cols > rows
+        pairs.extend(
+            (int(i), int(j)) for i, j in zip(rows[keep], cols[keep])
+        )
     pairs.sort()
     _PAIRS_KEPT.inc(len(pairs))
     _PAIRS_PRUNED.inc(n * (n - 1) // 2 - len(pairs))

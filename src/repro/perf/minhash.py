@@ -1,0 +1,254 @@
+"""MinHash/LSH candidate blocking over forward-support sets.
+
+:mod:`repro.perf.blocking` prunes pairs whose neighbor supports are
+disjoint on every path — *exact* and lossless, but it still touches
+every pair. At Table-1 scale the ambient graph (shared venues, shared
+years) gives almost every pair *some* microscopic overlap, so exact
+zero-overlap pruning stops pruning at all. The standard blocking answer
+from the name-disambiguation literature is locality-sensitive hashing:
+the §2.3 set-resemblance measure is a weighted Jaccard, and Jaccard is
+exactly what MinHash sketches.
+
+The scheme is classic banded MinHash. Each reference's support set is
+the union of its per-path forward supports, lifted into one global
+column space (per-path support matrices have distinct end-relation
+column spaces, so columns are offset-stacked before hashing — two
+references collide iff some path's supports intersect, matching the
+exact pruner's test). ``bands * rows`` universal hash functions
+``(a*x + b) mod p`` produce a signature per reference; a pair is a
+*candidate* iff all ``rows`` signature entries agree in at least one of
+the ``bands`` bands. A pair with Jaccard ``J`` survives with probability
+``1 - (1 - J^rows)^bands`` — the standard S-curve: near-duplicates pass
+almost surely, near-disjoint pairs almost never.
+
+Blocking is probabilistic, so two safety rails keep the pipeline's
+equivalence story intact:
+
+- **Exact re-check.** :func:`minhash_refined_mask` (the form
+  ``pair_pruning="minhash"`` routes through) re-tests every LSH survivor
+  with :func:`repro.perf.blocking.intersecting_pair_mask`, so false
+  positives cost a little work but never a wrong feature, and the final
+  mask is always a subset of the exact pruner's.
+- **A measured recall knob.** :func:`blocking_recall` reports the
+  fraction of exactly-intersecting pairs the candidate set kept;
+  the property suite gates recall == 1.0 at the default
+  ``bands``/``rows`` and reports the measured recall for aggressive
+  settings, and ``benchmarks/bench_scale.py`` records it per tier.
+
+Empty support sets hash to a per-reference sentinel, so two references
+that reach nothing never become candidates of each other.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.obs import counter
+from repro.perf.blocking import DEFAULT_PAIR_CHUNK, intersecting_pair_mask
+from repro.perf.chunking import chunk_slices
+
+__all__ = [
+    "DEFAULT_BANDS",
+    "DEFAULT_ROWS",
+    "blocking_recall",
+    "minhash_candidate_pairs",
+    "minhash_pair_mask",
+    "minhash_refined_mask",
+    "minhash_signatures",
+]
+
+_CANDIDATES = counter("blocking.minhash.candidates")
+_RECHECKED = counter("blocking.minhash.rechecked")
+_LSH_PRUNED = counter("blocking.pairs_pruned")
+
+#: Default banding. With ``rows=2`` a pair of Jaccard J collides per
+#: band with probability J²: weakly-overlapping pairs (J ~ 0.02, e.g.
+#: one shared hub venue) survive ~1% of 32 bands while same-object pairs
+#: (J >= 0.5) are missed with probability < 1e-4 — and the exact
+#: re-check plus the property-suite recall gate covers the residual.
+DEFAULT_BANDS = 32
+DEFAULT_ROWS = 2
+
+#: Mersenne prime 2**31 - 1: hash values stay < 2**31 so ``a * x + b``
+#: never overflows uint64 for any realistic column count.
+_PRIME = np.uint64(2147483647)
+
+
+def _stacked_pattern(
+    support_matrices: list[sparse.spmatrix],
+) -> sparse.csr_matrix:
+    """Boolean support patterns hstacked into one global column space."""
+    patterns = []
+    for matrix in support_matrices:
+        pattern = sparse.csr_matrix(matrix, copy=True)
+        pattern.eliminate_zeros()
+        pattern.data = np.ones_like(pattern.data)
+        patterns.append(pattern)
+    if len(patterns) == 1:
+        return patterns[0].tocsr()
+    return sparse.hstack(patterns, format="csr")
+
+
+def minhash_signatures(
+    support_matrices: list[sparse.spmatrix],
+    *,
+    bands: int = DEFAULT_BANDS,
+    rows: int = DEFAULT_ROWS,
+    seed: int = 0,
+) -> np.ndarray:
+    """(n_references, bands*rows) MinHash signature matrix.
+
+    Deterministic in ``seed`` (the hash coefficients are drawn from a
+    seeded generator), so parallel and serial runs agree. Rows with an
+    empty support get a unique sentinel signature (>= the hash prime)
+    and therefore never collide with anything.
+    """
+    if bands < 1 or rows < 1:
+        raise ValueError("bands and rows must be >= 1")
+    if not support_matrices:
+        raise ValueError("at least one support matrix is required")
+    stacked = _stacked_pattern(support_matrices)
+    n = stacked.shape[0]
+    k = bands * rows
+    rng = np.random.default_rng(seed)
+    coef_a = rng.integers(1, int(_PRIME), size=k, dtype=np.uint64)
+    coef_b = rng.integers(0, int(_PRIME), size=k, dtype=np.uint64)
+
+    cols = stacked.indices.astype(np.uint64, copy=False)
+    indptr = stacked.indptr
+    nnz = np.diff(indptr)
+    nonempty = np.flatnonzero(nnz)
+    sig = np.empty((n, k), dtype=np.uint64)
+    # Empty supports: a sentinel above every possible hash value, unique
+    # per reference so empty-empty pairs never match.
+    empty = np.flatnonzero(nnz == 0)
+    sig[empty] = (_PRIME + np.arange(1, len(empty) + 1, dtype=np.uint64))[:, None]
+    if len(nonempty):
+        # Empty rows occupy no entries, so the data segments of the
+        # non-empty rows are contiguous: reduceat over their start
+        # offsets segments exactly at row boundaries.
+        starts = indptr[:-1][nonempty]
+        for j in range(k):
+            hashed = (coef_a[j] * cols + coef_b[j]) % _PRIME
+            sig[nonempty, j] = np.minimum.reduceat(hashed, starts)
+    return sig
+
+
+def _band_views(sig: np.ndarray, bands: int, rows: int) -> np.ndarray:
+    return sig.reshape(sig.shape[0], bands, rows)
+
+
+def minhash_pair_mask(
+    support_matrices: list[sparse.spmatrix],
+    idx_a: np.ndarray,
+    idx_b: np.ndarray,
+    *,
+    bands: int = DEFAULT_BANDS,
+    rows: int = DEFAULT_ROWS,
+    seed: int = 0,
+    pair_chunk: int = DEFAULT_PAIR_CHUNK,
+) -> np.ndarray:
+    """True where a pair collides in at least one band (LSH candidates)."""
+    idx_a = np.asarray(idx_a, dtype=np.int64)
+    idx_b = np.asarray(idx_b, dtype=np.int64)
+    sig = _band_views(
+        minhash_signatures(support_matrices, bands=bands, rows=rows, seed=seed),
+        bands,
+        rows,
+    )
+    mask = np.zeros(len(idx_a), dtype=bool)
+    for sl in chunk_slices(len(idx_a), pair_chunk):
+        agree = sig[idx_a[sl]] == sig[idx_b[sl]]
+        mask[sl] = agree.all(axis=2).any(axis=1)
+    _CANDIDATES.inc(int(mask.sum()))
+    return mask
+
+
+def minhash_candidate_pairs(
+    support_matrices: list[sparse.spmatrix],
+    *,
+    bands: int = DEFAULT_BANDS,
+    rows: int = DEFAULT_ROWS,
+    seed: int = 0,
+) -> list[tuple[int, int]]:
+    """All (i < j) candidate pairs, via per-band hash buckets.
+
+    The blocking counterpart of
+    :func:`repro.perf.blocking.candidate_pairs`: instead of joining the
+    inverted index exactly, bucket references by band signature and emit
+    pairs sharing a bucket — never materializing the pair grid, which is
+    the point at 100K+ references.
+    """
+    sig = minhash_signatures(
+        support_matrices, bands=bands, rows=rows, seed=seed
+    )
+    banded = _band_views(sig, bands, rows)
+    candidates: set[tuple[int, int]] = set()
+    for band in range(bands):
+        buckets: dict[bytes, list[int]] = {}
+        keys = np.ascontiguousarray(banded[:, band, :])
+        for i in range(keys.shape[0]):
+            buckets.setdefault(keys[i].tobytes(), []).append(i)
+        for members in buckets.values():
+            for a in range(len(members)):
+                for b in range(a + 1, len(members)):
+                    candidates.add((members[a], members[b]))
+    pairs = sorted(candidates)  # lint: allow[determinism/unkeyed-sort] int pairs
+    _CANDIDATES.inc(len(pairs))
+    return pairs
+
+
+def minhash_refined_mask(
+    support_matrices: list[sparse.spmatrix],
+    idx_a: np.ndarray,
+    idx_b: np.ndarray,
+    *,
+    bands: int = DEFAULT_BANDS,
+    rows: int = DEFAULT_ROWS,
+    seed: int = 0,
+    pair_chunk: int = DEFAULT_PAIR_CHUNK,
+) -> np.ndarray:
+    """LSH candidates narrowed by the exact intersection test.
+
+    The mask behind ``pair_pruning="minhash"``: every surviving pair
+    provably intersects (no false positives reach the kernels), and the
+    LSH stage only ever *removes* work relative to exact pruning.
+    """
+    idx_a = np.asarray(idx_a, dtype=np.int64)
+    idx_b = np.asarray(idx_b, dtype=np.int64)
+    candidates = minhash_pair_mask(
+        support_matrices, idx_a, idx_b,
+        bands=bands, rows=rows, seed=seed, pair_chunk=pair_chunk,
+    )
+    survivors = np.flatnonzero(candidates)
+    _RECHECKED.inc(len(survivors))
+    _LSH_PRUNED.inc(len(candidates) - len(survivors))
+    mask = np.zeros(len(candidates), dtype=bool)
+    if len(survivors):
+        exact = intersecting_pair_mask(
+            support_matrices,
+            idx_a[survivors],
+            idx_b[survivors],
+            pair_chunk=pair_chunk,
+        )
+        mask[survivors] = exact
+    return mask
+
+
+def blocking_recall(
+    exact_mask: np.ndarray, candidate_mask: np.ndarray
+) -> float:
+    """Fraction of exactly-intersecting pairs the candidates kept.
+
+    1.0 means lossless blocking (every pair the exact pruner would
+    evaluate is still evaluated); trivially 1.0 when nothing intersects.
+    """
+    exact_mask = np.asarray(exact_mask, dtype=bool)
+    candidate_mask = np.asarray(candidate_mask, dtype=bool)
+    if exact_mask.shape != candidate_mask.shape:
+        raise ValueError("masks must be aligned to the same pair list")
+    total = int(exact_mask.sum())
+    if total == 0:
+        return 1.0
+    return float((exact_mask & candidate_mask).sum()) / float(total)

@@ -41,7 +41,24 @@ naive ``ProcessPoolExecutor.map`` loses, this module keeps:
 Workers are primed once with a picklable ``payload`` via a pool
 initializer (under the default ``fork`` start method the payload is
 inherited, not pickled); each task then ships only its item. ``fn`` must
-be a module-level function taking ``(payload, item)``.
+be a module-level function taking ``(payload, item)``. A payload wrapped
+in a :class:`repro.perf.shm.PayloadHandle` (e.g.
+:class:`~repro.perf.shm.SharedPayload`, whose array buffers live in one
+shared-memory segment mapped read-only by every worker) is attached by
+the initializer and released — segment unlinked exactly once — in the
+map's outer ``finally``, which covers completion, deadline-cancelled
+tails, abandoned iterators, and the pool-respawn path (a respawned pool
+re-attaches the still-linked segment).
+
+Dispatch order is a *shard plan* (:func:`repro.perf.sharding.plan_shards`).
+The default ``"static"`` strategy reproduces consecutive
+``chunk_size`` chunks in input order; ``shard_strategy="cost"`` with
+per-item ``costs`` packs cost-balanced shards dispatched heaviest-first,
+and the pool's shared queue work-steals them: whichever worker goes idle
+pulls the next costliest shard. Completed shards are harvested as they
+finish, whatever the consumer is blocked on (``perf.shard.steals``
+counts the out-of-order harvests), and assembly stays input-ordered, so
+results are byte-identical to a serial run under every strategy.
 
 Two dispatch knobs trade pool overhead against parallelism without
 touching any of the guarantees above:
@@ -63,11 +80,20 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from concurrent.futures import CancelledError, Future, ProcessPoolExecutor
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    CancelledError,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
 from concurrent.futures import TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Sequence
+
+from repro.perf.shm import PayloadHandle
+from repro.perf.sharding import SHARD_STRATEGIES, plan_shards
 
 from repro.obs import (
     counter,
@@ -89,6 +115,7 @@ _SPANS_GRAFTED = counter("perf.parallel.spans_grafted")
 _TASK_SECONDS = histogram("perf.parallel.task_seconds")
 _WORKER_DEATHS = counter("perf.parallel.worker_deaths")
 _TASKS_REDISPATCHED = counter("perf.parallel.tasks_redispatched")
+_SHARD_STEALS = counter("perf.shard.steals")
 
 #: Below this estimated per-task cost (seconds), process-pool dispatch
 #: overhead (pickling, IPC, scheduler wakeups) dominates the work itself
@@ -154,6 +181,10 @@ class TaskOutcome:
 
 def _init_worker(payload: Any, trace: bool = False) -> None:
     global _PAYLOAD, _TRACE
+    if isinstance(payload, PayloadHandle):
+        # Zero-copy path: map the shared segment and rebuild the payload
+        # over read-only views into it (never pay the pickle per worker).
+        payload = payload.attach()
     _PAYLOAD = payload
     _TRACE = trace
     # Under ``fork`` the worker inherits the parent's live tracer (and its
@@ -246,6 +277,8 @@ def ordered_process_map(
     chunk_size: int = 1,
     inline: bool = False,
     task_retries: int = DEFAULT_TASK_RETRIES,
+    costs: Sequence[float] | None = None,
+    shard_strategy: str = "static",
 ) -> Iterator[TaskOutcome]:
     """Run ``fn(payload, item)`` for every item; yield outcomes in input order.
 
@@ -261,6 +294,14 @@ def ordered_process_map(
     items are surfaced as ``WorkerCrashed`` errors (see module
     docstring; 0 disables re-dispatch entirely).
 
+    ``shard_strategy`` + ``costs`` select the dispatch plan
+    (:func:`repro.perf.sharding.plan_shards`): ``"static"`` is the legacy
+    consecutive chunking, ``"cost"`` dispatches cost-balanced shards
+    heaviest-first so idle workers steal the expensive stragglers early.
+    Either way outcomes arrive in input order with identical values. A
+    ``payload`` wrapped in a :class:`repro.perf.shm.PayloadHandle` is
+    attached per worker and released here when the map winds down.
+
     Counter deltas from each task are merged into this process's registry
     as the task's outcome is yielded, so obs totals match a serial run.
     """
@@ -270,15 +311,40 @@ def ordered_process_map(
         raise ValueError("chunk_size must be >= 1")
     if task_retries < 0:
         raise ValueError("task_retries must be >= 0")
+    if shard_strategy not in SHARD_STRATEGIES:
+        raise ValueError(
+            f"shard_strategy must be one of {SHARD_STRATEGIES}, "
+            f"got {shard_strategy!r}"
+        )
+    items = list(items)
+    if costs is not None and len(costs) != len(items):
+        raise ValueError(
+            f"costs must have one entry per item: {len(costs)} != {len(items)}"
+        )
     if inline:
-        return _inline_map(fn, payload, list(items), deadline)
-    return _ordered_map(
-        fn, payload, list(items), workers, deadline, chunk_size, task_retries
+        return _inline_map(fn, payload, items, deadline)
+    plan = plan_shards(
+        len(items),
+        chunk_size=chunk_size,
+        strategy=shard_strategy,
+        costs=list(costs) if costs is not None else None,
     )
+    return _ordered_map(fn, payload, items, workers, deadline, task_retries, plan)
 
 
 def _inline_map(fn, payload, items, deadline) -> Iterator[TaskOutcome]:
     """The no-pool path: same outcomes, counters incremented in-process."""
+    handle = payload if isinstance(payload, PayloadHandle) else None
+    if handle is not None:
+        payload = handle.attach()
+    try:
+        yield from _inline_loop(fn, payload, items, deadline)
+    finally:
+        if handle is not None:
+            handle.release()
+
+
+def _inline_loop(fn, payload, items, deadline) -> Iterator[TaskOutcome]:
     interrupted = False
     for item in items:
         if not interrupted and deadline is not None and deadline.expired():
@@ -325,20 +391,31 @@ def _crash_error(chunk: list, losses: int) -> dict:
 
 
 def _ordered_map(
-    fn, payload, items, workers, deadline, chunk_size, task_retries
+    fn, payload, items, workers, deadline, task_retries, plan
 ) -> Iterator[TaskOutcome]:
-    """The pool path: windowed dispatch, ordered assembly, crash recovery.
+    """The pool path: planned dispatch, ordered assembly, crash recovery.
 
-    State per chunk index: not yet submitted (``idx >= next_submit`` and
-    not lost), in flight (``futures``), harvested (``results``), or
-    surfaced as a crash error (``crashed``). Chunks lost to a pool break
-    wait in ``probation`` and re-run one at a time so a poisonous chunk
-    is blamed precisely instead of taking innocent neighbors past their
-    retry budget.
+    ``plan`` maps shard index -> input positions (dispatch order =
+    ``plan`` order, which may differ from input order under the cost
+    strategy). State per shard index: not yet submitted (``idx >=
+    next_submit`` and not lost), in flight (``futures``), harvested
+    (``results``), or surfaced as a crash error (``crashed``). Shards
+    lost to a pool break wait in ``probation`` and re-run one at a time
+    so a poisonous shard is blamed precisely instead of taking innocent
+    neighbors past their retry budget. Completed shards are harvested
+    eagerly — whatever the consumer is blocked on — so out-of-order
+    completions free window slots immediately (the work-stealing half of
+    the cost strategy); the consuming loop still walks input positions
+    one by one.
     """
     registry = get_metrics()
-    chunks = [items[i:i + chunk_size] for i in range(0, len(items), chunk_size)]
+    chunks = [[items[pos] for pos in shard] for shard in plan]
     n = len(chunks)
+    # input position -> (shard index, offset inside the shard)
+    locate: dict[int, tuple[int, int]] = {}
+    for s, shard in enumerate(plan):
+        for offset, pos in enumerate(shard):
+            locate[pos] = (s, offset)
     window = max(workers * _WINDOW_FACTOR, 1)
     tracer = get_tracer()
     worker_ids: dict[int, int] = {}
@@ -346,6 +423,7 @@ def _ordered_map(
     pool = _new_pool(payload, workers)
     futures: dict[int, Future] = {}
     results: dict[int, list[tuple]] = {}
+    consumed = [0] * n
     crashed: dict[int, dict] = {}
     losses = [0] * n
     probation: set[int] = set()
@@ -361,7 +439,7 @@ def _ordered_map(
     def fill_window() -> None:
         nonlocal next_submit
         if probation:
-            # One suspect at a time: the only chunk allowed in flight is
+            # One suspect at a time: the only shard allowed in flight is
             # the next lost one, so a repeat break has exactly one culprit.
             head = min(probation)
             if head not in futures and not futures:
@@ -371,11 +449,32 @@ def _ordered_map(
             submit(next_submit)
             next_submit += 1
 
+    def harvest(awaiting: int | None = None) -> bool:
+        """Bank every finished future; True when the pool broke under one."""
+        broke = False
+        # lint: allow[determinism/unkeyed-sort] shard indices are ints
+        for idx in sorted(futures):
+            future = futures[idx]
+            if not future.done() or future.cancelled():
+                continue
+            exc = future.exception()
+            if exc is not None:
+                if isinstance(exc, BrokenProcessPool):
+                    broke = True
+                    continue
+                raise exc
+            results[idx] = future.result()
+            del futures[idx]
+            probation.discard(idx)
+            if awaiting is not None and idx != awaiting:
+                _SHARD_STEALS.inc()
+        return broke
+
     def handle_break() -> None:
         nonlocal pool
         _WORKER_DEATHS.inc()
         pool.shutdown(wait=False, cancel_futures=True)
-        # lint: allow[determinism/unkeyed-sort] chunk indices are ints
+        # lint: allow[determinism/unkeyed-sort] shard indices are ints
         for idx in sorted(futures):
             future = futures[idx]
             if future.cancelled():
@@ -398,65 +497,94 @@ def _ordered_map(
 
     interrupted = False
     try:
-        for idx, chunk in enumerate(chunks):
-            if not interrupted and deadline is not None and deadline.expired():
+        for pos, item in enumerate(items):
+            sidx, offset = locate[pos]
+            # Deadline checks happen at shard entry, matching the legacy
+            # chunk-boundary granularity: a shard whose results are being
+            # consumed finishes yielding before an expiry is noticed.
+            if (
+                not interrupted
+                and offset == 0
+                and deadline is not None
+                and deadline.expired()
+            ):
                 interrupted = True
             while (
                 not interrupted
-                and idx not in results
-                and idx not in crashed
+                and sidx not in results
+                and sidx not in crashed
             ):
                 try:
+                    if harvest(awaiting=sidx):
+                        handle_break()
+                        continue
                     fill_window()
-                    future = futures[idx]
+                    if sidx in results or sidx in crashed:
+                        break
                     remaining = (
                         deadline.remaining() if deadline is not None else None
                     )
-                    if remaining is not None:
-                        results[idx] = future.result(timeout=max(0.0, remaining))
+                    timeout = None if remaining is None else max(0.0, remaining)
+                    target = futures.get(sidx)
+                    if target is not None:
+                        target.result(timeout=timeout)
                     else:
-                        results[idx] = future.result()
+                        # Needed shard queued behind probation or window:
+                        # wait for anything in flight, then re-harvest.
+                        pending = list(futures.values())
+                        if not pending:
+                            raise RuntimeError(
+                                f"ordered map stalled: shard {sidx} is "
+                                "neither in flight nor finished"
+                            )
+                        wait(pending, timeout=timeout,
+                             return_when=FIRST_COMPLETED)
+                        if deadline is not None and deadline.expired():
+                            interrupted = True
+                            break
                 except BrokenProcessPool:
                     handle_break()
                     continue
                 except (FutureTimeout, CancelledError):
                     interrupted = True
                     break
-                del futures[idx]
-                probation.discard(idx)
             if interrupted:
-                _TASKS_INTERRUPTED.inc(len(chunk))
-                for item in chunk:
-                    yield TaskOutcome(item=item, interrupted=True)
+                _TASKS_INTERRUPTED.inc()
+                yield TaskOutcome(item=item, interrupted=True)
                 continue
-            if idx in crashed:
-                _TASKS_FAILED.inc(len(chunk))
-                for item in chunk:
-                    yield TaskOutcome(item=item, error=dict(crashed[idx]))
+            if sidx in crashed:
+                _TASKS_FAILED.inc()
+                yield TaskOutcome(item=item, error=dict(crashed[sidx]))
                 continue
-            for item, (value, error, deltas, seconds, trace) in zip(
-                chunk, results.pop(idx)
-            ):
-                for name, delta in deltas.items():
-                    registry.counter(name).inc(delta)
-                _TASK_SECONDS.observe(seconds)
-                worker_pid = None
-                if trace is not None:
-                    worker_pid = int(trace["pid"])
-                    if tracer is not None:
-                        _graft_trace(trace, tracer, worker_ids)
-                if error is not None:
-                    _TASKS_FAILED.inc()
-                else:
-                    _TASKS_OK.inc()
-                yield TaskOutcome(
-                    item=item, value=value, error=error,
-                    seconds=seconds, worker_pid=worker_pid,
-                )
+            value, error, deltas, seconds, trace = results[sidx][offset]
+            results[sidx][offset] = None  # free task payloads eagerly
+            consumed[sidx] += 1
+            if consumed[sidx] == len(plan[sidx]):
+                del results[sidx]
+            for name, delta in deltas.items():
+                registry.counter(name).inc(delta)
+            _TASK_SECONDS.observe(seconds)
+            worker_pid = None
+            if trace is not None:
+                worker_pid = int(trace["pid"])
+                if tracer is not None:
+                    _graft_trace(trace, tracer, worker_ids)
+            if error is not None:
+                _TASKS_FAILED.inc()
+            else:
+                _TASKS_OK.inc()
+            yield TaskOutcome(
+                item=item, value=value, error=error,
+                seconds=seconds, worker_pid=worker_pid,
+            )
     finally:
         # Also reached when the consumer abandons the iterator early:
         # cancel queued tasks so pool teardown doesn't run them all.
         pool.shutdown(wait=True, cancel_futures=True)
+        if isinstance(payload, PayloadHandle):
+            # Exactly-once segment teardown, whatever path got us here
+            # (completion, deadline tail, abandonment, pool respawns).
+            payload.release()
 
 
 def _graft_trace(trace: dict, tracer, worker_ids: dict[int, int]) -> None:

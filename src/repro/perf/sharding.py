@@ -1,0 +1,97 @@
+"""Cost-model shard planning for the ordered parallel map.
+
+Static chunking (``items[i:i+chunk_size]``, dispatch in input order) is
+the right default when tasks cost roughly the same, but disambiguation
+workloads are heavily skewed: per-name work is dominated by the all-pairs
+similarity stage, so a name with ``r`` references costs ~``r**2`` while
+the long tail of rare names costs almost nothing. Dispatched in input
+order, one giant name landing late leaves every other worker idle behind
+it — the classic makespan problem.
+
+:func:`plan_shards` turns the item list into an explicit *shard plan*: a
+list of shards (lists of input positions) in **dispatch order**. Strategy
+``"static"`` reproduces the legacy consecutive chunks exactly. Strategy
+``"cost"`` is longest-processing-time-first (LPT) scheduling: items are
+packed into shards by descending cost onto the currently lightest shard,
+and shards are dispatched heaviest-first. The pool's shared task queue
+then does the work-stealing: whichever worker goes idle pulls the next
+costliest shard, so the big names run first and the tail backfills the
+stragglers. The map's input-ordered assembly is untouched — the plan
+only changes *when* work runs, never what is returned, so results stay
+byte-identical to a serial run (see docs/performance.md).
+
+:func:`name_cost` is the shared cost model: ``refs**2``, matching the
+all-pairs feature stage that dominates per-name time.
+
+``perf.shard.shards`` counts planned shards; the map counts
+``perf.shard.steals`` — shards harvested out of consumption order, i.e.
+completions a strict in-order dispatcher would not have had yet.
+"""
+
+from __future__ import annotations
+
+from repro.obs import counter
+
+__all__ = ["SHARD_STRATEGIES", "name_cost", "plan_shards"]
+
+_SHARDS_PLANNED = counter("perf.shard.shards")
+
+SHARD_STRATEGIES = ("static", "cost")
+
+
+def name_cost(n_refs: int) -> float:
+    """Per-name cost estimate: the all-pairs similarity stage is O(refs²)."""
+    return float(n_refs) * float(n_refs)
+
+
+def plan_shards(
+    n_items: int,
+    chunk_size: int = 1,
+    strategy: str = "static",
+    costs: list[float] | None = None,
+) -> list[list[int]]:
+    """Input positions grouped into shards, in dispatch order.
+
+    ``"static"`` yields consecutive ``chunk_size`` slices in input order
+    (the legacy chunking, byte-for-byte). ``"cost"`` needs per-item
+    ``costs`` and packs LPT-style: the same number of shards, each at
+    most ``chunk_size`` items, balanced by total cost and dispatched
+    heaviest-first; items inside a shard stay in input order. Without
+    ``costs`` the cost strategy degrades to static (there is nothing to
+    balance on).
+    """
+    if strategy not in SHARD_STRATEGIES:
+        raise ValueError(
+            f"shard strategy must be one of {SHARD_STRATEGIES}, got {strategy!r}"
+        )
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    if costs is not None and len(costs) != n_items:
+        raise ValueError(
+            f"costs must have one entry per item: {len(costs)} != {n_items}"
+        )
+    if n_items == 0:
+        return []
+    if strategy == "static" or costs is None:
+        plan = [
+            list(range(start, min(start + chunk_size, n_items)))
+            for start in range(0, n_items, chunk_size)
+        ]
+    else:
+        n_shards = -(-n_items // chunk_size)
+        order = sorted(range(n_items), key=lambda i: (-costs[i], i))
+        shards: list[list[int]] = [[] for _ in range(n_shards)]
+        totals = [0.0] * n_shards
+        for item in order:
+            target = min(
+                (j for j in range(n_shards) if len(shards[j]) < chunk_size),
+                key=lambda j: (totals[j], j),
+            )
+            shards[target].append(item)
+            totals[target] += costs[item]
+        for shard in shards:
+            shard.sort()
+        dispatch = sorted(range(n_shards), key=lambda j: (-totals[j], j))
+        plan = [shards[j] for j in dispatch if shards[j]]
+    _SHARDS_PLANNED.inc(len(plan))
+    return plan

@@ -1,0 +1,129 @@
+"""MinHash/LSH blocking: determinism, safety rails, bucket consistency."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.perf import (
+    blocking_recall,
+    candidate_pairs,
+    intersecting_pair_mask,
+    minhash_candidate_pairs,
+    minhash_pair_mask,
+    minhash_refined_mask,
+    minhash_signatures,
+)
+
+
+def _matrices(n=50, m=40, density=0.08, seeds=(2, 3)):
+    return [
+        sparse.random(n, m, density=density, random_state=s, format="csr")
+        for s in seeds
+    ]
+
+
+def _grid(n):
+    return np.triu_indices(n, k=1)
+
+
+class TestSignatures:
+    def test_shape_and_dtype(self):
+        sig = minhash_signatures(_matrices(), bands=8, rows=3, seed=1)
+        assert sig.shape == (50, 24)
+        assert sig.dtype == np.uint64
+
+    def test_deterministic_in_seed(self):
+        mats = _matrices()
+        a = minhash_signatures(mats, bands=8, rows=2, seed=5)
+        b = minhash_signatures(mats, bands=8, rows=2, seed=5)
+        c = minhash_signatures(mats, bands=8, rows=2, seed=6)
+        np.testing.assert_array_equal(a, b)
+        assert (a != c).any()
+
+    def test_identical_rows_get_identical_signatures(self):
+        base = sparse.random(1, 40, density=0.3, random_state=9, format="csr")
+        stacked = sparse.vstack([base, base, base]).tocsr()
+        sig = minhash_signatures([stacked], bands=16, rows=2)
+        np.testing.assert_array_equal(sig[0], sig[1])
+        np.testing.assert_array_equal(sig[1], sig[2])
+
+    def test_empty_supports_never_collide(self):
+        empty = sparse.csr_matrix((4, 30))
+        sig = minhash_signatures([empty], bands=8, rows=2)
+        ia, ib = _grid(4)
+        mask = minhash_pair_mask([empty], ia, ib, bands=8, rows=2)
+        assert not mask.any()
+        # Sentinels sit above every real hash value.
+        assert (sig >= np.uint64(2147483647)).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="bands and rows"):
+            minhash_signatures(_matrices(), bands=0, rows=2)
+        with pytest.raises(ValueError, match="at least one"):
+            minhash_signatures([])
+
+
+class TestSafetyRails:
+    def test_refined_mask_is_subset_of_exact(self):
+        mats = _matrices()
+        ia, ib = _grid(50)
+        exact = intersecting_pair_mask(mats, ia, ib)
+        refined = minhash_refined_mask(mats, ia, ib)
+        assert not (refined & ~exact).any()
+
+    def test_refined_mask_is_subset_of_candidates(self):
+        mats = _matrices()
+        ia, ib = _grid(50)
+        cand = minhash_pair_mask(mats, ia, ib)
+        refined = minhash_refined_mask(mats, ia, ib)
+        assert not (refined & ~cand).any()
+
+    def test_identical_supports_are_always_candidates(self):
+        base = sparse.random(1, 40, density=0.3, random_state=9, format="csr")
+        stacked = sparse.vstack([base] * 6).tocsr()
+        ia, ib = _grid(6)
+        cand = minhash_pair_mask([stacked], ia, ib)
+        assert cand.all()
+        refined = minhash_refined_mask([stacked], ia, ib)
+        assert refined.all()
+
+    def test_recall_edges(self):
+        exact = np.array([True, False, True, False])
+        assert blocking_recall(exact, np.array([True, True, True, False])) == 1.0
+        assert blocking_recall(exact, np.array([True, False, False, False])) == 0.5
+        assert blocking_recall(np.zeros(4, dtype=bool), np.zeros(4, dtype=bool)) == 1.0
+        with pytest.raises(ValueError, match="aligned"):
+            blocking_recall(exact, np.zeros(3, dtype=bool))
+
+
+class TestBuckets:
+    def test_candidate_pairs_match_the_pair_mask_on_the_full_grid(self):
+        mats = _matrices(n=30)
+        ia, ib = _grid(30)
+        mask = minhash_pair_mask(mats, ia, ib, bands=8, rows=2, seed=4)
+        from_mask = sorted(
+            (int(a), int(b)) for a, b in zip(ia[mask], ib[mask])
+        )
+        from_buckets = minhash_candidate_pairs(mats, bands=8, rows=2, seed=4)
+        assert from_buckets == from_mask
+
+    def test_candidates_never_exceed_exact_join_on_high_jaccard_worlds(self):
+        # Clustered supports: same-cluster rows share a base set, so every
+        # exact pair has high Jaccard and LSH at defaults keeps them all.
+        rng = np.random.default_rng(0)
+        rows, cols = [], []
+        for ref in range(20):
+            cluster = ref // 5
+            base = np.arange(cluster * 25, cluster * 25 + 20)
+            noise = rng.choice(20, size=2, replace=False) + cluster * 25
+            support = np.unique(np.concatenate([base, noise]))
+            rows.extend([ref] * len(support))
+            cols.extend(support.tolist())
+        mat = sparse.csr_matrix(
+            (np.ones(len(rows)), (rows, cols)), shape=(20, 100)
+        )
+        exact = candidate_pairs([mat])
+        cand = minhash_candidate_pairs([mat])
+        assert set(exact) <= set(cand)

@@ -1,0 +1,125 @@
+"""Shard planning: static parity, LPT balance, byte-identical map results."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf import ordered_process_map, plan_shards
+from repro.perf.sharding import name_cost
+
+
+def _square(payload, item):
+    return item * item
+
+
+class TestStaticPlan:
+    def test_matches_legacy_consecutive_chunks(self):
+        assert plan_shards(7, chunk_size=3) == [[0, 1, 2], [3, 4, 5], [6]]
+        assert plan_shards(4, chunk_size=1) == [[0], [1], [2], [3]]
+        assert plan_shards(0, chunk_size=5) == []
+
+    def test_cost_strategy_without_costs_degrades_to_static(self):
+        assert plan_shards(5, chunk_size=2, strategy="cost") == [
+            [0, 1], [2, 3], [4],
+        ]
+
+
+class TestCostPlan:
+    def test_partitions_every_item_exactly_once(self):
+        costs = [float(i % 7 + 1) for i in range(23)]
+        plan = plan_shards(23, chunk_size=4, strategy="cost", costs=costs)
+        flat = sorted(pos for shard in plan for pos in shard)
+        assert flat == list(range(23))
+        assert all(len(shard) <= 4 for shard in plan)
+
+    def test_items_stay_in_input_order_inside_a_shard(self):
+        costs = [9.0, 1.0, 8.0, 2.0, 7.0, 3.0]
+        plan = plan_shards(6, chunk_size=3, strategy="cost", costs=costs)
+        for shard in plan:
+            assert shard == sorted(shard)
+
+    def test_dispatch_order_is_heaviest_first(self):
+        costs = [1.0, 1.0, 1.0, 100.0, 1.0, 1.0]
+        plan = plan_shards(6, chunk_size=2, strategy="cost", costs=costs)
+        totals = [sum(costs[pos] for pos in shard) for shard in plan]
+        assert totals == sorted(totals, reverse=True)
+        # The giant item leads the very first shard dispatched.
+        assert 3 in plan[0]
+
+    def test_lpt_balances_skewed_costs(self):
+        # One heavy item per shard beats consecutive chunking, which
+        # would stack the heavy head items into the same shard.
+        costs = [100.0, 90.0, 80.0, 1.0, 1.0, 1.0]
+        plan = plan_shards(6, chunk_size=2, strategy="cost", costs=costs)
+        totals = [sum(costs[pos] for pos in shard) for shard in plan]
+        assert max(totals) <= 101.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="strategy"):
+            plan_shards(3, strategy="greedy")
+        with pytest.raises(ValueError, match="chunk_size"):
+            plan_shards(3, chunk_size=0)
+        with pytest.raises(ValueError, match="one entry per item"):
+            plan_shards(3, strategy="cost", costs=[1.0])
+
+
+class TestNameCost:
+    def test_quadratic_in_refs(self):
+        assert name_cost(0) == 0.0
+        assert name_cost(3) == 9.0
+        assert name_cost(10) == 4 * name_cost(5)
+
+
+class TestMapEquivalence:
+    """The plan changes dispatch order only — never what is returned."""
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_cost_sharding_is_byte_identical_to_static(self, workers):
+        items = list(range(30))
+        costs = [name_cost((i * 13) % 9 + 1) for i in items]
+        static = [
+            (t.item, t.value)
+            for t in ordered_process_map(
+                _square, None, items, workers=workers, chunk_size=3
+            )
+        ]
+        cost = [
+            (t.item, t.value)
+            for t in ordered_process_map(
+                _square, None, items, workers=workers, chunk_size=3,
+                costs=costs, shard_strategy="cost",
+            )
+        ]
+        inline = [
+            (t.item, t.value)
+            for t in ordered_process_map(
+                _square, None, items, workers=1, inline=True
+            )
+        ]
+        assert static == cost == inline
+
+    def test_costs_with_static_strategy_are_accepted_and_ignored(self):
+        items = list(range(6))
+        out = [
+            t.value
+            for t in ordered_process_map(
+                _square, None, items, workers=2, chunk_size=2,
+                costs=[1.0] * 6, shard_strategy="static",
+            )
+        ]
+        assert out == [i * i for i in items]
+
+    def test_bad_strategy_or_costs_rejected(self):
+        with pytest.raises(ValueError, match="shard_strategy"):
+            list(
+                ordered_process_map(
+                    _square, None, [1], workers=2, shard_strategy="greedy"
+                )
+            )
+        with pytest.raises(ValueError, match="one entry per item"):
+            list(
+                ordered_process_map(
+                    _square, None, [1, 2], workers=2, costs=[1.0],
+                    shard_strategy="cost",
+                )
+            )
