@@ -16,33 +16,66 @@ catalogue and ``repro lint`` for the CLI entry point.
     assert result.ok, [f.render() for f in result.findings]
 """
 
+from repro.analysis.baseline import (
+    apply_baseline,
+    fingerprint,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.callgraph import CallGraph, build_call_graph
+from repro.analysis.cfg import CFG, build_cfg, function_cfgs
 from repro.analysis.config import (
     AllowEntry,
     LintConfig,
+    ResourceSpec,
     default_config,
     load_config,
 )
+from repro.analysis.dataflow import (
+    FixpointDiverged,
+    ForwardAnalysis,
+    GenKillAnalysis,
+)
 from repro.analysis.engine import Rule, all_rules, register, rule_catalogue, run_lint
 from repro.analysis.findings import Finding, LintResult, Severity
+from repro.analysis.incremental import changed_files, filter_to_changed
 from repro.analysis.project import ModuleInfo, Project, load_project
 from repro.analysis.report import format_json, format_text
+from repro.analysis.sarif import format_sarif, sarif_document
 
 __all__ = [
     "AllowEntry",
+    "CFG",
+    "CallGraph",
     "Finding",
+    "FixpointDiverged",
+    "ForwardAnalysis",
+    "GenKillAnalysis",
     "LintConfig",
     "LintResult",
     "ModuleInfo",
     "Project",
+    "ResourceSpec",
     "Rule",
     "Severity",
     "all_rules",
+    "apply_baseline",
+    "build_call_graph",
+    "build_cfg",
+    "changed_files",
     "default_config",
+    "filter_to_changed",
+    "fingerprint",
     "format_json",
+    "format_sarif",
     "format_text",
+    "function_cfgs",
+    "load_baseline",
     "load_config",
     "load_project",
     "register",
     "rule_catalogue",
     "run_lint",
+    "sarif_document",
+    "write_baseline",
 ]

@@ -1,0 +1,111 @@
+"""Finding baselines: land strict rules without a flag-day.
+
+A baseline (``lint-baseline.json``, committed) records fingerprints of
+the findings that existed when a rule landed; ``repro lint --baseline``
+suppresses exactly those and fails only on *new* findings. Fingerprints
+hash ``rule | path | message`` — deliberately not the line number, so
+unrelated edits that shift code don't resurrect baselined findings —
+and carry a per-fingerprint count, so introducing a *second* identical
+violation in the same file still fails.
+
+The workflow: a new rule lands with its existing findings baselined,
+each one then gets fixed (or inline-allowed with a reason) in follow-up
+changes, and ``--write-baseline`` regenerates the shrinking file; an
+empty baseline is the steady state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.analysis.findings import Finding, LintResult
+
+__all__ = [
+    "BaselineError",
+    "apply_baseline",
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+]
+
+FORMAT_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but cannot be used."""
+
+
+def fingerprint(finding: Finding) -> str:
+    """Stable id of a finding, robust to line drift."""
+    key = f"{finding.rule}|{finding.path}|{finding.message}"
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
+
+
+def write_baseline(result: LintResult, path: str | Path) -> dict:
+    """Record ``result``'s findings (all severities) as the baseline."""
+    counts: dict[str, dict] = {}
+    for finding in result.findings:
+        fp = fingerprint(finding)
+        entry = counts.setdefault(
+            fp,
+            {"rule": finding.rule, "path": finding.path, "count": 0},
+        )
+        entry["count"] += 1
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "fingerprints": {fp: counts[fp] for fp in sorted(counts)},
+    }
+    target = Path(path)
+    target.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def load_baseline(path: str | Path) -> dict[str, int]:
+    """fingerprint -> allowed occurrence count."""
+    source = Path(path)
+    try:
+        payload = json.loads(source.read_text())
+    except OSError as exc:
+        raise BaselineError(f"cannot read baseline {source}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BaselineError(
+            f"baseline {source} is not valid JSON: {exc}"
+        ) from exc
+    if payload.get("format_version") != FORMAT_VERSION:
+        raise BaselineError(
+            f"baseline {source} has format_version "
+            f"{payload.get('format_version')!r}; this build reads "
+            f"{FORMAT_VERSION}"
+        )
+    fingerprints = payload.get("fingerprints", {})
+    return {
+        str(fp): int(entry.get("count", 1))
+        for fp, entry in fingerprints.items()
+    }
+
+
+def apply_baseline(
+    result: LintResult, budgets: dict[str, int]
+) -> LintResult:
+    """``result`` minus baselined findings (counted against budgets).
+
+    Returns a new :class:`LintResult`; suppressed findings are added to
+    ``n_suppressed`` so the totals still account for them.
+    """
+    remaining = dict(budgets)
+    kept: list[Finding] = []
+    suppressed = 0
+    for finding in result.findings:
+        fp = fingerprint(finding)
+        if remaining.get(fp, 0) > 0:
+            remaining[fp] -= 1
+            suppressed += 1
+        else:
+            kept.append(finding)
+    return LintResult(
+        findings=kept,
+        n_modules=result.n_modules,
+        n_suppressed=result.n_suppressed + suppressed,
+    )

@@ -1,0 +1,463 @@
+"""Intraprocedural control-flow graphs over the project's ASTs.
+
+:func:`build_cfg` turns one function body into a statement-level CFG:
+every statement is a node, plus three synthetic nodes — ``entry``,
+``exit`` (normal return) and ``raise_exit`` (an exception leaving the
+function). Branch edges carry their test expression and polarity so a
+flow analysis can refine facts per branch (``if handle is not None:``).
+
+Exception modeling is deliberately pragmatic: a statement gets an
+implicit exception edge only when it sits inside a ``try`` — the place
+the author declared exception-awareness — plus explicit ``raise`` and
+``assert`` statements anywhere. Modeling "any expression may raise"
+would route every path through ``raise_exit`` and drown the lifecycle
+rules in unfixable findings; modeling none would miss exactly the
+deadline-tail leaks this layer exists to catch (a ``finally`` that
+forgets a release). ``finally`` bodies are built once and their exits
+fan out to every continuation observed flowing through them (normal
+fall-through, exceptional propagation, routed ``return``/``break``/
+``continue``), which over-approximates paths but never loses one.
+
+``with`` blocks are transparent containers (their ``__exit__`` is
+assumed not to swallow exceptions — true of every context manager this
+project uses); loop back-edges make the graphs cyclic, so consumers
+must iterate to fixpoint (:mod:`repro.analysis.dataflow`).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = [
+    "CFG",
+    "EXC",
+    "FALSE",
+    "LOOP",
+    "NEXT",
+    "TRUE",
+    "Edge",
+    "Node",
+    "build_cfg",
+    "function_cfgs",
+]
+
+NEXT = "next"
+TRUE = "true"
+FALSE = "false"
+EXC = "exc"
+LOOP = "loop"
+
+@dataclass
+class Node:
+    """One CFG node: a statement, or a synthetic entry/exit/raise node.
+
+    ``stmt`` is usually an ``ast.stmt``; handler-entry nodes carry the
+    ``ast.ExceptHandler`` instead (it owns the lineno of the ``except``).
+    """
+
+    id: int
+    kind: str  # "entry" | "exit" | "raise" | "stmt" | "branch" | "finally"
+    stmt: ast.AST | None = None
+    test: ast.expr | None = None  # branch nodes: the refinable condition
+
+    @property
+    def line(self) -> int:
+        return int(getattr(self.stmt, "lineno", 0)) if self.stmt is not None else 0
+
+
+@dataclass(frozen=True)
+class Edge:
+    src: int
+    dst: int
+    label: str
+
+
+@dataclass
+class CFG:
+    """The control-flow graph of one function."""
+
+    func: ast.FunctionDef | ast.AsyncFunctionDef
+    nodes: list[Node] = field(default_factory=list)
+    edges: list[Edge] = field(default_factory=list)
+    entry: int = 0
+    exit: int = 1
+    raise_exit: int = 2
+
+    def succ(self, node_id: int) -> list[Edge]:
+        return [e for e in self.edges if e.src == node_id]
+
+    def pred(self, node_id: int) -> list[Edge]:
+        return [e for e in self.edges if e.dst == node_id]
+
+    def node(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    @property
+    def exits(self) -> tuple[int, int]:
+        """Both ways out of the function: normal return and propagation."""
+        return (self.exit, self.raise_exit)
+
+
+@dataclass
+class _Frame:
+    """One enclosing ``try``: where exceptions and jumps route through."""
+
+    handler_entries: list[int]
+    finally_entry: int | None
+    #: Continuations observed flowing through the finally (routed jumps);
+    #: wired to the finally's exit frontier once its body exists.
+    finally_continuations: set[int] = field(default_factory=set)
+
+
+@dataclass
+class _Loop:
+    head: int
+    break_sources: list[tuple[int, str]] = field(default_factory=list)
+
+
+class _Builder:
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.func = func
+        self.cfg = CFG(func=func)
+        self._add_node("entry")
+        self._add_node("exit")
+        self._add_node("raise")
+        self.frames: list[_Frame] = []
+        self.loops: list[_Loop] = []
+
+    # -- graph primitives ----------------------------------------------
+
+    def _add_node(
+        self,
+        kind: str,
+        stmt: ast.AST | None = None,
+        test: ast.expr | None = None,
+    ) -> int:
+        node = Node(id=len(self.cfg.nodes), kind=kind, stmt=stmt, test=test)
+        self.cfg.nodes.append(node)
+        return node.id
+
+    def _add_edge(self, src: int, dst: int, label: str) -> None:
+        edge = Edge(src=src, dst=dst, label=label)
+        if edge not in self.cfg.edges:
+            self.cfg.edges.append(edge)
+
+    def _connect(self, frontier: list[tuple[int, str]], dst: int) -> None:
+        for src, label in frontier:
+            self._add_edge(src, dst, label)
+
+    # -- exception and jump routing ------------------------------------
+
+    def _exc_targets(self) -> list[int]:
+        """Where an exception raised at the current point can land."""
+        if not self.frames:
+            return [self.cfg.raise_exit]
+        frame = self.frames[-1]
+        targets = list(frame.handler_entries)
+        if frame.finally_entry is not None:
+            targets.append(frame.finally_entry)
+        else:
+            # No finally here: an exception no handler matches keeps
+            # propagating to the next frame out (or leaves the function).
+            targets.append(self._outer_exc_target(len(self.frames) - 1))
+        return targets
+
+    def _outer_exc_target(self, frame_index: int) -> int:
+        """The propagation target just outside ``frames[frame_index]``."""
+        for frame in reversed(self.frames[:frame_index]):
+            if frame.finally_entry is not None:
+                return frame.finally_entry
+            if frame.handler_entries:
+                return frame.handler_entries[0]
+        return self.cfg.raise_exit
+
+    def _route_jump(self, src: int, target: int) -> None:
+        """Wire ``src`` to ``target`` through the innermost finally, if any.
+
+        The traversed finally records ``target`` as a continuation; its
+        exit frontier fans out to every recorded continuation once the
+        finally body is built (outer finallys are then reached through
+        that fan-out — an over-approximation that never loses a path).
+        """
+        for frame in reversed(self.frames):
+            if frame.finally_entry is not None:
+                self._add_edge(src, frame.finally_entry, NEXT)
+                frame.finally_continuations.add(target)
+                return
+        self._add_edge(src, target, NEXT)
+
+    # -- statement dispatch --------------------------------------------
+
+    def build(self) -> CFG:
+        frontier = self._seq(self.func.body, [(self.cfg.entry, NEXT)])
+        self._connect(frontier, self.cfg.exit)
+        return self.cfg
+
+    def _seq(
+        self, stmts: list[ast.stmt], frontier: list[tuple[int, str]]
+    ) -> list[tuple[int, str]]:
+        for stmt in stmts:
+            if not frontier:
+                break  # unreachable after return/raise/break/continue
+            frontier = self._stmt(stmt, frontier)
+        return frontier
+
+    def _stmt(
+        self, stmt: ast.stmt, frontier: list[tuple[int, str]]
+    ) -> list[tuple[int, str]]:
+        handler = getattr(self, f"_build_{type(stmt).__name__}", None)
+        if handler is not None:
+            return handler(stmt, frontier)
+        node = self._add_node("stmt", stmt)
+        self._connect(frontier, node)
+        self._maybe_exc_edge(node)
+        return [(node, NEXT)]
+
+    def _maybe_exc_edge(self, node_id: int) -> None:
+        """Implicit may-raise edges, only inside a ``try``."""
+        if self.frames:
+            for target in self._exc_targets():
+                self._add_edge(node_id, target, EXC)
+
+    # -- specific statements -------------------------------------------
+
+    def _build_If(
+        self, stmt: ast.If, frontier: list[tuple[int, str]]
+    ) -> list[tuple[int, str]]:
+        node = self._add_node("branch", stmt, test=stmt.test)
+        self._connect(frontier, node)
+        self._maybe_exc_edge(node)
+        out = self._seq(stmt.body, [(node, TRUE)])
+        if stmt.orelse:
+            out = out + self._seq(stmt.orelse, [(node, FALSE)])
+        else:
+            out = out + [(node, FALSE)]
+        return out
+
+    def _build_While(
+        self, stmt: ast.While, frontier: list[tuple[int, str]]
+    ) -> list[tuple[int, str]]:
+        head = self._add_node("branch", stmt, test=stmt.test)
+        self._connect(frontier, head)
+        self._maybe_exc_edge(head)
+        loop = _Loop(head=head)
+        self.loops.append(loop)
+        body_frontier = self._seq(stmt.body, [(head, TRUE)])
+        for src, _label in body_frontier:
+            self._add_edge(src, head, LOOP)
+        self.loops.pop()
+        out = list(loop.break_sources)
+        if stmt.orelse:
+            out = out + self._seq(stmt.orelse, [(head, FALSE)])
+        else:
+            out = out + [(head, FALSE)]
+        return out
+
+    def _build_For(
+        self, stmt: ast.For, frontier: list[tuple[int, str]]
+    ) -> list[tuple[int, str]]:
+        return self._build_loop_for(stmt, frontier)
+
+    def _build_AsyncFor(
+        self, stmt: ast.AsyncFor, frontier: list[tuple[int, str]]
+    ) -> list[tuple[int, str]]:
+        return self._build_loop_for(stmt, frontier)
+
+    def _build_loop_for(
+        self, stmt: ast.For | ast.AsyncFor, frontier: list[tuple[int, str]]
+    ) -> list[tuple[int, str]]:
+        head = self._add_node("branch", stmt, test=None)
+        self._connect(frontier, head)
+        self._maybe_exc_edge(head)
+        loop = _Loop(head=head)
+        self.loops.append(loop)
+        body_frontier = self._seq(stmt.body, [(head, TRUE)])
+        for src, _label in body_frontier:
+            self._add_edge(src, head, LOOP)
+        self.loops.pop()
+        out = list(loop.break_sources)
+        if stmt.orelse:
+            out = out + self._seq(stmt.orelse, [(head, FALSE)])
+        else:
+            out = out + [(head, FALSE)]
+        return out
+
+    def _build_With(
+        self, stmt: ast.With, frontier: list[tuple[int, str]]
+    ) -> list[tuple[int, str]]:
+        return self._build_with(stmt, frontier)
+
+    def _build_AsyncWith(
+        self, stmt: ast.AsyncWith, frontier: list[tuple[int, str]]
+    ) -> list[tuple[int, str]]:
+        return self._build_with(stmt, frontier)
+
+    def _build_with(
+        self, stmt: ast.With | ast.AsyncWith, frontier: list[tuple[int, str]]
+    ) -> list[tuple[int, str]]:
+        node = self._add_node("stmt", stmt)
+        self._connect(frontier, node)
+        self._maybe_exc_edge(node)
+        return self._seq(stmt.body, [(node, NEXT)])
+
+    def _build_Try(
+        self, stmt: ast.Try, frontier: list[tuple[int, str]]
+    ) -> list[tuple[int, str]]:
+        handler_entries = [
+            self._add_node("stmt", handler) for handler in stmt.handlers
+        ]
+        finally_entry = (
+            self._add_node("finally", stmt) if stmt.finalbody else None
+        )
+        frame = _Frame(
+            handler_entries=handler_entries, finally_entry=finally_entry
+        )
+
+        self.frames.append(frame)
+        body_frontier = self._seq(stmt.body, frontier)
+        if stmt.orelse:
+            body_frontier = self._seq(stmt.orelse, body_frontier)
+        self.frames.pop()
+
+        # Handler bodies: exceptions inside them skip the local handlers
+        # and route to the finally (or outward).
+        handler_frame = _Frame(handler_entries=[], finally_entry=finally_entry)
+        handler_frontiers: list[tuple[int, str]] = []
+        self.frames.append(handler_frame)
+        for entry, handler in zip(handler_entries, stmt.handlers):
+            handler_frontiers.extend(self._seq(handler.body, [(entry, NEXT)]))
+        self.frames.pop()
+        frame.finally_continuations |= handler_frame.finally_continuations
+
+        normal = body_frontier + handler_frontiers
+        if finally_entry is None:
+            return normal
+
+        self._connect(normal, finally_entry)
+        finally_frontier = self._seq(stmt.finalbody, [(finally_entry, NEXT)])
+        # Exceptional pass-through: a finally entered by propagation
+        # completes and *then* re-raises. The synthetic reraise node
+        # sits after the finally body so dataflow sees the body's full
+        # effect (and branch-edge refinements) before the exception
+        # leaves; finallys entered normally also flow through it, a
+        # harmless over-approximation ("may re-raise").
+        outer = self._outer_exc_target(len(self.frames))
+        reraise = self._add_node("reraise")
+        self._connect(finally_frontier, reraise)
+        self._add_edge(reraise, outer, EXC)
+        for continuation in sorted(frame.finally_continuations):
+            # Preserve edge labels so branch refinement applies on the
+            # way to the continuation too.
+            for src, label in finally_frontier:
+                self._add_edge(src, continuation, label)
+        return finally_frontier
+
+    def _build_Return(
+        self, stmt: ast.Return, frontier: list[tuple[int, str]]
+    ) -> list[tuple[int, str]]:
+        node = self._add_node("stmt", stmt)
+        self._connect(frontier, node)
+        self._maybe_exc_edge(node)
+        self._route_jump(node, self.cfg.exit)
+        return []
+
+    def _build_Raise(
+        self, stmt: ast.Raise, frontier: list[tuple[int, str]]
+    ) -> list[tuple[int, str]]:
+        node = self._add_node("stmt", stmt)
+        self._connect(frontier, node)
+        for target in self._exc_targets():
+            self._add_edge(node, target, EXC)
+        return []
+
+    def _build_Assert(
+        self, stmt: ast.Assert, frontier: list[tuple[int, str]]
+    ) -> list[tuple[int, str]]:
+        node = self._add_node("stmt", stmt)
+        self._connect(frontier, node)
+        for target in self._exc_targets():
+            self._add_edge(node, target, EXC)
+        return [(node, NEXT)]
+
+    def _build_Break(
+        self, stmt: ast.Break, frontier: list[tuple[int, str]]
+    ) -> list[tuple[int, str]]:
+        node = self._add_node("stmt", stmt)
+        self._connect(frontier, node)
+        if self.loops:
+            for frame in reversed(self.frames):
+                if frame.finally_entry is not None:
+                    # break runs intervening finallys before leaving.
+                    self._add_edge(node, frame.finally_entry, NEXT)
+                    break
+            self.loops[-1].break_sources.append((node, NEXT))
+        return []
+
+    def _build_Continue(
+        self, stmt: ast.Continue, frontier: list[tuple[int, str]]
+    ) -> list[tuple[int, str]]:
+        node = self._add_node("stmt", stmt)
+        self._connect(frontier, node)
+        if self.loops:
+            self._route_jump(node, self.loops[-1].head)
+        return []
+
+    def _build_Match(
+        self, stmt: ast.stmt, frontier: list[tuple[int, str]]
+    ) -> list[tuple[int, str]]:
+        node = self._add_node("branch", stmt)
+        self._connect(frontier, node)
+        self._maybe_exc_edge(node)
+        out: list[tuple[int, str]] = [(node, FALSE)]  # no case matched
+        for case in stmt.cases:  # type: ignore[attr-defined]
+            out.extend(self._seq(case.body, [(node, TRUE)]))
+        return out
+
+    # Nested definitions are opaque single statements (their bodies get
+    # their own CFGs via function_cfgs).
+    def _build_FunctionDef(
+        self, stmt: ast.FunctionDef, frontier: list[tuple[int, str]]
+    ) -> list[tuple[int, str]]:
+        node = self._add_node("stmt", stmt)
+        self._connect(frontier, node)
+        return [(node, NEXT)]
+
+    def _build_AsyncFunctionDef(
+        self, stmt: ast.AsyncFunctionDef, frontier: list[tuple[int, str]]
+    ) -> list[tuple[int, str]]:
+        node = self._add_node("stmt", stmt)
+        self._connect(frontier, node)
+        return [(node, NEXT)]
+
+    def _build_ClassDef(
+        self, stmt: ast.ClassDef, frontier: list[tuple[int, str]]
+    ) -> list[tuple[int, str]]:
+        node = self._add_node("stmt", stmt)
+        self._connect(frontier, node)
+        return [(node, NEXT)]
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """The statement-level CFG of one function definition."""
+    return _Builder(func).build()
+
+
+def function_cfgs(tree: ast.Module) -> list[tuple[str, CFG]]:
+    """``(qualified name, CFG)`` for every function in a module, outermost
+    first; nested functions and methods get dotted names (``Outer.inner``)."""
+    out: list[tuple[str, CFG]] = []
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                name = f"{prefix}{child.name}"
+                out.append((name, build_cfg(child)))
+                visit(child, f"{name}.")
+            elif isinstance(child, ast.ClassDef):
+                visit(child, f"{prefix}{child.name}.")
+            else:
+                visit(child, prefix)
+
+    visit(tree, "")
+    return out

@@ -1,0 +1,192 @@
+"""A small worklist fixpoint framework over :mod:`repro.analysis.cfg`.
+
+Two layers:
+
+- :class:`ForwardAnalysis` — the generic engine. A rule subclasses it
+  with an ``initial()`` state, a ``transfer(node, state)`` function, and
+  optionally ``refine(test, polarity, state)`` applied along ``true`` /
+  ``false`` branch edges (how the lifecycle rule understands
+  ``if handle is not None:`` guards). States are joined at merge points
+  with ``join`` and iterated to fixpoint; loops terminate because states
+  must grow monotonically in a finite lattice, and a hard iteration cap
+  turns an accidentally infinite lattice into a loud error instead of a
+  hung lint run.
+
+- :class:`GenKillAnalysis` — the classic bit-vector special case over
+  ``frozenset`` facts with per-node ``gen`` / ``kill`` sets, in ``may``
+  (union-join, e.g. taint) or ``must`` (intersection-join, e.g.
+  "an fsync is available on every path") flavors.
+
+States are treated as immutable values: ``transfer`` must return a new
+state, never mutate its argument, and ``equals`` decides convergence.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Generic, Mapping, TypeVar
+
+from repro.analysis.cfg import CFG, EXC, FALSE, TRUE, Node
+
+__all__ = [
+    "ForwardAnalysis",
+    "GenKillAnalysis",
+    "FixpointDiverged",
+    "MAY",
+    "MUST",
+    "reachable_without",
+    "statement_lines",
+]
+
+S = TypeVar("S")
+
+MAY = "may"
+MUST = "must"
+
+#: Hard cap on worklist node-visits, as a multiple of the node count. A
+#: correct finite-lattice analysis converges in a handful of passes; the
+#: cap exists so a buggy transfer function fails loudly and fast.
+MAX_VISITS_PER_NODE = 200
+
+
+class FixpointDiverged(RuntimeError):
+    """The analysis hit the iteration cap without converging."""
+
+
+class ForwardAnalysis(Generic[S]):
+    """Forward dataflow over one CFG; subclass and override the hooks."""
+
+    def initial(self) -> S:
+        """The state at function entry."""
+        raise NotImplementedError
+
+    def bottom(self) -> S:
+        """The state of a not-yet-visited node (identity of ``join``)."""
+        raise NotImplementedError
+
+    def join(self, a: S, b: S) -> S:
+        raise NotImplementedError
+
+    def equals(self, a: S, b: S) -> bool:
+        return bool(a == b)
+
+    def transfer(self, node: Node, state: S) -> S:
+        """The state after executing ``node`` with ``state`` before it."""
+        raise NotImplementedError
+
+    def transfer_exc(self, node: Node, state: S) -> S:
+        """State flowing along an exception edge out of ``node``.
+
+        Defaults to the pre-state: the exception may fire before the
+        statement's own effect completed (the conservative choice for a
+        leak analysis — an acquire-then-raise still holds the resource).
+        """
+        return state
+
+    def refine(self, test: ast.expr | None, polarity: bool, state: S) -> S:
+        """Narrow ``state`` along a branch edge; default: no refinement."""
+        return state
+
+    def solve(self, cfg: CFG) -> dict[int, S]:
+        """IN-states per node id at fixpoint (post-states via transfer)."""
+        in_states: dict[int, S] = {node.id: self.bottom() for node in cfg.nodes}
+        in_states[cfg.entry] = self.initial()
+        # Seed with every node (entry first): each transfer must run at
+        # least once even where the incoming state equals bottom, or
+        # facts generated mid-graph would never propagate.
+        worklist: list[int] = [cfg.entry] + [
+            node.id for node in cfg.nodes if node.id != cfg.entry
+        ]
+        budget = MAX_VISITS_PER_NODE * max(len(cfg.nodes), 1)
+        visits = 0
+        while worklist:
+            visits += 1
+            if visits > budget:
+                raise FixpointDiverged(
+                    f"dataflow did not converge after {visits} node visits "
+                    f"({len(cfg.nodes)} nodes) — non-monotone transfer?"
+                )
+            node_id = worklist.pop(0)
+            node = cfg.node(node_id)
+            state = in_states[node_id]
+            post = self.transfer(node, state)
+            exc_post = self.transfer_exc(node, state)
+            for edge in cfg.succ(node_id):
+                if edge.label == EXC:
+                    out = exc_post
+                elif edge.label == TRUE:
+                    out = self.refine(node.test, True, post)
+                elif edge.label == FALSE:
+                    out = self.refine(node.test, False, post)
+                else:
+                    out = post
+                merged = self.join(in_states[edge.dst], out)
+                if not self.equals(merged, in_states[edge.dst]):
+                    in_states[edge.dst] = merged
+                    if edge.dst not in worklist:
+                        worklist.append(edge.dst)
+        return in_states
+
+
+class GenKillAnalysis(ForwardAnalysis[frozenset]):
+    """Set-fact dataflow: ``out = (in - kill(node)) | gen(node)``.
+
+    ``mode=MAY`` joins by union (a fact holds if it holds on *some* path
+    in); ``mode=MUST`` joins by intersection (a fact holds only when it
+    holds on *every* path in — unvisited predecessors contribute the
+    universe, represented lazily by ``None``-free bookkeeping below).
+    """
+
+    def __init__(self, mode: str = MAY, universe: frozenset | None = None):
+        if mode not in (MAY, MUST):
+            raise ValueError(f"mode must be {MAY!r} or {MUST!r}")
+        self.mode = mode
+        #: MUST-mode needs a top element for unvisited nodes; callers
+        #: provide the fact universe (all gens in the function suffice).
+        self.universe: frozenset = universe if universe is not None else frozenset()
+
+    def gen(self, node: Node) -> frozenset:
+        return frozenset()
+
+    def kill(self, node: Node) -> frozenset:
+        return frozenset()
+
+    def initial(self) -> frozenset:
+        return frozenset()
+
+    def bottom(self) -> frozenset:
+        return self.universe if self.mode == MUST else frozenset()
+
+    def join(self, a: frozenset, b: frozenset) -> frozenset:
+        return (a & b) if self.mode == MUST else (a | b)
+
+    def transfer(self, node: Node, state: frozenset) -> frozenset:
+        return (state - self.kill(node)) | self.gen(node)
+
+
+def reachable_without(
+    cfg: CFG, start: int, blocked: frozenset[int]
+) -> frozenset[int]:
+    """Node ids reachable from ``start`` without entering ``blocked``.
+
+    A tiny graph utility several rules share: "can execution get from the
+    acquire to an exit while avoiding every release site?"
+    """
+    seen: set[int] = set()
+    stack = [start]
+    while stack:
+        node_id = stack.pop()
+        if node_id in seen:
+            continue
+        seen.add(node_id)
+        for edge in cfg.succ(node_id):
+            if edge.dst not in blocked and edge.dst not in seen:
+                stack.append(edge.dst)
+    return frozenset(seen)
+
+
+def statement_lines(cfg: CFG) -> Mapping[int, int]:
+    """node id -> source line for every real-statement node."""
+    return {
+        node.id: node.line for node in cfg.nodes if node.stmt is not None
+    }

@@ -1,0 +1,68 @@
+"""``repro lint --changed [REF]``: findings scoped to touched files.
+
+The analysis itself always runs over the *whole* project — the flow
+rules need the full call graph, and cross-file rules (layering, the
+metrics registry, config/docs sync) are meaningless on a file subset;
+at a few seconds for a hundred modules, whole-project analysis is not
+the bottleneck. What incremental mode narrows is the *report*: only
+findings in files changed relative to a git ref (default ``HEAD``),
+plus untracked files, are kept. That makes ``repro lint --changed``
+the fast pre-push loop while CI stays whole-repo strict.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+
+from repro.analysis.findings import Finding, LintResult
+
+__all__ = ["ChangedFilesError", "changed_files", "filter_to_changed"]
+
+
+class ChangedFilesError(RuntimeError):
+    """git could not report the changed set (not a repo, bad ref, ...)."""
+
+
+def _git_lines(repo_root: Path, *args: str) -> list[str]:
+    try:
+        proc = subprocess.run(
+            ["git", *args],
+            cwd=repo_root,
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        raise ChangedFilesError(f"git {' '.join(args)}: {exc}") from exc
+    if proc.returncode != 0:
+        raise ChangedFilesError(
+            f"git {' '.join(args)} failed: {proc.stderr.strip()}"
+        )
+    return [line.strip() for line in proc.stdout.splitlines() if line.strip()]
+
+
+def changed_files(repo_root: str | Path, ref: str = "HEAD") -> frozenset[str]:
+    """Repo-relative paths changed vs ``ref``, plus untracked files."""
+    root = Path(repo_root)
+    changed = set(_git_lines(root, "diff", "--name-only", ref, "--"))
+    changed.update(
+        _git_lines(root, "ls-files", "--others", "--exclude-standard")
+    )
+    return frozenset(changed)
+
+
+def filter_to_changed(result: LintResult, changed: frozenset[str]) -> LintResult:
+    """``result`` restricted to findings in the changed set.
+
+    Findings filtered out are *not* counted as suppressed — they are out
+    of scope for this invocation, not exempted.
+    """
+    kept: list[Finding] = [
+        finding for finding in result.findings if finding.path in changed
+    ]
+    return LintResult(
+        findings=kept,
+        n_modules=result.n_modules,
+        n_suppressed=result.n_suppressed,
+    )

@@ -10,14 +10,23 @@ the catalogue):
   re-raising;
 - :mod:`.metrics`      — the obs metric-name registry, both directions;
 - :mod:`.configsync`   — ``DistinctConfig`` fields vs docs and CLI flags;
-- :mod:`.picklability` — task functions handed to the process pool.
+- :mod:`.picklability` — task functions handed to the process pool;
+- :mod:`.lifecycle`    — flow-aware acquire/release checking over CFGs
+  (shm segments, payloads, pools, tracers, fsync-before-rename);
+- :mod:`.taint`        — determinism taint from sources to persisted
+  sinks, plus unseeded-RNG construction;
+- :mod:`.forkstate`    — shared-state mutation reachable from pool
+  worker entrypoints.
 """
 
 from repro.analysis.rules import (  # noqa: F401  (import-for-side-effect)
     configsync,
     determinism,
     exceptions,
+    forkstate,
     layering,
+    lifecycle,
     metrics,
     picklability,
+    taint,
 )

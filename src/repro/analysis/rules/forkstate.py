@@ -1,0 +1,225 @@
+"""forkstate/*: shared-state mutation across the fork boundary.
+
+Worker processes are forked (or spawned) copies: a mutation of
+module-level or closure state inside a worker changes *that worker's*
+copy and silently diverges from both the parent and the serial run —
+the picklability rules catch unshippable arguments, but nothing until
+now caught state that ships fine and then forks into inconsistency.
+
+``forkstate/worker-global-mutation`` (error) walks the project call
+graph from the worker entrypoints (the configured pool internals plus
+every function passed as the task to ``ordered_process_map``) and flags,
+in any function reachable from them:
+
+- stores to ``global``- or ``nonlocal``-declared names,
+- stores through module-level names (``_CACHE[key] = ...``,
+  ``STATE.attr = ...``),
+- mutating method calls on module-level names (``.append``, ``.update``,
+  ``.add``, ...).
+
+Registered ``repro.obs`` instruments are exempt: names bound at module
+level to ``counter()``/``gauge()``/``histogram()`` (and the ``obs``
+package internals themselves) are the sanctioned cross-process channel —
+the pool snapshots worker-side counters and merges them back
+deterministically. Anything else needs an inline
+``# lint: allow[forkstate/worker-global-mutation]`` with a comment
+explaining why the divergence is designed (e.g. the pool initializer
+priming per-worker payload globals).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.callgraph import CallGraph, build_call_graph
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import register
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.project import ModuleInfo, Project
+from repro.analysis.rules.lifecycle import dotted_name, tail_matches
+
+#: Method names that mutate their receiver in place.
+_MUTATORS = frozenset(
+    {
+        "append",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "clear",
+        "extend",
+        "insert",
+        "remove",
+        "discard",
+        "sort",
+        "reverse",
+    }
+)
+
+
+def _module_level_names(
+    info: ModuleInfo, config: LintConfig
+) -> dict[str, bool]:
+    """Top-level bindings of a module -> "is a registered instrument"."""
+    names: dict[str, bool] = {}
+    for stmt in info.tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            targets, value = [stmt.target], stmt.value
+        for target in targets:
+            for sub in ast.walk(target):
+                if isinstance(sub, ast.Name):
+                    instrument = False
+                    if isinstance(value, ast.Call):
+                        name = dotted_name(value.func) or ""
+                        instrument = any(
+                            tail_matches(name, factory)
+                            for factory in config.fork_instrument_factories
+                        )
+                    names[sub.id] = names.get(sub.id, False) or instrument
+    return names
+
+
+def _worker_roots(
+    project: Project, graph: CallGraph, config: LintConfig
+) -> list[str]:
+    roots = [q for q in config.fork_entrypoints if q in graph.functions]
+    for info in project.modules:
+        for node in ast.walk(info.tree):
+            if not (isinstance(node, ast.Call) and node.args):
+                continue
+            name = dotted_name(node.func) or ""
+            if not any(
+                tail_matches(name, map_name)
+                for map_name in config.parallel_map_names
+            ):
+                continue
+            task = node.args[0]
+            if isinstance(task, ast.Name):
+                resolved = graph.resolve(info.module, task.id)
+                if resolved is not None:
+                    roots.append(resolved)
+    return sorted(set(roots))
+
+
+def _declared(func: ast.AST, kind: type[ast.stmt]) -> set[str]:
+    out: set[str] = set()
+    for sub in ast.walk(func):
+        if isinstance(sub, kind):
+            out.update(sub.names)  # type: ignore[attr-defined]
+    return out
+
+
+def _mutations(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    module_names: dict[str, bool],
+    config: LintConfig,
+) -> Iterator[tuple[int, str]]:
+    """(line, description) for every shared-state store in ``func``."""
+    global_names = _declared(func, ast.Global)
+    nonlocal_names = _declared(func, ast.Nonlocal)
+
+    def exempt(name: str) -> bool:
+        return module_names.get(name, False)  # registered instrument
+
+    for sub in ast.walk(func):
+        if isinstance(sub, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    if target.id in global_names and not exempt(target.id):
+                        yield (
+                            sub.lineno,
+                            f"store to global {target.id!r}",
+                        )
+                    elif target.id in nonlocal_names:
+                        yield (
+                            sub.lineno,
+                            f"store to nonlocal {target.id!r}",
+                        )
+                elif isinstance(target, (ast.Attribute, ast.Subscript)):
+                    base = target.value
+                    if (
+                        isinstance(base, ast.Name)
+                        and base.id in module_names
+                        and not exempt(base.id)
+                    ):
+                        what = (
+                            "item" if isinstance(target, ast.Subscript)
+                            else "attribute"
+                        )
+                        yield (
+                            sub.lineno,
+                            f"{what} store through module-level "
+                            f"{base.id!r}",
+                        )
+        elif isinstance(sub, ast.Call):
+            func_expr = sub.func
+            if (
+                isinstance(func_expr, ast.Attribute)
+                and func_expr.attr in _MUTATORS
+                and isinstance(func_expr.value, ast.Name)
+                and func_expr.value.id in module_names
+                and not exempt(func_expr.value.id)
+            ):
+                yield (
+                    sub.lineno,
+                    f".{func_expr.attr}() on module-level "
+                    f"{func_expr.value.id!r}",
+                )
+
+
+@register(
+    "forkstate/worker-global-mutation",
+    "code reachable from pool worker entrypoints must not mutate "
+    "module-level or closure state (each worker forks its own copy and "
+    "silently diverges); registered obs instruments are the sanctioned "
+    "channel",
+    Severity.ERROR,
+)
+def check_worker_global_mutation(
+    project: Project, config: LintConfig
+) -> Iterator[Finding]:
+    graph = build_call_graph(project)
+    roots = _worker_roots(project, graph, config)
+    chains = graph.reachable_from(roots)
+    module_names: dict[str, dict[str, bool]] = {}
+    modules_by_name = {info.module: info for info in project.modules}
+    for qualname in sorted(chains):
+        fn = graph.functions[qualname]
+        info = modules_by_name.get(fn.module)
+        if info is None or info.package in config.fork_exempt_packages:
+            continue
+        if fn.module not in module_names:
+            module_names[fn.module] = _module_level_names(info, config)
+        chain = chains[qualname]
+        via = (
+            "" if len(chain) == 1
+            else " (via " + " -> ".join(
+                q.rsplit(".", 1)[-1] for q in chain
+            ) + ")"
+        )
+        for line, description in _mutations(
+            fn.node, module_names[fn.module], config
+        ):
+            yield Finding(
+                rule="forkstate/worker-global-mutation",
+                severity=Severity.ERROR,
+                path=fn.rel_path,
+                line=line,
+                message=(
+                    f"{description} in {qualname}, which runs inside "
+                    f"pool workers{via}; the mutation stays in that "
+                    "worker's copy and diverges from the serial run"
+                ),
+                hint="return the data to the parent, use a registered "
+                     "obs instrument, or carry an inline allow with the "
+                     "design rationale (pool-initializer priming)",
+            )

@@ -1,0 +1,106 @@
+"""SARIF 2.1.0 output for ``repro lint --format sarif``.
+
+SARIF (Static Analysis Results Interchange Format) is what GitHub code
+scanning ingests: uploading the file from CI renders each finding as an
+inline annotation on the offending line of the PR diff. The emitted
+document is deliberately minimal — one run, the rule catalogue as the
+tool's rule metadata, one result per finding — but schema-valid, so any
+SARIF consumer can read it.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import rule_catalogue
+from repro.analysis.findings import Finding, LintResult, Severity
+
+__all__ = ["format_sarif", "sarif_document"]
+
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+SARIF_VERSION = "2.1.0"
+
+#: SARIF reporting levels per severity.
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _rule_metadata() -> list[dict]:
+    rules = []
+    for entry in rule_catalogue():
+        rules.append(
+            {
+                "id": entry["id"],
+                "shortDescription": {"text": entry["description"]},
+                "defaultConfiguration": {
+                    "level": _LEVELS[Severity.coerce(entry["default_severity"])]
+                },
+            }
+        )
+    return rules
+
+
+def _result(finding: Finding) -> dict:
+    message = finding.message
+    if finding.hint:
+        message = f"{message} ({finding.hint})"
+    return {
+        "ruleId": finding.rule,
+        "level": _LEVELS[finding.severity],
+        "message": {"text": message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": max(finding.col, 1),
+                    },
+                }
+            }
+        ],
+    }
+
+
+def sarif_document(
+    result: LintResult, min_severity: Severity = Severity.INFO
+) -> dict:
+    """The SARIF run for a lint result, as plain data."""
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://example.invalid/repro/docs/"
+                            "static_analysis.md"
+                        ),
+                        "rules": _rule_metadata(),
+                    }
+                },
+                "results": [
+                    _result(finding)
+                    for finding in result.findings
+                    if finding.severity >= min_severity
+                ],
+            }
+        ],
+    }
+
+
+def format_sarif(
+    result: LintResult, min_severity: Severity = Severity.INFO
+) -> str:
+    """The SARIF document as a JSON string (stable key order)."""
+    return json.dumps(
+        sarif_document(result, min_severity), indent=2, sort_keys=False
+    )

@@ -273,6 +273,7 @@ def calibrate_min_sim(
         workers=workers,
     ):
         results_iter = None
+        payload_handle = None
         if workers > 1:
             pending = [
                 syn for syn in synthetic
@@ -282,7 +283,7 @@ def calibrate_min_sim(
             if distinct.config.shared_memory:
                 # One shared segment instead of per-worker payload copies
                 # (zero-copy numpy views; see repro.perf.shm).
-                payload = SharedPayload.wrap(payload)
+                payload = payload_handle = SharedPayload.wrap(payload)
             costs = None
             if distinct.config.shard_strategy == "cost":
                 costs = [name_cost(len(syn.rows)) for syn in pending]
@@ -354,6 +355,11 @@ def calibrate_min_sim(
                 # Cancels still-queued tasks when the loop exits early
                 # (deadline, raise policy); no-op after full consumption.
                 results_iter.close()
+            if payload_handle is not None:
+                # close() on a never-started generator skips its finally
+                # (a deadline can expire before the first next()), so the
+                # segment owner releases here too — exactly-once guarded.
+                payload_handle.release()
 
     if not per_name_f1:
         if interrupted:

@@ -185,8 +185,11 @@ def _init_worker(payload: Any, trace: bool = False) -> None:
         # Zero-copy path: map the shared segment and rebuild the payload
         # over read-only views into it (never pay the pickle per worker).
         payload = payload.attach()
-    _PAYLOAD = payload
-    _TRACE = trace
+    # Designed per-worker divergence: the initializer primes each worker
+    # with its own payload exactly so tasks never re-pickle it; nothing
+    # here is read back by the parent.
+    _PAYLOAD = payload  # lint: allow[forkstate/worker-global-mutation]
+    _TRACE = trace  # lint: allow[forkstate/worker-global-mutation]
     # Under ``fork`` the worker inherits the parent's live tracer (and its
     # whole span forest). Spans recorded there would be silently lost —
     # each task instead runs under a fresh tracer and ships its subtree
@@ -205,20 +208,24 @@ def _run_task(fn: Callable[[Any, Any], Any], item: Any) -> tuple:
     tracer = enable_tracing() if _TRACE else None
     value = None
     error = None
+    trace = None
     start = time.perf_counter()
     try:
         value = fn(_PAYLOAD, item)
     except Exception as exc:  # travels back as data, not as pool poison
         error = {"type": type(exc).__name__, "message": str(exc)}
-    seconds = time.perf_counter() - start
-    trace = None
-    if tracer is not None:
-        if tracer.roots:
-            trace = {
-                "pid": os.getpid(),
-                "spans": [span_to_wire(sp) for sp in tracer.roots],
-            }
-        disable_tracing()
+    finally:
+        seconds = time.perf_counter() - start
+        # The tracer must come down even when fn raises something
+        # harsher than Exception (KeyboardInterrupt, worker teardown):
+        # left installed, it would swallow the next task's spans.
+        if tracer is not None:
+            if tracer.roots:
+                trace = {
+                    "pid": os.getpid(),
+                    "spans": [span_to_wire(sp) for sp in tracer.roots],
+                }
+            disable_tracing()
     after = _counter_values()
     deltas = {
         name: after[name] - before.get(name, 0.0)

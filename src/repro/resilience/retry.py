@@ -96,8 +96,10 @@ def retry(
     ``[1, 1+jitter]``. Jitter randomness never touches the module-global
     generator: pass an explicit ``rng`` to share a caller's seeded stream
     (so retry schedules are reproducible under ``--seed``), or ``seed``
-    to pin a private one; with neither, a fresh unseeded ``Random`` is
-    used. ``backoff=0`` disables sleeping entirely. A ``deadline`` bounds
+    to pin a private one; with neither, a private ``Random(0)`` is used —
+    every run draws the same jitter schedule, so a replay that retries is
+    byte-identical to the original run rather than sleeping differently.
+    ``backoff=0`` disables sleeping entirely. A ``deadline`` bounds
     the whole retry loop: once expired, :class:`DeadlineExceeded` is
     raised (chained to the last failure, if any).
     """
@@ -106,7 +108,10 @@ def retry(
     if rng is not None and seed is not None:
         raise ValueError("pass either rng or seed, not both")
     if rng is None:
-        rng = random.Random(seed)
+        # Random(None) would seed from the OS: two identical runs that
+        # both hit a retry would sleep differently and (under deadlines)
+        # could diverge. Pin the default so jitter is reproducible.
+        rng = random.Random(0 if seed is None else seed)
     last_exc: BaseException | None = None
     for attempt in range(budget):
         if deadline is not None and deadline.expired():

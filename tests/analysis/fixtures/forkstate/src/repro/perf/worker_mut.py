@@ -1,0 +1,23 @@
+"""Fixture: a task function that mutates module state inside workers."""
+
+from repro.obs import counter
+from repro.perf.parallel import ordered_process_map
+
+_CACHE = {}
+_SEEN = []
+_TASKS = counter("fixture.tasks")
+
+
+def _task(payload, item):
+    _CACHE[item] = payload
+    _TASKS.add(1)
+    _record(item)
+    return item
+
+
+def _record(item):
+    _SEEN.append(item)
+
+
+def run(payload, items):
+    return list(ordered_process_map(_task, payload, items))

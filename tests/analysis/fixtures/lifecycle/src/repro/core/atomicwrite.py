@@ -1,0 +1,19 @@
+"""Fixture: checkpoint rename with and without the durability fsync."""
+
+import os
+
+
+def checkpoint_unsafe(path, data):
+    tmp = path + ".tmp"
+    with open(tmp, "w") as fh:
+        fh.write(data)
+    os.replace(tmp, path)
+
+
+def checkpoint_safe(path, data):
+    tmp = path + ".tmp"
+    with open(tmp, "w") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)

@@ -1,0 +1,33 @@
+"""Fixture: the deadline-tail shm leak, reconstructed buggy and fixed."""
+
+
+def calibrate_buggy(distinct, grid, items, workers):
+    payload = (distinct, grid)
+    if workers > 1:
+        payload = SharedPayload.wrap(payload)
+    results = ordered_process_map(task, payload, items)
+    try:
+        for item in results:
+            consume(item)
+    finally:
+        results.close()
+
+
+def calibrate_fixed(distinct, grid, items, workers):
+    payload = (distinct, grid)
+    handle = None
+    if workers > 1:
+        payload = handle = SharedPayload.wrap(payload)
+    results = ordered_process_map(task, payload, items)
+    try:
+        for item in results:
+            consume(item)
+    finally:
+        results.close()
+        if handle is not None:
+            handle.release()
+
+
+def pool_returned(workers):
+    # Returning the acquire hands ownership to the caller: not a leak.
+    return ProcessPoolExecutor(max_workers=workers)

@@ -1,0 +1,22 @@
+"""Fixture: nondeterministic values flowing into persistence sinks."""
+
+import time
+
+
+def persist_unsafe(results, path):
+    stamp = time.time()
+    payload = {"results": results, "stamp": stamp}
+    write_json_atomic(path, payload)
+
+
+def persist_safe(results, path):
+    payload = {"names": sorted(set(results))}
+    write_json_atomic(path, payload)
+
+
+def checksum_unsafe(rows, path):
+    first = None
+    for row in set(rows):
+        first = row
+        break
+    attach_checksum(path, first)

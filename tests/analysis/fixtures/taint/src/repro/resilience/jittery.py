@@ -1,0 +1,18 @@
+"""Fixture: RNGs constructed with and without a pinned seed."""
+
+import random
+
+
+def jitter_unsafe():
+    rng = random.Random()
+    return rng.uniform(0.0, 1.0)
+
+
+def jitter_default_none(seed=None):
+    rng = random.Random(seed)
+    return rng.uniform(0.0, 1.0)
+
+
+def jitter_pinned(seed=None):
+    rng = random.Random(0 if seed is None else seed)
+    return rng.uniform(0.0, 1.0)

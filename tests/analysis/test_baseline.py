@@ -1,0 +1,112 @@
+"""Unit tests for the committed finding baseline."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    Severity,
+    apply_baseline,
+    fingerprint,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.baseline import BaselineError
+from repro.analysis.findings import Finding, LintResult
+
+
+def make_finding(rule="lifecycle/leak", path="src/repro/a.py", line=10,
+                 message="leak"):
+    return Finding(
+        rule=rule,
+        severity=Severity.ERROR,
+        path=path,
+        line=line,
+        message=message,
+    )
+
+
+def result_of(*findings):
+    return LintResult(findings=list(findings), n_modules=1, n_suppressed=0)
+
+
+def test_fingerprint_ignores_line_drift():
+    # The whole point: unrelated edits that shift code must not
+    # resurrect baselined findings.
+    assert fingerprint(make_finding(line=10)) == fingerprint(
+        make_finding(line=99)
+    )
+    assert fingerprint(make_finding(message="leak")) != fingerprint(
+        make_finding(message="other leak")
+    )
+    assert fingerprint(make_finding(path="src/repro/a.py")) != fingerprint(
+        make_finding(path="src/repro/b.py")
+    )
+
+
+def test_write_and_load_round_trip(tmp_path):
+    target = tmp_path / "lint-baseline.json"
+    result = result_of(make_finding(), make_finding(line=20))
+    payload = write_baseline(result, target)
+    assert payload["format_version"] == 1
+    budgets = load_baseline(target)
+    fp = fingerprint(make_finding())
+    # Two identical-fingerprint findings -> a budget of two.
+    assert budgets == {fp: 2}
+    entry = payload["fingerprints"][fp]
+    assert entry["rule"] == "lifecycle/leak"
+    assert entry["path"] == "src/repro/a.py"
+
+
+def test_apply_baseline_suppresses_within_budget():
+    result = result_of(make_finding(), make_finding(line=20))
+    budgets = {fingerprint(make_finding()): 1}
+    applied = apply_baseline(result, budgets)
+    # One suppressed against the budget, the *second* identical
+    # violation still surfaces.
+    assert len(applied.findings) == 1
+    assert applied.n_suppressed == 1
+    assert not applied.ok
+
+
+def test_apply_baseline_empty_budget_keeps_everything():
+    result = result_of(make_finding())
+    applied = apply_baseline(result, {})
+    assert applied.findings == result.findings
+    assert applied.n_suppressed == 0
+
+
+def test_apply_baseline_full_budget_clears_the_run():
+    result = result_of(make_finding())
+    applied = apply_baseline(result, {fingerprint(make_finding()): 5})
+    assert applied.findings == []
+    assert applied.ok
+
+
+def test_load_rejects_missing_file(tmp_path):
+    with pytest.raises(BaselineError, match="cannot read"):
+        load_baseline(tmp_path / "nope.json")
+
+
+def test_load_rejects_invalid_json(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(BaselineError, match="not valid JSON"):
+        load_baseline(bad)
+
+
+def test_load_rejects_unknown_format_version(tmp_path):
+    future = tmp_path / "future.json"
+    future.write_text(json.dumps({"format_version": 99, "fingerprints": {}}))
+    with pytest.raises(BaselineError, match="format_version"):
+        load_baseline(future)
+
+
+def test_committed_repo_baseline_is_empty_steady_state():
+    # The repo ships an empty baseline: all findings are fixed or
+    # inline-allowed, and the file documents that steady state.
+    from pathlib import Path
+
+    repo_root = Path(__file__).resolve().parents[2]
+    budgets = load_baseline(repo_root / "lint-baseline.json")
+    assert budgets == {}

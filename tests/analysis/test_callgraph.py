@@ -1,0 +1,104 @@
+"""Unit tests for project-wide call-graph construction and queries."""
+
+import pytest
+
+from repro.analysis import build_call_graph
+from repro.analysis.project import load_project
+
+
+@pytest.fixture()
+def project(tmp_path):
+    pkg = tmp_path / "src" / "repro"
+    (pkg / "core").mkdir(parents=True)
+    (pkg / "perf").mkdir(parents=True)
+    (pkg / "__init__.py").write_text("")
+    (pkg / "core" / "__init__.py").write_text("")
+    (pkg / "perf" / "__init__.py").write_text("")
+    (pkg / "perf" / "pool.py").write_text(
+        "def run_task(item):\n"
+        "    return item\n"
+        "\n"
+        "\n"
+        "class Pool:\n"
+        "    def __init__(self, n):\n"
+        "        self.n = n\n"
+        "        self.prime()\n"
+        "\n"
+        "    def prime(self):\n"
+        "        return self.n\n"
+    )
+    (pkg / "core" / "driver.py").write_text(
+        "import repro.perf.pool as pool\n"
+        "from repro.perf.pool import Pool, run_task as task\n"
+        "\n"
+        "\n"
+        "def helper(item):\n"
+        "    return task(item)\n"
+        "\n"
+        "\n"
+        "def main(items):\n"
+        "    p = Pool(2)\n"
+        "    pool.run_task(items[0])\n"
+        "    return [helper(i) for i in items]\n"
+    )
+    return load_project(tmp_path)
+
+
+def test_functions_are_keyed_by_qualname(project):
+    graph = build_call_graph(project)
+    assert "repro.perf.pool.run_task" in graph.functions
+    assert "repro.perf.pool.Pool.prime" in graph.functions
+    assert graph.functions["repro.core.driver.main"].module == (
+        "repro.core.driver"
+    )
+
+
+def test_call_resolution_forms(project):
+    graph = build_call_graph(project)
+    # Aliased from-import in call position.
+    assert "repro.perf.pool.run_task" in graph.callees(
+        "repro.core.driver.helper"
+    )
+    main_callees = set(graph.callees("repro.core.driver.main"))
+    # Constructor resolves to __init__; module-attribute call resolves
+    # through the import alias; local helper resolves at module level.
+    assert "repro.perf.pool.Pool.__init__" in main_callees
+    assert "repro.perf.pool.run_task" in main_callees
+    assert "repro.core.driver.helper" in main_callees
+    # self.method() resolves within the enclosing class.
+    assert "repro.perf.pool.Pool.prime" in graph.callees(
+        "repro.perf.pool.Pool.__init__"
+    )
+
+
+def test_reachable_from_records_call_chains(project):
+    graph = build_call_graph(project)
+    chains = graph.reachable_from(["repro.core.driver.main"])
+    assert chains["repro.core.driver.main"] == ["repro.core.driver.main"]
+    assert chains["repro.perf.pool.run_task"][0] == "repro.core.driver.main"
+    assert chains["repro.perf.pool.Pool.prime"] == [
+        "repro.core.driver.main",
+        "repro.perf.pool.Pool.__init__",
+        "repro.perf.pool.Pool.prime",
+    ]
+    # Unknown roots are ignored rather than failing.
+    assert graph.reachable_from(["no.such.fn"]) == {}
+
+
+def test_resolve_names_outside_call_position(project):
+    graph = build_call_graph(project)
+    # `task` is the imported alias of run_task — exactly how fork-rule
+    # roots passed as ordered_process_map arguments are resolved.
+    assert graph.resolve("repro.core.driver", "task") == (
+        "repro.perf.pool.run_task"
+    )
+    assert graph.resolve("repro.core.driver", "Pool") == (
+        "repro.perf.pool.Pool.__init__"
+    )
+    assert graph.resolve("repro.core.driver", "missing") is None
+
+
+def test_by_suffix(project):
+    graph = build_call_graph(project)
+    assert graph.by_suffix("run_task") == ["repro.perf.pool.run_task"]
+    assert graph.by_suffix("Pool.prime") == ["repro.perf.pool.Pool.prime"]

@@ -1,0 +1,260 @@
+"""Unit tests for the statement-level CFG builder."""
+
+import ast
+import textwrap
+
+from repro.analysis.cfg import (
+    EXC,
+    FALSE,
+    LOOP,
+    NEXT,
+    TRUE,
+    build_cfg,
+    function_cfgs,
+)
+
+
+def cfg_of(source):
+    tree = ast.parse(textwrap.dedent(source))
+    [func] = [
+        node for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    return build_cfg(func)
+
+
+def node_at(cfg, line):
+    """The unique non-synthetic node whose statement starts at ``line``."""
+    matches = [
+        node for node in cfg.nodes
+        if node.stmt is not None and node.stmt.lineno == line
+    ]
+    assert len(matches) == 1, f"line {line}: {matches}"
+    return matches[0]
+
+
+def edge_labels(cfg, src, dst):
+    return {e.label for e in cfg.succ(src.id if hasattr(src, "id") else src)
+            if e.dst == (dst.id if hasattr(dst, "id") else dst)}
+
+
+def test_straight_line_wiring():
+    cfg = cfg_of(
+        """
+        def f(x):
+            a = x + 1
+            return a
+        """
+    )
+    assign = node_at(cfg, 3)
+    ret = node_at(cfg, 4)
+    assert edge_labels(cfg, cfg.entry, assign) == {NEXT}
+    assert edge_labels(cfg, assign, ret) == {NEXT}
+    assert edge_labels(cfg, ret, cfg.exit) == {NEXT}
+    # No try in sight: nothing routes to the exceptional exit.
+    assert not cfg.pred(cfg.raise_exit)
+
+
+def test_if_else_branch_polarity():
+    cfg = cfg_of(
+        """
+        def f(x):
+            if x is None:
+                a = 1
+            else:
+                a = 2
+            return a
+        """
+    )
+    branch = node_at(cfg, 3)
+    then = node_at(cfg, 4)
+    other = node_at(cfg, 6)
+    assert branch.kind == "branch"
+    assert branch.test is not None  # the refinable condition
+    assert edge_labels(cfg, branch, then) == {TRUE}
+    assert edge_labels(cfg, branch, other) == {FALSE}
+    # Both arms merge on the return.
+    ret = node_at(cfg, 7)
+    assert edge_labels(cfg, then, ret) == {NEXT}
+    assert edge_labels(cfg, other, ret) == {NEXT}
+
+
+def test_if_without_else_falls_through():
+    cfg = cfg_of(
+        """
+        def f(x):
+            if x:
+                a = 1
+            return x
+        """
+    )
+    branch = node_at(cfg, 3)
+    ret = node_at(cfg, 5)
+    assert edge_labels(cfg, branch, ret) == {FALSE}
+
+
+def test_while_loop_back_edge():
+    cfg = cfg_of(
+        """
+        def f(n):
+            while n > 0:
+                n = n - 1
+            return n
+        """
+    )
+    head = node_at(cfg, 3)
+    body = node_at(cfg, 4)
+    assert edge_labels(cfg, head, body) == {TRUE}
+    assert edge_labels(cfg, body, head) == {LOOP}
+    assert edge_labels(cfg, head, node_at(cfg, 5)) == {FALSE}
+
+
+def test_break_exits_the_loop():
+    cfg = cfg_of(
+        """
+        def f(items):
+            for item in items:
+                if item:
+                    break
+            return items
+        """
+    )
+    ret = node_at(cfg, 6)
+    break_node = node_at(cfg, 5)
+    assert edge_labels(cfg, break_node, ret) == {NEXT}
+
+
+def test_raise_routes_to_raise_exit():
+    cfg = cfg_of(
+        """
+        def f():
+            raise ValueError("no")
+        """
+    )
+    raiser = node_at(cfg, 3)
+    assert edge_labels(cfg, raiser, cfg.raise_exit) == {EXC}
+    assert not cfg.pred(cfg.exit)
+
+
+def test_statements_inside_try_get_exception_edges():
+    cfg = cfg_of(
+        """
+        def f(x):
+            a = 1
+            try:
+                b = work(x)
+            except ValueError:
+                b = None
+            return b
+        """
+    )
+    outside = node_at(cfg, 3)
+    inside = node_at(cfg, 5)
+    handler_entry = node_at(cfg, 6)  # the ExceptHandler node
+    assert not any(e.label == EXC for e in cfg.succ(outside.id))
+    assert edge_labels(cfg, inside, handler_entry) >= {EXC}
+
+
+def test_try_finally_reraise_node():
+    cfg = cfg_of(
+        """
+        def f(x):
+            try:
+                a = work(x)
+            finally:
+                cleanup()
+        """
+    )
+    cleanup = node_at(cfg, 6)
+    [reraise] = [n for n in cfg.nodes if n.kind == "reraise"]
+    # The exceptional pass-through leaves *after* the finally body ran.
+    assert edge_labels(cfg, cleanup, reraise) == {NEXT}
+    assert edge_labels(cfg, reraise, cfg.raise_exit) == {EXC}
+    body = node_at(cfg, 4)
+    assert not any(e.dst == cfg.raise_exit for e in cfg.succ(body.id))
+
+
+def test_return_routes_through_finally():
+    cfg = cfg_of(
+        """
+        def f(x):
+            try:
+                return work(x)
+            finally:
+                cleanup()
+        """
+    )
+    ret = node_at(cfg, 4)
+    cleanup = node_at(cfg, 6)
+    [fin] = [n for n in cfg.nodes if n.kind == "finally"]
+    # The return reaches the exit only via the finally body.
+    assert NEXT in edge_labels(cfg, ret, fin)
+    assert not any(e.dst == cfg.exit for e in cfg.succ(ret.id))
+    assert edge_labels(cfg, fin, cleanup) == {NEXT}
+    assert edge_labels(cfg, cleanup, cfg.exit) == {NEXT}
+
+
+def test_finally_branch_labels_survive_to_continuations():
+    # A conditional release in a finally must expose its TRUE/FALSE
+    # edges on the way out, so dataflow refinement applies there too.
+    cfg = cfg_of(
+        """
+        def f(handle):
+            try:
+                work()
+            finally:
+                if handle is not None:
+                    handle.release()
+        """
+    )
+    guard = node_at(cfg, 6)
+    assert FALSE in edge_labels(cfg, guard, cfg.exit)
+    [reraise] = [n for n in cfg.nodes if n.kind == "reraise"]
+    assert FALSE in edge_labels(cfg, guard, reraise)
+
+
+def test_with_is_a_transparent_container():
+    cfg = cfg_of(
+        """
+        def f(path):
+            with open(path) as fh:
+                data = fh.read()
+            return data
+        """
+    )
+    with_node = node_at(cfg, 3)
+    body = node_at(cfg, 4)
+    assert edge_labels(cfg, with_node, body) == {NEXT}
+    assert edge_labels(cfg, body, node_at(cfg, 5)) == {NEXT}
+
+
+def test_code_after_return_is_unreachable():
+    cfg = cfg_of(
+        """
+        def f():
+            return 1
+            unreachable()
+        """
+    )
+    assert not any(
+        node.stmt is not None and node.stmt.lineno == 4 for node in cfg.nodes
+    )
+
+
+def test_function_cfgs_names_nested_and_methods():
+    tree = ast.parse(
+        textwrap.dedent(
+            """
+            def outer():
+                def inner():
+                    pass
+                return inner
+
+            class Box:
+                def get(self):
+                    return 1
+            """
+        )
+    )
+    names = [name for name, _cfg in function_cfgs(tree)]
+    assert names == ["outer", "outer.inner", "Box.get"]

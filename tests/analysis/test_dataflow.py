@@ -1,0 +1,229 @@
+"""Unit tests for the worklist fixpoint framework."""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dataflow import (
+    MAY,
+    MUST,
+    FixpointDiverged,
+    ForwardAnalysis,
+    GenKillAnalysis,
+    reachable_without,
+    statement_lines,
+)
+
+
+def cfg_of(source):
+    tree = ast.parse(textwrap.dedent(source))
+    [func] = [
+        node for node in tree.body if isinstance(node, ast.FunctionDef)
+    ]
+    return build_cfg(func)
+
+
+class _CallFacts(GenKillAnalysis):
+    """Gen the name of every function called in an expression statement.
+
+    Restricted to ``ast.Expr`` on purpose: a compound statement's CFG
+    node must not gen facts that belong to its body's own nodes.
+    """
+
+    def gen(self, node):
+        if not isinstance(node.stmt, ast.Expr):
+            return frozenset()
+        return frozenset(
+            sub.func.id
+            for sub in ast.walk(node.stmt)
+            if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Name)
+        )
+
+
+def test_may_facts_flow_around_a_loop():
+    cfg = cfg_of(
+        """
+        def f(items):
+            for item in items:
+                touch(item)
+            return items
+        """
+    )
+    states = _CallFacts(mode=MAY).solve(cfg)
+    # The loop-body fact reaches the exit (the zero-iteration path joins
+    # in by union, so the fact *may* hold).
+    assert "touch" in states[cfg.exit]
+
+
+def test_must_facts_require_every_path():
+    cfg = cfg_of(
+        """
+        def f(x):
+            if x:
+                prepare()
+            finish()
+        """
+    )
+    universe = frozenset({"prepare", "finish"})
+    states = _CallFacts(mode=MUST, universe=universe).solve(cfg)
+    # prepare() happens on only one arm: not a MUST fact at the exit.
+    assert "prepare" not in states[cfg.exit]
+    assert "finish" in states[cfg.exit]
+
+    states_may = _CallFacts(mode=MAY).solve(cfg)
+    assert "prepare" in states_may[cfg.exit]
+
+
+def test_must_facts_survive_straight_lines():
+    cfg = cfg_of(
+        """
+        def f(path):
+            prepare()
+            finish()
+        """
+    )
+    states = _CallFacts(
+        mode=MUST, universe=frozenset({"prepare", "finish"})
+    ).solve(cfg)
+    assert "prepare" in states[cfg.exit]
+
+
+def test_genkill_rejects_unknown_mode():
+    with pytest.raises(ValueError):
+        _CallFacts(mode="sometimes")
+
+
+class _AssignedNames(ForwardAnalysis):
+    """Names assigned so far, with a None-guard refine hook."""
+
+    def initial(self):
+        return frozenset()
+
+    def bottom(self):
+        return frozenset()
+
+    def join(self, a, b):
+        return a | b
+
+    def transfer(self, node, state):
+        stmt = node.stmt
+        if isinstance(stmt, ast.Assign):
+            return state | {
+                t.id for t in stmt.targets if isinstance(t, ast.Name)
+            }
+        return state
+
+    def refine(self, test, polarity, state):
+        # On the `x is None` branch, forget x entirely.
+        if (
+            isinstance(test, ast.Compare)
+            and isinstance(test.left, ast.Name)
+            and isinstance(test.ops[0], ast.Is)
+            and polarity
+        ):
+            return state - {test.left.id}
+        return state
+
+
+def test_refine_narrows_along_branch_edges():
+    cfg = cfg_of(
+        """
+        def f(flag):
+            x = make()
+            if x is None:
+                out = fallback()
+            else:
+                out = x
+            return out
+        """
+    )
+    states = _AssignedNames().solve(cfg)
+    fallback_assign = next(
+        n for n in cfg.nodes
+        if n.stmt is not None and n.stmt.lineno == 5
+    )
+    else_assign = next(
+        n for n in cfg.nodes
+        if n.stmt is not None and n.stmt.lineno == 7
+    )
+    assert "x" not in states[fallback_assign.id]  # the is-None arm
+    assert "x" in states[else_assign.id]
+
+
+class _Diverging(ForwardAnalysis):
+    """A deliberately non-monotone lattice: an ever-growing counter."""
+
+    def initial(self):
+        return 0
+
+    def bottom(self):
+        return 0
+
+    def join(self, a, b):
+        return max(a, b)
+
+    def transfer(self, node, state):
+        return state + 1
+
+
+def test_divergence_raises_instead_of_hanging():
+    cfg = cfg_of(
+        """
+        def f(n):
+            while n:
+                n = step(n)
+            return n
+        """
+    )
+    with pytest.raises(FixpointDiverged):
+        _Diverging().solve(cfg)
+
+
+def test_every_node_is_visited_even_without_state_change():
+    # Facts generated mid-graph from the bottom state must still appear:
+    # this is exactly the worklist-seeding property.
+    cfg = cfg_of(
+        """
+        def f():
+            touch()
+        """
+    )
+    states = _CallFacts(mode=MAY).solve(cfg)
+    assert "touch" in states[cfg.exit]
+
+
+def test_reachable_without_blocks_paths():
+    cfg = cfg_of(
+        """
+        def f(x):
+            a = acquire()
+            release(a)
+            return None
+        """
+    )
+    release_node = next(
+        n for n in cfg.nodes if n.stmt is not None and n.stmt.lineno == 4
+    )
+    reachable = reachable_without(
+        cfg, cfg.entry, frozenset({release_node.id})
+    )
+    assert cfg.exit not in reachable
+    assert reachable_without(cfg, cfg.entry, frozenset()) >= {
+        cfg.entry,
+        cfg.exit,
+    }
+
+
+def test_statement_lines_maps_real_nodes_only():
+    cfg = cfg_of(
+        """
+        def f():
+            a = 1
+            return a
+        """
+    )
+    lines = statement_lines(cfg)
+    assert set(lines.values()) == {3, 4}
+    assert cfg.entry not in lines

@@ -68,6 +68,51 @@ EXACT_CASES = [
             ),
         },
     ),
+    # The lifecycle fixture reconstructs the real deadline-tail shm leak:
+    # calibrate_buggy wraps a payload and releases on no path, while
+    # calibrate_fixed (the guarded-release idiom the rule's hint
+    # prescribes) and the returned-pool handoff must stay clean.
+    (
+        "lifecycle",
+        ["lifecycle/leak", "lifecycle/fsync-before-rename"],
+        {
+            ("lifecycle/leak", "src/repro/perf/leaky.py", 7),
+            (
+                "lifecycle/fsync-before-rename",
+                "src/repro/core/atomicwrite.py",
+                10,
+            ),
+        },
+    ),
+    (
+        "taint",
+        ["taint/nondeterministic-sink", "taint/unseeded-rng"],
+        {
+            ("taint/nondeterministic-sink", "src/repro/core/wire_leak.py", 9),
+            ("taint/nondeterministic-sink", "src/repro/core/wire_leak.py", 22),
+            ("taint/unseeded-rng", "src/repro/resilience/jittery.py", 7),
+            ("taint/unseeded-rng", "src/repro/resilience/jittery.py", 12),
+        },
+    ),
+    # worker_mut mutates a dict and (through a helper, exercising the
+    # call-chain reporting) a list from a task function handed to
+    # ordered_process_map; the registered obs counter stays exempt.
+    (
+        "forkstate",
+        ["forkstate/worker-global-mutation"],
+        {
+            (
+                "forkstate/worker-global-mutation",
+                "src/repro/perf/worker_mut.py",
+                12,
+            ),
+            (
+                "forkstate/worker-global-mutation",
+                "src/repro/perf/worker_mut.py",
+                19,
+            ),
+        },
+    ),
 ]
 
 
@@ -99,6 +144,14 @@ def test_configsync_fixture():
     # fixture dataclass lacks; those surface as stale entries.
     assert ("config/stale-entry", "src/repro/config.py", 1) in got
     assert not result.ok
+
+
+def test_forkstate_reports_the_call_chain():
+    result = run_lint(
+        FIXTURES / "forkstate", rules=["forkstate/worker-global-mutation"]
+    )
+    [chained] = [f for f in result.findings if f.line == 19]
+    assert "via _task -> _record" in chained.message
 
 
 def test_fixture_findings_are_errors():

@@ -1,0 +1,79 @@
+"""Unit tests for ``--changed``: report scoping to git-touched files."""
+
+import subprocess
+
+import pytest
+
+from repro.analysis import Severity, changed_files, filter_to_changed
+from repro.analysis.findings import Finding, LintResult
+from repro.analysis.incremental import ChangedFilesError
+
+
+def git(repo, *args):
+    subprocess.run(
+        ["git", "-c", "user.email=t@t", "-c", "user.name=t", *args],
+        cwd=repo,
+        check=True,
+        capture_output=True,
+    )
+
+
+@pytest.fixture()
+def repo(tmp_path):
+    git(tmp_path, "init", "-q")
+    (tmp_path / "committed.py").write_text("a = 1\n")
+    (tmp_path / "stable.py").write_text("b = 2\n")
+    git(tmp_path, "add", ".")
+    git(tmp_path, "commit", "-q", "-m", "seed")
+    return tmp_path
+
+
+def test_changed_files_sees_modified_and_untracked(repo):
+    (repo / "committed.py").write_text("a = 3\n")
+    (repo / "fresh.py").write_text("c = 4\n")
+    changed = changed_files(repo)
+    assert changed == {"committed.py", "fresh.py"}
+
+
+def test_changed_files_clean_tree_is_empty(repo):
+    assert changed_files(repo) == frozenset()
+
+
+def test_changed_files_against_explicit_ref(repo):
+    (repo / "committed.py").write_text("a = 3\n")
+    git(repo, "commit", "-aqm", "edit")
+    assert changed_files(repo, "HEAD") == frozenset()
+    assert changed_files(repo, "HEAD~1") == {"committed.py"}
+
+
+def test_changed_files_bad_ref_raises(repo):
+    with pytest.raises(ChangedFilesError, match="failed"):
+        changed_files(repo, "no-such-ref")
+
+
+def test_filter_to_changed_keeps_only_touched_paths():
+    touched = Finding(
+        rule="lifecycle/leak",
+        severity=Severity.ERROR,
+        path="src/repro/touched.py",
+        line=3,
+        message="leak",
+    )
+    untouched = Finding(
+        rule="lifecycle/leak",
+        severity=Severity.ERROR,
+        path="src/repro/other.py",
+        line=7,
+        message="leak",
+    )
+    result = LintResult(
+        findings=[touched, untouched], n_modules=2, n_suppressed=1
+    )
+    filtered = filter_to_changed(
+        result, frozenset({"src/repro/touched.py"})
+    )
+    assert filtered.findings == [touched]
+    # Out-of-scope findings are dropped, not "suppressed": the counter
+    # tracks exemptions, and module totals describe the whole analysis.
+    assert filtered.n_suppressed == 1
+    assert filtered.n_modules == 2

@@ -1,0 +1,90 @@
+"""Unit tests for SARIF 2.1.0 output."""
+
+import json
+from pathlib import Path
+
+from repro.analysis import Severity, format_sarif, run_lint, sarif_document
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def lint_determinism():
+    return run_lint(
+        FIXTURES / "determinism",
+        rules=[
+            "determinism/set-iteration",
+            "determinism/unkeyed-sort",
+        ],
+    )
+
+
+def test_document_envelope():
+    doc = sarif_document(lint_determinism())
+    assert doc["version"] == "2.1.0"
+    assert doc["$schema"].endswith("sarif-2.1.0.json")
+    [run] = doc["runs"]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+
+
+def test_rule_metadata_covers_the_catalogue():
+    doc = sarif_document(lint_determinism())
+    rules = doc["runs"][0]["tool"]["driver"]["rules"]
+    ids = {rule["id"] for rule in rules}
+    # The full catalogue ships as tool metadata regardless of which
+    # rules fired, so consumers can always resolve ruleId.
+    assert {
+        "determinism/set-iteration",
+        "lifecycle/leak",
+        "taint/nondeterministic-sink",
+        "forkstate/worker-global-mutation",
+    } <= ids
+    for rule in rules:
+        assert rule["shortDescription"]["text"]
+        assert rule["defaultConfiguration"]["level"] in (
+            "error",
+            "warning",
+            "note",
+        )
+
+
+def test_results_map_severity_to_sarif_levels():
+    doc = sarif_document(lint_determinism())
+    results = doc["runs"][0]["results"]
+    levels = {r["ruleId"]: r["level"] for r in results}
+    assert levels["determinism/set-iteration"] == "error"
+    assert levels["determinism/unkeyed-sort"] == "warning"
+
+
+def test_result_location_shape():
+    doc = sarif_document(lint_determinism())
+    result = next(
+        r
+        for r in doc["runs"][0]["results"]
+        if r["ruleId"] == "determinism/set-iteration"
+    )
+    [location] = result["locations"]
+    physical = location["physicalLocation"]
+    assert physical["artifactLocation"]["uri"] == (
+        "src/repro/similarity/unstable.py"
+    )
+    assert physical["artifactLocation"]["uriBaseId"] == "%SRCROOT%"
+    assert physical["region"]["startLine"] == 5
+    assert physical["region"]["startColumn"] >= 1
+    assert "(" in result["message"]["text"]  # hint folded into message
+
+
+def test_min_severity_filters_results():
+    result = lint_determinism()
+    full = sarif_document(result)
+    errors_only = sarif_document(result, min_severity=Severity.ERROR)
+    assert len(errors_only["runs"][0]["results"]) < len(
+        full["runs"][0]["results"]
+    )
+    assert all(
+        r["level"] == "error" for r in errors_only["runs"][0]["results"]
+    )
+
+
+def test_format_sarif_is_valid_json():
+    payload = json.loads(format_sarif(lint_determinism()))
+    assert payload["version"] == "2.1.0"

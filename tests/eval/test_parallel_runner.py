@@ -8,15 +8,18 @@ may only change wall-clock time, never a single byte of the
 from __future__ import annotations
 
 import json
+from dataclasses import replace
 
 import pytest
 
 from repro.core.variants import variant_by_key
+from repro.errors import DeadlineExceeded
 from repro.eval.persistence import experiment_result_to_dict
 from repro.eval.runner import run_resilient
 from repro.ml.calibration import calibrate_min_sim
 from repro.obs import disable_tracing, enable_tracing
-from repro.resilience import ErrorCollector, FaultPlan, fault_plan
+from repro.perf import SharedPayload, active_segments
+from repro.resilience import Deadline, ErrorCollector, FaultPlan, fault_plan
 
 
 @pytest.fixture(scope="module")
@@ -118,3 +121,41 @@ class TestParallelCalibration:
         assert serial.f1_by_min_sim == parallel.f1_by_min_sim
         assert serial.best_min_sim == parallel.best_min_sim
         assert parallel.n_scored == serial.n_scored
+
+    def test_deadline_tail_releases_shared_payload(self, fitted, monkeypatch):
+        """Regression: a deadline expiring before the first result is
+        consumed leaves the parallel map's generator never-started, so
+        closing it skips its ``finally`` — calibrate's own finally must
+        release the shm segment it wrapped, or the segment leaks."""
+        monkeypatch.setattr(
+            fitted, "config", replace(fitted.config, shared_memory=True)
+        )
+        handles = []
+        real_wrap = SharedPayload.wrap.__func__
+
+        def spying_wrap(cls, payload):
+            handle = real_wrap(cls, payload)
+            handles.append(handle)
+            return handle
+
+        monkeypatch.setattr(
+            SharedPayload, "wrap", classmethod(spying_wrap)
+        )
+        ticks = [0.0]
+
+        def clock():
+            ticks[0] += 5.0
+            return ticks[0]
+
+        with pytest.raises(DeadlineExceeded):
+            calibrate_min_sim(
+                fitted,
+                n_names=2,
+                members=2,
+                seed=5,
+                workers=2,
+                deadline=Deadline(1.0, clock=clock),
+            )
+        # The wrap really happened, and its segment is gone again.
+        assert len(handles) == 1
+        assert handles[0].segment_name not in active_segments()

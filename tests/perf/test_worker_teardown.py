@@ -1,0 +1,55 @@
+"""Worker-side tracer lifecycle in ``_run_task``.
+
+Regression for the tracer leaking past a task that dies with something
+harsher than ``Exception``: the error-as-data path catches ``Exception``
+only, so a ``KeyboardInterrupt`` (pool teardown, operator abort) used to
+skip the teardown and leave the tracer installed for the next task.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import tracing_enabled
+from repro.perf import parallel
+
+
+def _hostile(payload, item):
+    raise KeyboardInterrupt
+
+
+def _friendly(payload, item):
+    return (payload["base"], item)
+
+
+class TestRunTaskTracerTeardown:
+    @pytest.fixture(autouse=True)
+    def worker_state(self):
+        parallel._init_worker({"base": 1}, trace=True)
+        yield
+        parallel._init_worker(None, trace=False)
+
+    def test_base_exception_still_uninstalls_tracer(self):
+        with pytest.raises(KeyboardInterrupt):
+            parallel._run_task(_hostile, 7)
+        assert not tracing_enabled()
+
+    def test_exception_travels_as_data_and_uninstalls(self):
+        def failing(payload, item):
+            raise ValueError("boom")
+
+        value, error, _deltas, seconds, _trace = parallel._run_task(
+            failing, 7
+        )
+        assert value is None
+        assert error == {"type": "ValueError", "message": "boom"}
+        assert seconds >= 0.0
+        assert not tracing_enabled()
+
+    def test_normal_path_uninstalls_tracer(self):
+        value, error, _deltas, _seconds, _trace = parallel._run_task(
+            _friendly, 7
+        )
+        assert value == (1, 7)
+        assert error is None
+        assert not tracing_enabled()

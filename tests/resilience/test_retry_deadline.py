@@ -118,6 +118,14 @@ class TestRetry:
             == self._delay_schedule(seed=7)
         )
 
+    def test_default_jitter_schedule_is_pinned(self):
+        """Regression: with neither ``rng`` nor ``seed`` the jitter must
+        come from a pinned private ``Random(0)`` — ``Random(None)`` would
+        seed from the OS and a replay that retries would sleep (and,
+        under deadlines, behave) differently from the original run."""
+        assert self._delay_schedule() == self._delay_schedule()
+        assert self._delay_schedule() == self._delay_schedule(seed=0)
+
     def test_jitter_never_touches_global_random(self):
         random.seed(123)
         before = random.random()
