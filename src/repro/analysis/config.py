@@ -28,7 +28,8 @@ from repro.analysis.findings import Severity
 #: Layering ranks: an import must go strictly downward (importer rank >
 #: imported rank). The DAG, bottom-up:
 #: ``reldb -> strings/paths -> config -> data -> similarity -> cluster/ml
-#: -> core -> graph -> eval -> analysis -> cli -> repro`` (package root).
+#: -> core -> graph -> eval -> ingest -> analysis -> cli -> repro``
+#: (package root).
 DEFAULT_LAYER_RANKS: dict[str, int] = {
     "reldb": 10,
     "strings": 20,
@@ -41,6 +42,7 @@ DEFAULT_LAYER_RANKS: dict[str, int] = {
     "core": 50,
     "graph": 55,
     "eval": 60,
+    "ingest": 62,
     "analysis": 65,
     "cli": 70,
     "repro": 80,  # package root: __init__ / __main__ re-exports
@@ -64,6 +66,7 @@ DEFAULT_DETERMINISM_SCOPE: tuple[str, ...] = (
     "core",
     "perf",
     "resilience",
+    "ingest",
 )
 
 #: Modules allowed to catch broad ``Exception``: the error-policy engine

@@ -10,6 +10,10 @@ Commands mirror the library workflow:
                  (optionally scored/visualized against saved ground truth);
 - ``experiment`` run the Table-2 evaluation (and optionally the Fig-4
                  variant comparison) over the ambiguous names;
+- ``ingest``     apply a delta batch of new tuples and re-resolve the
+                 ambiguous names incrementally (byte-identical to a cold
+                 refit in ``--mode exact``; approximate single-reference
+                 assignment in ``--mode greedy``);
 - ``report``     summarize a saved trace (hot spans, phase timeline),
                  export it to standard formats (OpenMetrics text, Chrome
                  trace-event JSON), and/or run the perf-regression
@@ -44,6 +48,7 @@ from repro.eval.experiment import run_experiment
 from repro.eval.reporting import format_table
 from repro.eval.runner import experiment_checkpoint, run_resilient
 from repro.eval.visualize import render_clusters_text
+from repro.ingest.runner import INGEST_MODES, ingest_checkpoint, ingest_resilient
 from repro.ml.model import PathWeightModel
 from repro.obs import (
     disable_tracing,
@@ -56,6 +61,7 @@ from repro.obs import (
 from repro.obs.export import write_trace
 from repro.perf import DEFAULT_TASK_RETRIES
 from repro.reldb.csvio import load_database, save_database
+from repro.reldb.delta import load_delta
 from repro.resilience import Deadline, ErrorCollector, Policy
 
 #: Exit code when a run stops at its ``--deadline`` (resumable via --resume).
@@ -245,6 +251,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", required=True, help="output directory")
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument(
+        "--delta-papers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also grow the world by N localized papers and save them as "
+             "delta.json next to the (pre-delta) database, for "
+             "`repro ingest` (truth.json covers the post-delta world)",
+    )
     p.set_defaults(func=cmd_generate)
 
     p = sub.add_parser("stats", help="summarize a saved database")
@@ -459,6 +474,34 @@ def build_parser() -> argparse.ArgumentParser:
     _add_perf_options(p, workers=True)
     p.set_defaults(func=cmd_experiment)
 
+    p = sub.add_parser(
+        "ingest",
+        help="apply a delta batch and re-resolve the ambiguous names "
+             "incrementally",
+    )
+    p.add_argument("--db", required=True, help="pre-delta database directory")
+    p.add_argument("--models", required=True)
+    p.add_argument("--truth", required=True,
+                   help="post-delta ground-truth JSON to score against")
+    p.add_argument("--delta", required=True,
+                   help="delta JSON written by repro.reldb.save_delta")
+    p.add_argument("--names", default=None,
+                   help="comma-separated names (default: saved ambiguous names)")
+    p.add_argument(
+        "--mode",
+        choices=INGEST_MODES,
+        default="exact",
+        help="exact (default) walks the invalidation ladder and matches a "
+             "cold refit byte-for-byte; greedy assigns each new reference "
+             "to the most similar existing cluster without revisiting merges",
+    )
+    p.add_argument("--min-sim", type=float, default=None)
+    p.add_argument("--output", default=None, metavar="PATH",
+                   help="write the scored results + ingest stats JSON here")
+    _add_resilience_options(p)
+    _add_perf_options(p, workers=True)
+    p.set_defaults(func=cmd_ingest)
+
     return parser
 
 
@@ -468,8 +511,20 @@ def build_parser() -> argparse.ArgumentParser:
 def cmd_generate(args) -> int:
     out = Path(args.out)
     world = generate_world(GeneratorConfig(seed=args.seed, scale=args.scale))
-    db, truth = world_to_database(world, prepared=False)
+    delta = None
+    if args.delta_papers:
+        from repro.data.deltas import grow_world, split_world
+
+        grown = grow_world(world, args.delta_papers, seed=args.seed)
+        split = split_world(grown, args.delta_papers, prepared=False)
+        db, truth, delta = split.base, split.truth, split.delta
+    else:
+        db, truth = world_to_database(world, prepared=False)
     save_database(db, out)
+    if delta is not None:
+        from repro.reldb.delta import save_delta
+
+        save_delta(delta, out / "delta.json")
     save_ground_truth(truth, out / TRUTH_FILE)
     (out / AMBIGUOUS_FILE).write_text(json.dumps(world.ambiguous_names))
     stats = world.stats()
@@ -937,6 +992,67 @@ def cmd_experiment(args) -> int:
         print()
         print(format_table(["variant", "min-sim", "accuracy", "f1"], rows,
                            title="variant comparison", float_format="{:.4f}"))
+    return _report_degradation(collector, outcome.interrupted, args.resume)
+
+
+def cmd_ingest(args) -> int:
+    distinct = _load_pipeline(args.db, args.models, args.min_sim, args)
+    truth = load_ground_truth(args.truth)
+    names = _ambiguous_names(args.db, args.names)
+    delta = load_delta(args.delta)
+
+    min_sim = distinct.config.min_sim
+    kwargs, collector = _resilience_kwargs(
+        args,
+        lambda path: ingest_checkpoint(path, names, delta, min_sim, args.mode),
+    )
+    outcome = ingest_resilient(
+        distinct,
+        truth,
+        names,
+        delta,
+        min_sim,
+        mode=args.mode,
+        workers=args.workers,
+        task_retries=args.task_retries,
+        **kwargs,
+    )
+    result = outcome.result
+    rows = [
+        [r.name, r.n_entities, r.n_refs, r.n_clusters,
+         r.scores.precision, r.scores.recall, r.scores.f1]
+        for r in result.names
+    ]
+    if result.names:
+        rows.append(["average", "", "", "",
+                     result.avg_precision, result.avg_recall, result.avg_f1])
+    print(format_table(
+        ["name", "#entities", "#refs", "#clusters", "precision", "recall", "f1"],
+        rows, title=f"delta ingest ({args.mode}, epoch {outcome.epoch})"))
+    stats = outcome.stats
+    print(
+        f"\n{stats.get('names_refreshed', 0)} name(s) refreshed, "
+        f"{stats.get('names_clean', 0)} clean; "
+        f"{stats.get('refs_new', 0)} new + {stats.get('refs_dirty', 0)} dirty "
+        f"reference(s); {stats.get('pairs_recomputed', 0)} pair(s) recomputed, "
+        f"{stats.get('pairs_reused', 0)} reused; "
+        f"{stats.get('merges_replayed', 0)} merge(s) replayed"
+    )
+    if args.output:
+        from repro.eval.persistence import name_result_to_dict
+
+        payload = {
+            "mode": args.mode,
+            "min_sim": min_sim,
+            "epoch": outcome.epoch,
+            "stats": stats,
+            "names": [name_result_to_dict(r) for r in result.names],
+            "avg_f1": result.avg_f1 if result.names else None,
+        }
+        out = Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2))
+        print(f"results written to {out}")
     return _report_degradation(collector, outcome.interrupted, args.resume)
 
 

@@ -21,6 +21,7 @@ from repro.cluster.linkage import (
 )
 from repro.cluster.composite import CompositeMeasure
 from repro.cluster.dendrogram import Dendrogram, Merge
+from repro.cluster.incremental import recluster_incremental
 
 __all__ = [
     "AgglomerativeClusterer",
@@ -32,4 +33,5 @@ __all__ = [
     "CompositeMeasure",
     "Dendrogram",
     "Merge",
+    "recluster_incremental",
 ]

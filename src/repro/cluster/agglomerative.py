@@ -107,12 +107,49 @@ class AgglomerativeClusterer:
         _MERGES.inc(len(result.merge_similarities))
         return result
 
+    def resume(
+        self,
+        measure: ClusterMeasure,
+        dendrogram: Dendrogram,
+        members: dict[int, set[int]],
+    ) -> ClusteringResult:
+        """Continue the merge loop from a replayed prefix state.
+
+        ``dendrogram`` holds the merges already performed (its ``record``
+        keeps numbering merged clusters consistently) and ``members`` the
+        live clusters, with ``measure`` already folded to match. Used by
+        :func:`repro.cluster.incremental.recluster_incremental`; a resume
+        from an empty prefix is exactly :meth:`cluster`.
+        """
+        _RUNS.inc()
+        n = dendrogram.n_leaves
+        if n == 0:
+            return ClusteringResult([], dendrogram, self.min_sim)
+        with span(
+            "cluster.agglomerative",
+            n_items=n,
+            min_sim=self.min_sim,
+            resumed_merges=len(dendrogram.merges),
+        ) as sp:
+            n_prefix = len(dendrogram.merges)
+            result = self._merge_loop(measure, n, dendrogram, members=members)
+            sp.annotate(
+                n_clusters=result.n_clusters, n_merges=len(result.merge_similarities)
+            )
+        _MERGES.inc(len(result.merge_similarities) - n_prefix)
+        return result
+
     def _merge_loop(
-        self, measure: ClusterMeasure, n: int, dendrogram: Dendrogram
+        self,
+        measure: ClusterMeasure,
+        n: int,
+        dendrogram: Dendrogram,
+        members: dict[int, set[int]] | None = None,
     ) -> ClusteringResult:
 
-        members: dict[int, set[int]] = {i: {i} for i in range(n)}
-        version: dict[int, int] = {i: 0 for i in range(n)}
+        if members is None:
+            members = {i: {i} for i in range(n)}
+        version: dict[int, int] = {i: 0 for i in members}
         heap: list[tuple[float, int, int, int, int]] = []
 
         def push(a: int, b: int) -> None:
@@ -145,13 +182,23 @@ class AgglomerativeClusterer:
             _STALE_DROPPED.inc(len(heap) - len(kept))
             return kept
 
-        active = list(members)
+        # Entry orientation must match what a from-scratch run's heap
+        # would hold for the same live pair: leaf-leaf pairs enter the
+        # initial fill as (min, max); any pair involving a merged cluster
+        # was pushed at that cluster's creation as (merged, other), and
+        # merged ids always exceed every id live at the time — so (max,
+        # min). Resume-time fills reproduce that orientation so equal-
+        # similarity ties break identically.
+        active = sorted(members)  # lint: allow[determinism/unkeyed-sort] cluster ids are ints
         for i, a in enumerate(active):
             for b in active[i + 1 :]:
-                push(a, b)
+                if b >= n:
+                    push(b, a)
+                else:
+                    push(a, b)
         _HEAP_SIZE.set(len(heap))
 
-        merge_similarities: list[float] = []
+        merge_similarities: list[float] = [m.similarity for m in dendrogram.merges]
         while heap:
             neg_sim, a, b, va, vb = heapq.heappop(heap)
             if version.get(a) != va or version.get(b) != vb:

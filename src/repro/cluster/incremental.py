@@ -1,0 +1,151 @@
+"""Incremental agglomerative re-clustering for delta ingest.
+
+After a delta, most pair similarities of a name are unchanged — only the
+pairs touching *dirty* references (walks crossed changed rows, or new
+references) moved. The previous run's dendrogram is therefore still the
+correct merge history up to the first merge the dirty pairs could have
+influenced: :func:`recluster_incremental` replays that prefix against the
+new measure (cheap dict folds, no heap) and resumes the real merge loop
+from there.
+
+Byte-identity with a cold re-clustering rests on three facts:
+
+- *The merge sequence is memoryless.* At every step the engine merges the
+  pair maximizing the heap-entry order ``(-sim, id_a, id_b)`` over live
+  pairs with ``sim >= min_sim`` (stale heap entries never win, and every
+  live pair above threshold has exactly one entry). The next merge is a
+  function of (live clusters, measure) alone — not of how the heap got
+  there — so replaying a valid prefix and resuming reproduces the cold
+  run's remaining merges exactly.
+- *Prefix validity is checkable.* A recorded merge ``(a, b, s)`` is still
+  the argmax iff no dirty-involved pair beats its entry tuple: clean-pair
+  similarities are unchanged (they lost to ``(a, b)`` before, they still
+  lose), so only pairs involving a dirty cluster are re-scored — a
+  ``O(|dirty| * live)`` check per replayed merge.
+- *Cluster ids translate monotonically.* Old leaves keep their indices
+  (new references sort after existing ones), and old merge ``k``'s id
+  ``n_old + k`` becomes ``n_new + k`` — order-preserving on both
+  segments and across them (merged ids exceed all leaf ids in both
+  numberings), so equal-similarity ties break identically.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.cluster.agglomerative import (
+    AgglomerativeClusterer,
+    ClusteringResult,
+    ClusterMeasure,
+)
+from repro.cluster.dendrogram import Dendrogram
+from repro.obs import counter
+
+__all__ = ["recluster_incremental"]
+
+_MERGES_REPLAYED = counter("cluster.merges_replayed")
+
+
+def _entry(sim: float, a: int, b: int, n_leaves: int) -> tuple[float, int, int]:
+    """The heap-entry prefix a cold run would hold for live pair ``{a, b}``.
+
+    Leaf-leaf pairs enter the initial fill as ``(min, max)``; pairs
+    involving a merged cluster are pushed at its creation as
+    ``(merged, other)`` with the merged id the largest alive — ``(max,
+    min)``. (Version stamps are always 0 for live clusters and never
+    discriminate.)
+    """
+    lo, hi = (a, b) if a < b else (b, a)
+    if hi >= n_leaves:
+        return (-sim, hi, lo)
+    return (-sim, lo, hi)
+
+
+def recluster_incremental(
+    measure: ClusterMeasure,
+    previous: ClusteringResult,
+    dirty_items: Iterable[int],
+    clusterer: AgglomerativeClusterer,
+    n_leaves_old: int,
+) -> tuple[ClusteringResult, int]:
+    """Re-cluster after a delta, replaying the clean dendrogram prefix.
+
+    Parameters
+    ----------
+    measure:
+        A *fresh* measure over the post-delta items (pair matrices already
+        patched). Item indices ``0..n_leaves_old-1`` must be the previous
+        run's items in the same order; new items follow.
+    previous:
+        The pre-delta clustering of the same name.
+    dirty_items:
+        Post-delta item indices whose pair values may differ from the
+        previous run (dirty references); indices ``>= n_leaves_old`` are
+        implicitly dirty and need not be listed.
+    clusterer:
+        The engine to resume with; its ``min_sim`` must equal
+        ``previous.min_sim`` for any prefix to be replayable.
+
+    Returns ``(result, n_replayed)`` where ``result`` is byte-identical
+    to ``clusterer.cluster(measure)`` and ``n_replayed`` counts the
+    merges taken from the previous dendrogram without heap work.
+    """
+    n_new = measure.n_items()
+    offset = n_new - n_leaves_old
+    dirty = set(dirty_items) | set(range(n_leaves_old, n_new))
+
+    def translate(cluster: int) -> int:
+        return cluster if cluster < n_leaves_old else cluster + offset
+
+    members: dict[int, set[int]] = {i: {i} for i in range(n_new)}
+    dendrogram = Dendrogram(n_leaves=n_new)
+    min_sim = clusterer.min_sim
+    replayed = 0
+
+    if min_sim == previous.min_sim:
+        for merge in previous.dendrogram.merges:
+            a, b = translate(merge.left), translate(merge.right)
+            if a in dirty or b in dirty:
+                break
+            sim = measure.similarity(a, b)
+            if sim <= 0.0 or sim < min_sim:
+                break  # defensive: a clean merge's sim cannot have moved
+            popped = (-sim, a, b)
+            if not _prefix_merge_valid(measure, members, dirty, popped, min_sim, n_new):
+                break
+            merged = dendrogram.record(a, b, sim)
+            measure.merge(a, b, merged)
+            members[merged] = members.pop(a) | members.pop(b)
+            replayed += 1
+
+    _MERGES_REPLAYED.inc(replayed)
+    result = clusterer.resume(measure, dendrogram, members)
+    return result, replayed
+
+
+def _prefix_merge_valid(
+    measure: ClusterMeasure,
+    members: dict[int, set[int]],
+    dirty: set[int],
+    popped: tuple[float, int, int],
+    min_sim: float,
+    n_leaves: int,
+) -> bool:
+    """Would the cold run pop ``popped`` here, given the dirty pairs?
+
+    Clean pairs need no check (see module docstring); a dirty-involved
+    live pair invalidates the prefix iff its entry would sort *before*
+    the recorded one — then the cold heap pops it first and the merge
+    sequences diverge.
+    """
+    dirty_live = [d for d in dirty if d in members]
+    for d in dirty_live:
+        for c in members:
+            if c == d or (c in dirty and c <= d):
+                continue
+            sim = measure.similarity(d, c)
+            if sim <= 0.0 or sim < min_sim:
+                continue
+            if _entry(sim, d, c, n_leaves) < popped:
+                return False
+    return True

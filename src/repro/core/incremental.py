@@ -1,123 +1,15 @@
-"""Incremental assignment of newly arrived references.
+"""Compat shim: the greedy assigner moved to :mod:`repro.ingest.greedy`.
 
-Bibliographic databases grow; re-clustering a name from scratch on every
-new paper is wasteful. Given an existing :class:`NameResolution`, this
-module assigns new reference rows one at a time: profile the new reference,
-compute its combined pair similarities against the existing references, and
-attach it to the most similar cluster using the same composite measure the
-batch engine uses — or open a new singleton cluster when nothing reaches
-``min_sim``. This is the online counterpart of §4.2's incremental
-aggregates.
-
-Greedy single-reference assignment is an approximation of re-running the
-batch clustering; the equivalence tests check that for references the batch
-engine placed confidently, the incremental path agrees.
+The original incremental-assignment module grew into the delta-ingest
+subsystem (:mod:`repro.ingest`): the greedy single-reference fast path
+lives in :mod:`repro.ingest.greedy` and the byte-identical ladder in
+:mod:`repro.ingest.engine`. This module re-exports the old public names
+so existing imports keep working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+# lint: allow[layering/import-dag] compat shim for the pre-ingest import path
+from repro.ingest.greedy import Assignment, extend_resolution
 
-import numpy as np
-
-from repro.core.distinct import Distinct, NameResolution
-from repro.core.features import compute_pair_features
-from repro.core.references import exclusions_for_name
-from repro.errors import NotFittedError
-from repro.paths.profiles import ProfileBuilder
-from repro.similarity.combine import geometric_mean
-
-
-@dataclass
-class Assignment:
-    """Where one new reference went."""
-
-    row: int
-    cluster_index: int
-    similarity: float
-    created_new_cluster: bool
-
-
-def extend_resolution(
-    distinct: Distinct,
-    resolution: NameResolution,
-    new_rows: list[int],
-    min_sim: float | None = None,
-) -> tuple[NameResolution, list[Assignment]]:
-    """Assign ``new_rows`` to the clusters of an existing resolution.
-
-    Returns a new :class:`NameResolution` (the input is not mutated) and the
-    per-row assignment record. New rows are processed in order; a row
-    assigned to a cluster is visible to subsequent rows.
-    """
-    if distinct.db is None or distinct.paths_ is None:
-        raise NotFittedError("fit the pipeline before extending a resolution")
-    if resolution.resem_matrix is None:
-        raise ValueError("resolution carries no pair matrices; re-resolve the name")
-    min_sim = distinct.config.min_sim if min_sim is None else min_sim
-
-    builder = ProfileBuilder(
-        distinct.db,
-        distinct.paths_,
-        exclusions_for_name(distinct.db, resolution.name, distinct.config),
-    )
-
-    rows = list(resolution.rows)
-    clusters = [set(c) for c in resolution.clusters]
-    index_of = {row: i for i, row in enumerate(rows)}
-    resem = resolution.resem_matrix.copy()
-    walk = resolution.walk_matrix.copy()
-    assignments: list[Assignment] = []
-
-    for new_row in new_rows:
-        if new_row in index_of:
-            raise ValueError(f"reference row {new_row} already resolved")
-        pairs = [(new_row, row) for row in rows]
-        features = compute_pair_features(builder, pairs)
-        resem_vals, walk_vals = distinct._combined_pair_values(features, True)
-
-        best_cluster = -1
-        best_sim = 0.0
-        for idx, cluster in enumerate(clusters):
-            # pair k corresponds to rows[k], so cluster members map to their
-            # positions in `rows`.
-            member_idx = [index_of[r] for r in cluster]
-            r_sum = float(sum(resem_vals[i] for i in member_idx))
-            w_sum = float(sum(walk_vals[i] for i in member_idx))
-            avg_resem = r_sum / len(cluster)
-            coll_walk = 0.5 * (w_sum / 1 + w_sum / len(cluster))
-            sim = geometric_mean(avg_resem, coll_walk)
-            if sim > best_sim:
-                best_sim = sim
-                best_cluster = idx
-
-        created = best_cluster < 0 or best_sim < min_sim
-        if created:
-            clusters.append({new_row})
-            best_cluster = len(clusters) - 1
-        else:
-            clusters[best_cluster].add(new_row)
-        assignments.append(
-            Assignment(new_row, best_cluster, best_sim, created_new_cluster=created)
-        )
-
-        # Grow the pair matrices so later rows see this one.
-        n = len(rows)
-        resem = np.pad(resem, ((0, 1), (0, 1)))
-        walk = np.pad(walk, ((0, 1), (0, 1)))
-        for i in range(n):
-            resem[n, i] = resem[i, n] = resem_vals[i]
-            walk[n, i] = walk[i, n] = walk_vals[i]
-        index_of[new_row] = n
-        rows.append(new_row)
-
-    extended = NameResolution(
-        name=resolution.name,
-        rows=rows,
-        clusters=clusters,
-        clustering=resolution.clustering,
-        features=None,
-        resem_matrix=resem,
-        walk_matrix=walk,
-    )
-    return extended, assignments
+__all__ = ["Assignment", "extend_resolution"]

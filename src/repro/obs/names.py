@@ -30,11 +30,12 @@ REGISTERED_METRICS: dict[str, str] = {
     "checkpoint.corrupt_quarantined": "counter",
     "checkpoint.items_resumed": "counter",
     "checkpoint.writes": "counter",
-    # clustering (repro.cluster.agglomerative)
+    # clustering (repro.cluster.agglomerative / .incremental)
     "cluster.heap.compactions": "counter",
     "cluster.heap.size": "gauge",
     "cluster.heap.stale_dropped": "counter",
     "cluster.merges": "counter",
+    "cluster.merges_replayed": "counter",
     "cluster.runs": "counter",
     # CSV ingestion (repro.reldb.csvio)
     "csvio.rows_skipped": "counter",
@@ -48,6 +49,20 @@ REGISTERED_METRICS: dict[str, str] = {
     "experiment.names_scored": "counter",
     # vectorized kernels (repro.core.features)
     "features.vectorized.pairs": "counter",
+    # delta ingest (repro.ingest / repro.reldb.delta)
+    "ingest.deltas_applied": "counter",
+    "ingest.greedy.assigned": "counter",
+    "ingest.greedy.new_clusters": "counter",
+    "ingest.name_seconds": "histogram",
+    "ingest.names_clean": "counter",
+    "ingest.names_failed": "counter",
+    "ingest.names_refreshed": "counter",
+    "ingest.names_scored": "counter",
+    "ingest.pairs_recomputed": "counter",
+    "ingest.pairs_reused": "counter",
+    "ingest.refs_dirty": "counter",
+    "ingest.rows_added": "counter",
+    "ingest.rows_affected": "counter",
     # pipeline facade (repro.core.distinct)
     "names.resolved": "counter",
     # resource sampler (repro.obs.sampler)
@@ -66,6 +81,9 @@ REGISTERED_METRICS: dict[str, str] = {
     "perf.fanout.hits": "counter",
     "perf.fanout.misses": "counter",
     "perf.fanout.size": "gauge",
+    # epoch-advance invalidation (repro.perf.memo / .transitions)
+    "perf.ingest.rows_dirty": "counter",
+    "perf.ingest.rows_reused": "counter",
     # process-pool map (repro.perf.parallel)
     "perf.parallel.spans_grafted": "counter",
     "perf.parallel.task_seconds": "histogram",

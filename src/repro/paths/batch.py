@@ -104,14 +104,29 @@ class BatchedProfiles:
 
 
 class _BatchContext:
-    """Per-run state: engine access, origin bookkeeping, compiled steps."""
+    """Per-run state: engine access, origin bookkeeping, compiled steps.
 
-    def __init__(self, engine: PropagationEngine, origin_rows: list[int]) -> None:
+    ``cache`` may be a caller-owned :class:`TransitionCache` that outlives
+    the run (delta ingest reuses compiled transitions across epochs); a
+    fresh per-run cache is pinned to the database epoch so a mid-run
+    ``apply_delta`` raises instead of mixing row spaces.
+    """
+
+    def __init__(
+        self,
+        engine: PropagationEngine,
+        origin_rows: list[int],
+        cache: TransitionCache | None = None,
+    ) -> None:
         self.engine = engine
         self.db = engine.db
         self.origins = np.asarray(list(origin_rows), dtype=np.int64)
         self.n_refs = len(origin_rows)
-        self.cache = TransitionCache()
+        if cache is None:
+            cache = TransitionCache(epoch=getattr(self.db, "epoch", None))
+        elif cache.epoch is not None:
+            cache.check_epoch(self.db.epoch)
+        self.cache = cache
         self._fanouts: dict = {}
 
     def n_rows(self, relation: str) -> int:
@@ -140,6 +155,8 @@ class _BatchContext:
         return fanout
 
     def transition(self, step, src_rows: np.ndarray, shape) -> Transition:
+        if self.cache.epoch is not None:
+            self.cache.check_epoch(self.db.epoch)
         return self.cache.get(step, src_rows, shape, self.fanout_for(step))
 
 
@@ -373,8 +390,36 @@ def _finalize(
     )
 
 
+def _trace_add(
+    trace: dict[str, sparse.csr_matrix], relation: str, matrix: sparse.csr_matrix
+) -> None:
+    """OR ``matrix``'s nonzero pattern into the relation's visited pattern.
+
+    Patterns are boolean ``(n_refs, n_relation_rows)`` CSR matrices; a set
+    bit means the reference's walk put nonzero mass on that tuple at some
+    forward level. Delta ingest intersects these with the rows a delta
+    touched to find exactly the references whose profiles can change.
+    """
+    pattern = sparse.csr_matrix(
+        (
+            np.ones(matrix.nnz, dtype=bool),
+            matrix.indices.copy(),
+            matrix.indptr.copy(),
+        ),
+        shape=matrix.shape,
+    )
+    prev = trace.get(relation)
+    if prev is not None:
+        pattern = prev.maximum(pattern).tocsr()
+    trace[relation] = pattern
+
+
 def batch_profile_matrices(
-    engine: PropagationEngine, paths: list[JoinPath], origin_rows: list[int]
+    engine: PropagationEngine,
+    paths: list[JoinPath],
+    origin_rows: list[int],
+    cache: TransitionCache | None = None,
+    trace: dict[str, sparse.csr_matrix] | None = None,
 ) -> dict[JoinPath, BatchedProfiles]:
     """Stacked (forward, backward) profile matrices for every path.
 
@@ -383,6 +428,11 @@ def batch_profile_matrices(
     reassociation tolerance), with columns over the full end relation.
     Prefix work is shared across paths through the step trie, and level
     work is shared across references through the SpMM formulation.
+
+    ``cache`` lets a caller keep the compiled transitions across runs
+    (delta ingest); ``trace``, when given a dict, is filled with the
+    per-relation visited patterns of every forward level (including the
+    origin level) — the raw material of dirty-reference detection.
     """
     if not paths:
         return {}
@@ -391,7 +441,7 @@ def batch_profile_matrices(
         # lint: allow[determinism/unkeyed-sort] relation names are plain str
         raise ValueError(f"paths start at different relations: {sorted(starts)}")
     _BATCH_RUNS.inc()
-    ctx = _BatchContext(engine, origin_rows)
+    ctx = _BatchContext(engine, origin_rows, cache=cache)
     start_relation = paths[0].start_relation
     n_start = ctx.n_rows(start_relation)
     ones = np.ones(ctx.n_refs, dtype=np.float64)
@@ -400,6 +450,8 @@ def batch_profile_matrices(
         (ones, (ref_ids, ctx.origins)), shape=(ctx.n_refs, n_start)
     )
     initial.sort_indices()
+    if trace is not None:
+        _trace_add(trace, start_relation, initial)
 
     results: dict[JoinPath, BatchedProfiles] = {}
     root = _build_trie(paths)
@@ -411,6 +463,8 @@ def batch_profile_matrices(
             results[path] = _finalize(path, origin_rows, forward, rev)
         for child in node.children.values():
             nxt = _forward_step_batch(ctx, child.step, forward, start_relation)
+            if trace is not None:
+                _trace_add(trace, child.step.dst_relation, nxt)
             nxt_rev = _backward_step_batch(
                 ctx,
                 child.step,

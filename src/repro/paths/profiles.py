@@ -81,20 +81,31 @@ class ProfileBuilder:
         exclusions: Exclusions | None = None,
         exclude_origin: bool = True,
         memo_size: int | None = None,
+        memo=None,
+        transition_cache=None,
     ) -> None:
         """``memo_size`` > 0 equips the engine with an LRU-bounded
         :class:`~repro.perf.FanoutMemo` of that many per-tuple fanouts,
         shared by all of this builder's references (see
         :mod:`repro.paths.propagation`; results are identical either way).
+        A caller-owned ``memo`` takes precedence over ``memo_size``;
+        fresh memos are pinned to the database's current epoch so a
+        delta applied behind the builder's back raises instead of
+        serving stale fanouts. ``transition_cache`` (optional, a
+        :class:`~repro.perf.transitions.TransitionCache`) persists the
+        batched backend's compiled steps across :meth:`matrices_for`
+        calls — delta ingest advances it per epoch.
         """
         from repro.perf.memo import FanoutMemo
 
-        memo = FanoutMemo(memo_size) if memo_size else None
+        if memo is None and memo_size:
+            memo = FanoutMemo(memo_size, epoch=getattr(db, "epoch", None))
         self.db = db
         self.paths = list(paths)
         self.engine = PropagationEngine(
             db, exclusions, exclude_origin=exclude_origin, memo=memo
         )
+        self.transition_cache = transition_cache
         self._cache: dict[tuple[JoinPath, int], NeighborProfile] = {}
 
     def profile(self, path: JoinPath, origin_row: int) -> NeighborProfile:
@@ -144,7 +155,27 @@ class ProfileBuilder:
         """
         from repro.paths.batch import batch_profile_matrices
 
-        return batch_profile_matrices(self.engine, self.paths, origin_rows)
+        return batch_profile_matrices(
+            self.engine, self.paths, origin_rows, cache=self.transition_cache
+        )
+
+    def evict(self, origin_rows) -> int:
+        """Drop cached profiles of the given references (all paths).
+
+        Delta ingest calls this for the references whose walks touch
+        rows a delta changed; clean references keep their profiles,
+        which stay byte-identical by construction.
+        """
+        rows = set(origin_rows)
+        stale = [key for key in self._cache if key[1] in rows]
+        for key in stale:
+            del self._cache[key]
+        return len(stale)
+
+    @property
+    def memo(self):
+        """The engine's fanout memo (None when the builder has none)."""
+        return self.engine.memo
 
     @property
     def cache_size(self) -> int:

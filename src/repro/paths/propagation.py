@@ -39,6 +39,9 @@ from repro.paths.joinpath import JoinPath
 from repro.perf.memo import FanoutMemo
 from repro.reldb.database import Database
 
+# Re-exported for callers catching stale-cache reads around propagation.
+from repro.errors import StaleCacheError  # noqa: F401
+
 Exclusions = Mapping[str, frozenset[int]]
 
 #: Work accounting. ``tuples_visited`` counts tuples materialized at each
@@ -233,9 +236,17 @@ class PropagationEngine:
 
         Origin-independent (the origin filter is the caller's), so cacheable
         per ``(step, row_id)`` when the engine has a memo.
+
+        An epoch-pinned memo raises :class:`~repro.errors.StaleCacheError`
+        here when the database has moved on (``apply_delta`` bumped
+        ``db.epoch``) without the memo being advanced — serving a partner
+        list compiled against the old row set would silently corrupt the
+        propagation.
         """
         memo = self.memo
         if memo is not None:
+            if memo.epoch is not None:
+                memo.check_epoch(self.db.epoch)
             key = (step, row_id)
             cached = memo.get(key)
             if cached is not None:

@@ -44,7 +44,11 @@ MinHash blocking) in ``BENCH_scale.json`` (history in
 ``BENCH_history.jsonl``).
 """
 
-from repro.perf.blocking import candidate_pairs, intersecting_pair_mask
+from repro.perf.blocking import (
+    candidate_pairs,
+    intersecting_pair_mask,
+    touched_row_mask,
+)
 from repro.perf.chunking import chunk_slices, rows_per_block
 from repro.perf.memo import FanoutMemo
 from repro.perf.minhash import (
@@ -96,4 +100,5 @@ __all__ = [
     "plan_shards",
     "rows_per_block",
     "should_inline",
+    "touched_row_mask",
 ]

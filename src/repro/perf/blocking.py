@@ -88,6 +88,31 @@ def intersecting_pair_mask(
     return mask
 
 
+def touched_row_mask(
+    pattern: sparse.spmatrix, columns: np.ndarray
+) -> np.ndarray:
+    """True per reference row whose support hits any of ``columns``.
+
+    The delta-ingest side of the inverted index: ``pattern`` is a
+    (references × relation rows) visited pattern (see
+    :func:`repro.paths.batch.batch_profile_matrices`'s ``trace``), and
+    ``columns`` the rows of that relation a delta changed. A False
+    entry certifies the reference's walk never crossed a changed tuple,
+    so its profiles — and every pair feature built from them — are
+    unchanged. Column ids beyond the pattern's width (rows appended by
+    the delta itself) are ignored: they cannot appear in a pre-delta
+    walk.
+    """
+    columns = np.asarray(columns, dtype=np.int64)
+    columns = columns[columns < pattern.shape[1]]
+    if not len(columns) or pattern.nnz == 0:
+        return np.zeros(pattern.shape[0], dtype=bool)
+    hit_cols = np.zeros(pattern.shape[1], dtype=np.float64)
+    hit_cols[columns] = 1.0
+    csr = sparse.csr_matrix(pattern).astype(np.float64)
+    return np.asarray(csr @ hit_cols).ravel() > 0.0
+
+
 def candidate_pairs(
     support_matrices: list[sparse.spmatrix],
     *,

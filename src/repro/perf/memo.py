@@ -21,19 +21,31 @@ the fanout depends only on the prefix's last step.
 The memo is bounded (LRU eviction) so a long-running service cannot grow
 it without limit; hit/miss/eviction counters and a size gauge live under
 ``perf.fanout.*``.
+
+A memo may be *epoch-pinned* (``epoch`` not None): it then refuses reads
+at a different ``db.epoch`` than it was built at — a partner list cached
+before a :func:`repro.reldb.apply_delta` is silently wrong for any source
+row the delta touched. :meth:`advance` re-pins the memo at the new epoch,
+dropping exactly the entries whose source row's partner list may have
+changed and keeping the rest (``perf.ingest.rows_dirty`` /
+``perf.ingest.rows_reused`` count the two sides).
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
+from collections.abc import Collection, Mapping
 from typing import Hashable
 
+from repro.errors import StaleCacheError
 from repro.obs import counter, gauge
 
 _HITS = counter("perf.fanout.hits")
 _MISSES = counter("perf.fanout.misses")
 _EVICTIONS = counter("perf.fanout.evictions")
 _SIZE = gauge("perf.fanout.size")
+_ROWS_DIRTY = counter("perf.ingest.rows_dirty")
+_ROWS_REUSED = counter("perf.ingest.rows_reused")
 
 
 class FanoutMemo:
@@ -41,16 +53,50 @@ class FanoutMemo:
 
     ``max_entries`` bounds the number of cached fanouts; the least
     recently used entry is evicted first. Partner lists are stored as
-    tuples so cached values are immutable and safely shared.
+    tuples so cached values are immutable and safely shared. ``epoch``
+    pins the memo to a database epoch (None leaves it unpinned, the
+    behavior of memos that never outlive one database state).
     """
 
-    __slots__ = ("max_entries", "_entries")
+    __slots__ = ("max_entries", "epoch", "_entries")
 
-    def __init__(self, max_entries: int = 65536) -> None:
+    def __init__(self, max_entries: int = 65536, epoch: int | None = None) -> None:
         if max_entries <= 0:
             raise ValueError("max_entries must be positive")
         self.max_entries = max_entries
+        self.epoch = epoch
         self._entries: OrderedDict[Hashable, tuple[int, ...]] = OrderedDict()
+
+    def check_epoch(self, db_epoch: int) -> None:
+        """Raise :class:`StaleCacheError` when pinned at a different epoch."""
+        if self.epoch is not None and self.epoch != db_epoch:
+            raise StaleCacheError("FanoutMemo", self.epoch, db_epoch)
+
+    def advance(self, new_epoch: int, dirty_rows: Mapping[str, Collection[int]]) -> None:
+        """Re-pin at ``new_epoch``, dropping entries for dirty source rows.
+
+        ``dirty_rows`` maps relation name -> row ids whose filtered
+        partner lists may have changed (see
+        :func:`repro.ingest.dirty.affected_rows`). Entries are keyed
+        ``(step, src_row)``; an entry whose key does not carry a step
+        with a ``src_relation`` is dropped conservatively.
+        """
+        kept: OrderedDict[Hashable, tuple[int, ...]] = OrderedDict()
+        dirty = {rel: set(rows) for rel, rows in dirty_rows.items()}
+        n_dirty = 0
+        for key, partners in self._entries.items():
+            step = key[0] if isinstance(key, tuple) and len(key) >= 2 else None
+            relation = getattr(step, "src_relation", None)
+            interpretable = relation is not None and isinstance(key[1], int)
+            if not interpretable or key[1] in dirty.get(relation, ()):
+                n_dirty += 1
+                continue
+            kept[key] = partners
+        self._entries = kept
+        self.epoch = new_epoch
+        _ROWS_DIRTY.inc(n_dirty)
+        _ROWS_REUSED.inc(len(kept))
+        _SIZE.set(len(kept))
 
     def get(self, key: Hashable) -> tuple[int, ...] | None:
         """The cached partner tuple, or None. A hit refreshes recency."""

@@ -75,21 +75,6 @@ DEFAULT_ROWS = 2
 _PRIME = np.uint64(2147483647)
 
 
-def _stacked_pattern(
-    support_matrices: list[sparse.spmatrix],
-) -> sparse.csr_matrix:
-    """Boolean support patterns hstacked into one global column space."""
-    patterns = []
-    for matrix in support_matrices:
-        pattern = sparse.csr_matrix(matrix, copy=True)
-        pattern.eliminate_zeros()
-        pattern.data = np.ones_like(pattern.data)
-        patterns.append(pattern)
-    if len(patterns) == 1:
-        return patterns[0].tocsr()
-    return sparse.hstack(patterns, format="csr")
-
-
 def minhash_signatures(
     support_matrices: list[sparse.spmatrix],
     *,
@@ -103,35 +88,50 @@ def minhash_signatures(
     seeded generator), so parallel and serial runs agree. Rows with an
     empty support get a unique sentinel signature (>= the hash prime)
     and therefore never collide with anything.
+
+    Each path's support is hashed with its *own* coefficient set over
+    raw row ids, and the signature is the elementwise minimum across
+    paths — MinHash over the disjoint union ``{(path, row)}``. Keying by
+    ``(path, row)`` rather than a position in one stacked column space
+    makes signatures *growth-invariant*: appending rows to the database
+    (delta ingest) cannot shift the hashed ids of an unchanged support,
+    so a clean reference keeps its exact signature and the pruning
+    decisions delta ingest reuses are the decisions a cold refit makes.
     """
     if bands < 1 or rows < 1:
         raise ValueError("bands and rows must be >= 1")
     if not support_matrices:
         raise ValueError("at least one support matrix is required")
-    stacked = _stacked_pattern(support_matrices)
-    n = stacked.shape[0]
+    n = support_matrices[0].shape[0]
     k = bands * rows
     rng = np.random.default_rng(seed)
-    coef_a = rng.integers(1, int(_PRIME), size=k, dtype=np.uint64)
-    coef_b = rng.integers(0, int(_PRIME), size=k, dtype=np.uint64)
+    n_paths = len(support_matrices)
+    coef_a = rng.integers(1, int(_PRIME), size=(n_paths, k), dtype=np.uint64)
+    coef_b = rng.integers(0, int(_PRIME), size=(n_paths, k), dtype=np.uint64)
 
-    cols = stacked.indices.astype(np.uint64, copy=False)
-    indptr = stacked.indptr
-    nnz = np.diff(indptr)
-    nonempty = np.flatnonzero(nnz)
-    sig = np.empty((n, k), dtype=np.uint64)
-    # Empty supports: a sentinel above every possible hash value, unique
-    # per reference so empty-empty pairs never match.
-    empty = np.flatnonzero(nnz == 0)
-    sig[empty] = (_PRIME + np.arange(1, len(empty) + 1, dtype=np.uint64))[:, None]
-    if len(nonempty):
+    unset = np.iinfo(np.uint64).max
+    sig = np.full((n, k), unset, dtype=np.uint64)
+    for p, matrix in enumerate(support_matrices):
+        pattern = sparse.csr_matrix(matrix, copy=True)
+        pattern.eliminate_zeros()
+        cols = pattern.indices.astype(np.uint64, copy=False)
+        nnz = np.diff(pattern.indptr)
+        nonempty = np.flatnonzero(nnz)
+        if not len(nonempty):
+            continue
         # Empty rows occupy no entries, so the data segments of the
         # non-empty rows are contiguous: reduceat over their start
         # offsets segments exactly at row boundaries.
-        starts = indptr[:-1][nonempty]
+        starts = pattern.indptr[:-1][nonempty]
         for j in range(k):
-            hashed = (coef_a[j] * cols + coef_b[j]) % _PRIME
-            sig[nonempty, j] = np.minimum.reduceat(hashed, starts)
+            hashed = (coef_a[p, j] * cols + coef_b[p, j]) % _PRIME
+            sig[nonempty, j] = np.minimum(
+                sig[nonempty, j], np.minimum.reduceat(hashed, starts)
+            )
+    # Supports empty across every path: a sentinel above every possible
+    # hash value, unique per reference so empty-empty pairs never match.
+    empty = np.flatnonzero((sig == unset).all(axis=1))
+    sig[empty] = (_PRIME + np.arange(1, len(empty) + 1, dtype=np.uint64))[:, None]
     return sig
 
 

@@ -26,17 +26,21 @@ scratch per call site) when a later level reaches new rows.
 
 from __future__ import annotations
 
+from collections.abc import Collection, Mapping
 from dataclasses import dataclass
 from typing import Callable, Hashable, Sequence
 
 import numpy as np
 from scipy import sparse
 
+from repro.errors import StaleCacheError
 from repro.obs import counter
 
 _BUILT = counter("perf.transitions.built")
 _REUSED = counter("perf.transitions.reused")
 _ROWS = counter("perf.transitions.rows")
+_ROWS_DIRTY = counter("perf.ingest.rows_dirty")
+_ROWS_REUSED = counter("perf.ingest.rows_reused")
 
 #: ``fanout(row_id)`` -> the exclusion-filtered partner row ids of one
 #: source row across the step being compiled.
@@ -113,6 +117,38 @@ def build_transition(
     return Transition(matrix=matrix, degrees=degrees, covered=covered)
 
 
+def _decompile_rows(
+    entry: Transition, dirty: np.ndarray, shape: tuple[int, int]
+) -> Transition:
+    """Pad ``entry`` to ``shape`` and drop the given source rows.
+
+    The surviving rows keep their exact stored ``data``/``indices``
+    slices, so a later read of a clean row is byte-identical to the
+    pre-delta compile; dropped rows become uncovered and recompile
+    lazily through :meth:`TransitionCache.get`'s extension path.
+    """
+    n_src_old = entry.shape[0]
+    n_src, _ = shape
+    matrix = entry.matrix
+    counts = np.diff(matrix.indptr)
+    keep_row = np.ones(n_src_old, dtype=bool)
+    keep_row[dirty] = False
+    kept_entries = np.repeat(keep_row, counts)
+    counts_new = np.zeros(n_src, dtype=np.int64)
+    counts_new[:n_src_old] = np.where(keep_row, counts, 0)
+    indptr = np.zeros(n_src + 1, dtype=np.int64)
+    np.cumsum(counts_new, out=indptr[1:])
+    new_matrix = sparse.csr_matrix(
+        (matrix.data[kept_entries], matrix.indices[kept_entries], indptr),
+        shape=shape,
+    )
+    degrees = np.zeros(n_src, dtype=np.float64)
+    degrees[:n_src_old] = np.where(keep_row, entry.degrees, 0.0)
+    covered = np.zeros(n_src, dtype=bool)
+    covered[:n_src_old] = entry.covered & keep_row
+    return Transition(matrix=new_matrix, degrees=degrees, covered=covered)
+
+
 class TransitionCache:
     """Lazily compiled transitions, keyed by an opaque step key.
 
@@ -124,13 +160,71 @@ class TransitionCache:
     batched propagation run — entries bake in that run's exclusions via
     the ``fanout`` callable, exactly like :class:`~repro.perf.memo
     .FanoutMemo` entries bake in an engine's exclusions.
+
+    ``epoch`` pins the cache to a database epoch (None = unpinned).
+    A pinned cache that outlives an :func:`repro.reldb.apply_delta` must
+    be :meth:`advance`\\ d before serving again; until then reads raise
+    :class:`~repro.errors.StaleCacheError` through :meth:`check_epoch`.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, epoch: int | None = None) -> None:
+        self.epoch = epoch
         self._entries: dict[Hashable, Transition] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def check_epoch(self, db_epoch: int) -> None:
+        """Raise :class:`StaleCacheError` when pinned at a different epoch."""
+        if self.epoch is not None and self.epoch != db_epoch:
+            raise StaleCacheError("TransitionCache", self.epoch, db_epoch)
+
+    def advance(
+        self,
+        new_epoch: int,
+        dirty_rows: Mapping[str, Collection[int]],
+        sizes: Mapping[str, int],
+    ) -> tuple[int, int]:
+        """Carry compiled transitions across a delta; re-pin at ``new_epoch``.
+
+        ``dirty_rows`` maps relation name -> source row ids whose filtered
+        partner lists may have changed; ``sizes`` maps relation name ->
+        post-delta row count. Every entry is padded to the new row spaces;
+        dirty source rows are decompiled (their matrix rows zeroed and
+        their ``covered`` flags cleared, so the next :meth:`get` recompiles
+        exactly those rows through the existing extension path); all other
+        compiled rows are kept verbatim. Entries whose key does not expose
+        ``src_relation``/``dst_relation`` are dropped conservatively.
+
+        Returns ``(rows_reused, rows_dirty)`` summed over entries.
+        """
+        total_reused = 0
+        total_dirty = 0
+        advanced: dict[Hashable, Transition] = {}
+        for key, entry in self._entries.items():
+            src_rel = getattr(key, "src_relation", None)
+            dst_rel = getattr(key, "dst_relation", None)
+            if src_rel is None or dst_rel is None:
+                total_dirty += int(entry.covered.sum())
+                continue
+            n_src_old, n_dst_old = entry.shape
+            n_src = int(sizes.get(src_rel, n_src_old))
+            n_dst = int(sizes.get(dst_rel, n_dst_old))
+            dirty = np.asarray(
+                # lint: allow[determinism/unkeyed-sort] row ids are plain int
+                sorted(dirty_rows.get(src_rel, ())),
+                dtype=np.int64,
+            )
+            dirty = dirty[dirty < n_src_old]
+            dirty = dirty[entry.covered[dirty]]
+            advanced[key] = _decompile_rows(entry, dirty, (n_src, n_dst))
+            total_dirty += len(dirty)
+            total_reused += int(advanced[key].covered.sum())
+        self._entries = advanced
+        self.epoch = new_epoch
+        _ROWS_DIRTY.inc(total_dirty)
+        _ROWS_REUSED.inc(total_reused)
+        return total_reused, total_dirty
 
     def get(
         self,

@@ -12,6 +12,7 @@ from repro.reldb.schema import Attribute, ForeignKey, RelationSchema, Schema
 from repro.reldb.table import Table
 from repro.reldb.index import HashIndex
 from repro.reldb.database import Database
+from repro.reldb.delta import AppliedDelta, Delta, apply_delta, load_delta, save_delta
 from repro.reldb.joins import JoinStep
 from repro.reldb.virtual import virtualize_attribute, virtual_relation_name
 
@@ -24,6 +25,11 @@ __all__ = [
     "HashIndex",
     "Database",
     "JoinStep",
+    "Delta",
+    "AppliedDelta",
+    "apply_delta",
+    "load_delta",
+    "save_delta",
     "virtualize_attribute",
     "virtual_relation_name",
 ]

@@ -16,6 +16,12 @@ class Database:
     Holds one :class:`Table` per relation in the schema and builds
     :class:`HashIndex` objects lazily per (relation, attribute) as join
     machinery asks for them. The schema is validated on construction.
+
+    ``epoch`` is a monotonically increasing batch counter: it starts at 0
+    and is bumped once per :func:`repro.reldb.delta.apply_delta` batch.
+    Caches that compile against the row set (fanout memo, transition
+    cache) pin the epoch they were built at and refuse stale reads, so a
+    delta can never be silently ignored.
     """
 
     def __init__(self, schema: Schema) -> None:
@@ -25,6 +31,7 @@ class Database:
             name: Table(rel) for name, rel in schema.relations.items()
         }
         self._indexes: dict[tuple[str, str], HashIndex] = {}
+        self.epoch: int = 0
 
     # -- data access ------------------------------------------------------
 

@@ -1,0 +1,169 @@
+"""Unit tests for :func:`repro.cluster.incremental.recluster_incremental`.
+
+The contract under test is the cluster-layer piece of delta ingest's
+byte-identity story: replaying the clean dendrogram prefix and resuming
+the merge loop must reproduce ``clusterer.cluster(fresh_measure)``
+exactly — same merges, same similarities, same flat clusters — for any
+dirty set, including the degenerate ones (nothing dirty, everything
+dirty, mismatched ``min_sim``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.agglomerative import AgglomerativeClusterer
+from repro.cluster.composite import CompositeMeasure
+from repro.cluster.incremental import recluster_incremental
+
+MIN_SIM = 0.3
+
+
+def sym(rng: np.random.Generator, n: int) -> np.ndarray:
+    m = rng.random((n, n))
+    m = (m + m.T) / 2.0
+    np.fill_diagonal(m, 0.0)
+    return m
+
+
+def grown_matrices(seed: int, n_old: int, n_new: int, dirty: set[int]):
+    """(old resem/walk, new resem/walk) where only dirty rows/cols moved.
+
+    The clean block of the post-delta matrices is copied bitwise from the
+    pre-delta matrices — exactly what the ingest engine's pair-matrix
+    patching produces.
+    """
+    rng = np.random.default_rng(seed)
+    r_old, w_old = sym(rng, n_old), sym(rng, n_old)
+    r_new, w_new = sym(rng, n_new), sym(rng, n_new)
+    clean = np.array([i for i in range(n_old) if i not in dirty])
+    if len(clean):
+        r_new[np.ix_(clean, clean)] = r_old[np.ix_(clean, clean)]
+        w_new[np.ix_(clean, clean)] = w_old[np.ix_(clean, clean)]
+    return r_old, w_old, r_new, w_new
+
+
+def assert_identical(got, want):
+    assert got.min_sim == want.min_sim
+    assert got.dendrogram.merges == want.dendrogram.merges
+    assert (
+        np.asarray(got.merge_similarities).tobytes()
+        == np.asarray(want.merge_similarities).tobytes()
+    )
+    assert sorted(sorted(c) for c in got.clusters) == sorted(
+        sorted(c) for c in want.clusters
+    )
+
+
+class TestRecusterIncremental:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_cold_clustering(self, seed):
+        dirty = {1, 4}
+        r_old, w_old, r_new, w_new = grown_matrices(seed, 10, 12, dirty)
+        previous = AgglomerativeClusterer(MIN_SIM).cluster(
+            CompositeMeasure(r_old, w_old)
+        )
+        result, n_replayed = recluster_incremental(
+            CompositeMeasure(r_new, w_new),
+            previous,
+            dirty,
+            AgglomerativeClusterer(MIN_SIM),
+            n_leaves_old=10,
+        )
+        cold = AgglomerativeClusterer(MIN_SIM).cluster(
+            CompositeMeasure(r_new, w_new)
+        )
+        assert_identical(result, cold)
+        assert 0 <= n_replayed <= len(previous.dendrogram.merges)
+
+    def test_nothing_dirty_replays_everything(self):
+        rng = np.random.default_rng(7)
+        r, w = sym(rng, 8), sym(rng, 8)
+        previous = AgglomerativeClusterer(MIN_SIM).cluster(CompositeMeasure(r, w))
+        result, n_replayed = recluster_incremental(
+            CompositeMeasure(r, w),
+            previous,
+            dirty_items=(),
+            clusterer=AgglomerativeClusterer(MIN_SIM),
+            n_leaves_old=8,
+        )
+        assert n_replayed == len(previous.dendrogram.merges)
+        assert_identical(result, previous)
+
+    def test_clean_prefix_is_replayed_without_heap_work(self):
+        # Two tight clean pairs merge before anything involving the dirty
+        # item can: both recorded merges must replay.
+        r = np.zeros((5, 5))
+        for a, b, s in [(0, 1, 0.95), (2, 3, 0.9), (0, 4, 0.35), (2, 4, 0.32)]:
+            r[a, b] = r[b, a] = s
+        w = r.copy()
+        previous = AgglomerativeClusterer(MIN_SIM).cluster(CompositeMeasure(r, w))
+        assert len(previous.dendrogram.merges) >= 2
+
+        r2, w2 = r.copy(), w.copy()
+        r2[0, 4] = r2[4, 0] = w2[0, 4] = w2[4, 0] = 0.4  # dirty item 4 moved
+        result, n_replayed = recluster_incremental(
+            CompositeMeasure(r2, w2),
+            previous,
+            {4},
+            AgglomerativeClusterer(MIN_SIM),
+            n_leaves_old=5,
+        )
+        assert n_replayed >= 2
+        cold = AgglomerativeClusterer(MIN_SIM).cluster(CompositeMeasure(r2, w2))
+        assert_identical(result, cold)
+
+    def test_everything_dirty_replays_nothing(self):
+        r_old, w_old, r_new, w_new = grown_matrices(3, 6, 6, set(range(6)))
+        previous = AgglomerativeClusterer(MIN_SIM).cluster(
+            CompositeMeasure(r_old, w_old)
+        )
+        result, n_replayed = recluster_incremental(
+            CompositeMeasure(r_new, w_new),
+            previous,
+            set(range(6)),
+            AgglomerativeClusterer(MIN_SIM),
+            n_leaves_old=6,
+        )
+        assert n_replayed == 0
+        assert_identical(
+            result,
+            AgglomerativeClusterer(MIN_SIM).cluster(CompositeMeasure(r_new, w_new)),
+        )
+
+    def test_min_sim_mismatch_disables_replay(self):
+        # A prefix recorded at another threshold is not replayable; the
+        # result must still be the cold clustering at the new threshold.
+        r_old, w_old, r_new, w_new = grown_matrices(5, 8, 9, {2})
+        previous = AgglomerativeClusterer(0.2).cluster(CompositeMeasure(r_old, w_old))
+        result, n_replayed = recluster_incremental(
+            CompositeMeasure(r_new, w_new),
+            previous,
+            {2},
+            AgglomerativeClusterer(MIN_SIM),
+            n_leaves_old=8,
+        )
+        assert n_replayed == 0
+        assert_identical(
+            result,
+            AgglomerativeClusterer(MIN_SIM).cluster(CompositeMeasure(r_new, w_new)),
+        )
+
+    def test_new_items_are_implicitly_dirty(self):
+        # Indices >= n_leaves_old need not appear in dirty_items.
+        r_old, w_old, r_new, w_new = grown_matrices(9, 7, 10, set())
+        previous = AgglomerativeClusterer(MIN_SIM).cluster(
+            CompositeMeasure(r_old, w_old)
+        )
+        result, _ = recluster_incremental(
+            CompositeMeasure(r_new, w_new),
+            previous,
+            dirty_items=(),
+            clusterer=AgglomerativeClusterer(MIN_SIM),
+            n_leaves_old=7,
+        )
+        assert_identical(
+            result,
+            AgglomerativeClusterer(MIN_SIM).cluster(CompositeMeasure(r_new, w_new)),
+        )

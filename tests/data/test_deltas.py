@@ -1,0 +1,108 @@
+"""Unit tests for :mod:`repro.data.deltas` (grow_world / split_world)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.deltas import grow_world, split_world
+from repro.data.world import world_to_database
+from repro.reldb.delta import apply_delta
+
+
+def all_rows(db):
+    return {rel: list(db.table(rel).rows) for rel in db.schema.relations}
+
+
+class TestGrowWorld:
+    def test_appends_exactly_n_papers_with_fresh_ids(self, small_world):
+        grown = grow_world(small_world, 7, seed=3)
+        assert len(grown.papers) == len(small_world.papers) + 7
+        assert grown.papers[: len(small_world.papers)] == small_world.papers
+        old_max = max(p.paper_id for p in small_world.papers)
+        new_ids = [p.paper_id for p in grown.papers[len(small_world.papers):]]
+        assert new_ids == list(range(old_max + 1, old_max + 8))
+
+    def test_deterministic_in_seed(self, small_world):
+        assert grow_world(small_world, 5, seed=9).papers == grow_world(
+            small_world, 5, seed=9
+        ).papers
+        assert grow_world(small_world, 5, seed=9).papers != grow_world(
+            small_world, 5, seed=10
+        ).papers
+
+    def test_new_papers_reuse_existing_proceedings(self, small_world):
+        # The headline guarantee: every new (conference, year) pair already
+        # exists, so the split delta carries no Proceedings rows.
+        grown = grow_world(small_world, 10, seed=1)
+        split = split_world(grown, 10)
+        assert "Proceedings" not in split.delta.rows
+        seen = {(p.conf_id, p.year) for p in small_world.papers}
+        for paper in grown.papers[len(small_world.papers):]:
+            assert (paper.conf_id, paper.year) in seen
+
+    def test_zero_papers_is_identity(self, small_world):
+        assert grow_world(small_world, 0).papers == small_world.papers
+
+    def test_negative_papers_rejected(self, small_world):
+        with pytest.raises(ValueError, match=">= 0"):
+            grow_world(small_world, -1)
+
+    def test_pool_without_published_entity_rejected(self, small_world):
+        unpublished = max(e.entity_id for e in small_world.entities) + 100
+        with pytest.raises(ValueError, match="author_pool"):
+            grow_world(small_world, 3, author_pool=[unpublished])
+
+    def test_author_pool_restricts_authorship(self, small_world):
+        published = {
+            e for p in small_world.papers for e in p.author_entity_ids
+        }
+        pool = sorted(published)[:2]
+        grown = grow_world(small_world, 6, seed=4, author_pool=pool)
+        for paper in grown.papers[len(small_world.papers):]:
+            assert set(paper.author_entity_ids) <= set(pool)
+
+
+class TestSplitWorld:
+    def test_base_plus_delta_equals_cold_build(self, small_world):
+        grown = grow_world(small_world, 9, seed=2)
+        split = split_world(grown, 9)
+        apply_delta(split.base, split.delta)
+        cold, _ = world_to_database(grown)
+        assert all_rows(split.base) == all_rows(cold)
+
+    def test_split_accounting(self, small_world):
+        grown = grow_world(small_world, 4, seed=0)
+        split = split_world(grown, 4)
+        assert split.n_base_papers == len(small_world.papers)
+        assert split.n_delta_papers == 4
+        n_refs = sum(len(p.author_entity_ids) for p in grown.papers[-4:])
+        assert len(split.delta.rows["Publish"]) == n_refs
+        assert len(split.delta.rows["Publications"]) == 4
+
+    def test_truth_uses_combined_row_numbering(self, small_world):
+        grown = grow_world(small_world, 6, seed=8)
+        split = split_world(grown, 6)
+        total_refs = sum(len(p.author_entity_ids) for p in grown.papers)
+        assert len(split.truth.entity_of_row) == total_refs
+        assert max(split.truth.entity_of_row) == total_refs - 1
+
+    def test_out_of_range_split_rejected(self, small_world):
+        with pytest.raises(ValueError, match="n_delta_papers"):
+            split_world(small_world, len(small_world.papers) + 1)
+        with pytest.raises(ValueError, match="n_delta_papers"):
+            split_world(small_world, -1)
+
+    def test_full_delta_split_has_empty_base_papers(self, small_world):
+        split = split_world(small_world, len(small_world.papers))
+        assert split.n_base_papers == 0
+        assert len(split.base.table("Publish").rows) == 0
+
+    def test_base_citing_delta_paper_rejected(self, small_world):
+        from dataclasses import replace
+
+        papers = [replace(p, citations=()) for p in small_world.papers]
+        # The first (base) paper cites the last (delta) paper.
+        papers[0] = replace(papers[0], citations=(papers[-1].paper_id,))
+        world = replace(small_world, papers=papers)
+        with pytest.raises(ValueError, match="cites delta papers"):
+            split_world(world, 1, with_citations=True)

@@ -1,0 +1,1 @@
+"""Unit tests for the delta-ingest package (engine, runner, greedy)."""

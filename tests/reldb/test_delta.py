@@ -1,0 +1,173 @@
+"""Unit tests for :mod:`repro.reldb.delta` (apply a batch to a live DB)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import IntegrityError, PersistenceError, SchemaError
+from repro.reldb.delta import AppliedDelta, Delta, apply_delta, load_delta, save_delta
+
+from tests.minidb import build_minidb
+
+
+class TestDeltaContainer:
+    def test_add_and_accounting(self):
+        delta = Delta()
+        assert delta.is_empty() and delta.n_rows() == 0 and delta.relations == []
+        delta.add("Publications", (9, "A Study", 0))
+        delta.add("Publish", (9, 1))
+        delta.add("Publish", (9, 2))
+        assert not delta.is_empty()
+        assert delta.n_rows() == 3
+        assert delta.relations == ["Publications", "Publish"]
+        assert delta.rows["Publish"] == [(9, 1), (9, 2)]
+
+    def test_add_normalizes_to_tuples(self):
+        delta = Delta()
+        delta.add("Publish", [9, 1])  # lists coerce so rows stay hashable
+        assert delta.rows["Publish"] == [(9, 1)]
+
+
+class TestApplyDelta:
+    def test_appends_rows_with_stable_ids_and_bumps_epoch(self):
+        db = build_minidb()
+        n_pubs = len(db.table("Publications").rows)
+        n_publish = len(db.table("Publish").rows)
+        epoch0 = db.epoch
+
+        delta = Delta()
+        delta.add("Publications", (4, "Delta Study", 1))
+        delta.add("Publish", (4, 0))
+        delta.add("Publish", (4, 3))
+        applied = apply_delta(db, delta)
+
+        assert db.epoch == epoch0 + 1 == applied.epoch
+        assert applied.new_rows("Publications") == [n_pubs]
+        assert applied.new_rows("Publish") == [n_publish, n_publish + 1]
+        assert applied.n_rows() == 3
+        assert db.table("Publications").rows[n_pubs] == (4, "Delta Study", 1)
+        assert db.table("Publish").rows[n_publish:] == [(4, 0), (4, 3)]
+
+    def test_empty_delta_still_bumps_epoch(self):
+        # Epochs number applied batches, not rows: caches pinned at the
+        # old epoch must still refuse reads until advanced.
+        db = build_minidb()
+        applied = apply_delta(db, Delta())
+        assert applied.n_rows() == 0
+        assert db.epoch == applied.epoch == 1
+
+    def test_extends_virtual_relations_first_seen_only(self):
+        db = build_minidb()  # years seen: 1997, 2002
+        vyear = db.table("_v_Proceedings_year")
+        n_years = len(vyear.rows)
+
+        delta = Delta()
+        # 2002 already exists (reused); 2005 is new (appended once).
+        delta.add("Proceedings", (3, 1, 2005, "Tokyo"))
+        delta.add("Proceedings", (4, 0, 2002, "Paris"))
+        applied = apply_delta(db, delta)
+
+        assert vyear.rows[n_years:] == [(2005,)]
+        assert applied.new_rows("_v_Proceedings_year") == [n_years]
+        assert (2002,) in vyear.rows[:n_years]
+
+    def test_base_then_delta_matches_cold_virtual_order(self):
+        # The byte-identity substrate: applying the suffix as a delta
+        # yields the same virtual rows, in the same order, as inserting
+        # everything before virtualization.
+        cold = build_minidb(prepared=False)
+        cold.insert_many(
+            "Proceedings", [(3, 1, 2005, "Tokyo"), (4, 0, 1997, "Paris")]
+        )
+        from repro.data.dblp_schema import prepare_dblp_database
+
+        prepare_dblp_database(cold)
+
+        warm = build_minidb()
+        delta = Delta()
+        delta.add("Proceedings", (3, 1, 2005, "Tokyo"))
+        delta.add("Proceedings", (4, 0, 1997, "Paris"))
+        apply_delta(warm, delta)
+
+        for rel in ("_v_Proceedings_year", "_v_Proceedings_location"):
+            assert warm.table(rel).rows == cold.table(rel).rows
+
+    def test_unknown_relation_is_a_schema_error(self):
+        db = build_minidb()
+        delta = Delta()
+        delta.add("Nope", (1,))
+        with pytest.raises(SchemaError, match="unknown relation"):
+            apply_delta(db, delta)
+        assert db.epoch == 0  # rejected before any mutation
+
+    def test_virtual_relation_insert_is_a_schema_error(self):
+        db = build_minidb()
+        delta = Delta()
+        delta.add("_v_Proceedings_year", (2030,))
+        with pytest.raises(SchemaError, match="virtual relation"):
+            apply_delta(db, delta)
+
+    def test_wrong_arity_is_an_integrity_error(self):
+        db = build_minidb()
+        delta = Delta()
+        delta.add("Publish", (4, 0, 99))
+        with pytest.raises(IntegrityError):
+            apply_delta(db, delta)
+
+    def test_duplicate_primary_key_is_an_integrity_error(self):
+        db = build_minidb()
+        delta = Delta()
+        delta.add("Publications", (0, "Clone of STING", 0))
+        with pytest.raises(IntegrityError):
+            apply_delta(db, delta)
+
+    def test_dangling_foreign_key_is_an_integrity_error(self):
+        db = build_minidb()
+        delta = Delta()
+        delta.add("Publish", (999, 0))  # no Publications row 999
+        with pytest.raises(IntegrityError, match="dangles"):
+            apply_delta(db, delta)
+
+    def test_delta_rows_may_reference_each_other(self):
+        # Integrity is checked after all rows land, so a batch can carry
+        # a new paper together with its publish rows.
+        db = build_minidb()
+        delta = Delta()
+        delta.add("Publications", (4, "Delta Study", 1))
+        delta.add("Publish", (4, 2))
+        applied = apply_delta(db, delta)
+        assert applied.n_rows() == 2
+
+
+class TestDeltaPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        delta = Delta()
+        delta.add("Publications", (4, "Delta Study", 1))
+        delta.add("Publish", (4, 0))
+        path = tmp_path / "delta.json"
+        save_delta(delta, path)
+        assert load_delta(path).rows == delta.rows
+
+    def test_load_rejects_non_delta_payload(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"hello": 1}), encoding="utf-8")
+        with pytest.raises(PersistenceError, match="not a delta file"):
+            load_delta(path)
+
+    def test_load_rejects_unknown_format_version(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(
+            json.dumps({"format_version": 99, "relations": {}}), encoding="utf-8"
+        )
+        with pytest.raises(PersistenceError, match="format_version"):
+            load_delta(path)
+
+
+class TestAppliedDelta:
+    def test_new_rows_defaults_to_empty(self):
+        applied = AppliedDelta(epoch=1, row_ids={"Publish": [3, 4]})
+        assert applied.new_rows("Publish") == [3, 4]
+        assert applied.new_rows("Authors") == []
+        assert applied.n_rows() == 2
